@@ -1,0 +1,176 @@
+//! Criterion microbenches for the hot paths: working-memory ops, symbol
+//! interning, RETE/TREAT incremental add/remove, meta-rule redaction, and
+//! delta merge.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use parulel_core::{Delta, Value, WorkingMemory};
+use parulel_engine::meta;
+use parulel_lang::compile;
+use parulel_match::{Matcher, NaiveMatcher, Rete, Treat};
+use std::sync::Arc;
+
+fn wm_insert_remove(c: &mut Criterion) {
+    let p = compile("(literalize item a b c)").unwrap();
+    c.bench_function("wm/insert+remove 1k", |b| {
+        b.iter_batched(
+            || WorkingMemory::new(&p.classes),
+            |mut wm| {
+                let class = parulel_core::ClassId(0);
+                let mut ids = Vec::with_capacity(1000);
+                for i in 0..1000 {
+                    ids.push(
+                        wm.insert(class, vec![Value::Int(i), Value::Int(i * 2), Value::NIL])
+                            .id,
+                    );
+                }
+                for id in ids {
+                    wm.remove(id);
+                }
+                wm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn interner(c: &mut Criterion) {
+    c.bench_function("interner/hit", |b| {
+        let i = parulel_core::Interner::new();
+        i.intern("warm");
+        b.iter(|| i.intern("warm"))
+    });
+}
+
+const JOIN_SRC: &str = "
+(literalize edge from to)
+(p hop (edge ^from <a> ^to <b>) (edge ^from <b> ^to <c>) --> (halt))";
+
+fn edges(n: i64) -> Vec<(i64, i64)> {
+    // a sparse ring plus chords: every node has out-degree 2
+    (0..n)
+        .flat_map(|i| [(i, (i + 1) % n), (i, (i * 7 + 3) % n)])
+        .collect()
+}
+
+fn matcher_adds(c: &mut Criterion) {
+    let p = Arc::new(compile(JOIN_SRC).unwrap());
+    let mut group = c.benchmark_group("match/seed-join");
+    for n in [64i64, 256] {
+        let mut wm = WorkingMemory::new(&p.classes);
+        let class = parulel_core::ClassId(0);
+        let wmes: Vec<_> = edges(n)
+            .into_iter()
+            .map(|(a, b)| wm.insert(class, vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rete", n), &wmes, |b, wmes| {
+            b.iter_batched(
+                || Rete::new(p.clone()),
+                |mut m| {
+                    for w in wmes {
+                        m.add_wme(w);
+                    }
+                    m.conflict_set().len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("treat", n), &wmes, |b, wmes| {
+            b.iter_batched(
+                || Treat::new(p.clone()),
+                |mut m| {
+                    for w in wmes {
+                        m.add_wme(w);
+                    }
+                    m.conflict_set().len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &wmes, |b, wmes| {
+            b.iter_batched(
+                || NaiveMatcher::new(p.clone()),
+                |mut m| {
+                    for w in wmes {
+                        m.add_wme(w);
+                    }
+                    m.conflict_set().len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn matcher_removals(c: &mut Criterion) {
+    let p = Arc::new(compile(JOIN_SRC).unwrap());
+    let mut wm = WorkingMemory::new(&p.classes);
+    let class = parulel_core::ClassId(0);
+    let wmes: Vec<_> = edges(128)
+        .into_iter()
+        .map(|(a, b)| wm.insert(class, vec![Value::Int(a), Value::Int(b)]))
+        .collect();
+    let mut seeded_rete = Rete::new(p.clone());
+    for w in &wmes {
+        seeded_rete.add_wme(w);
+    }
+    c.bench_function("match/rete remove+readd", |b| {
+        b.iter(|| {
+            seeded_rete.remove_wme(&wmes[7]);
+            seeded_rete.add_wme(&wmes[7]);
+        })
+    });
+}
+
+fn meta_redaction(c: &mut Criterion) {
+    let src = "
+        (literalize req id prio)
+        (p serve (req ^id <i> ^prio <p>) --> (remove 1))
+        (mp keep-best
+          (inst serve (req ^prio <p1>))
+          (inst serve (req ^prio <p2>))
+          (test (> <p1> <p2>))
+         --> (redact 1))";
+    let p = compile(src).unwrap();
+    let mut wm = WorkingMemory::new(&p.classes);
+    let req = parulel_core::ClassId(0);
+    for i in 0..64 {
+        wm.insert(req, vec![Value::Int(i), Value::Int(i % 17)]);
+    }
+    let mut m = Rete::new(Arc::new(p.clone()));
+    m.seed(&wm);
+    let eligible = m.conflict_set().sorted();
+    c.bench_function("meta/redact 64-wide conflict set", |b| {
+        b.iter(|| meta::redact(&p, eligible.clone()).surviving.len())
+    });
+}
+
+fn delta_merge(c: &mut Criterion) {
+    c.bench_function("delta/normalize 1k removes", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Delta::new();
+                for i in 0..1000u64 {
+                    d.removes.push(parulel_core::WmeId(i % 300));
+                }
+                d
+            },
+            |mut d| {
+                d.normalize();
+                d.removes.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    wm_insert_remove,
+    interner,
+    matcher_adds,
+    matcher_removals,
+    meta_redaction,
+    delta_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 1 — claim C2: wall-clock speedup vs worker count, PARULEL
+//! engine with the rule-partitioned parallel RETE matcher and parallel
+//! RHS evaluation.
+//!
+//! Prints one series (rows = worker counts) per workload. On a single-core
+//! host the curve is flat-to-down (thread overhead with no hardware
+//! parallelism) — the *shape* claim needs a multicore host; the harness
+//! sweeps identically either way.
+
+use parulel_bench::{bench_scenarios, ms, run_parallel, Table};
+use parulel_engine::{EngineOptions, MatcherKind};
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut workers: Vec<usize> = vec![1, 2, 4, 8];
+    if !workers.contains(&cores) && cores > 1 {
+        workers.push(cores);
+    }
+    println!(
+        "Figure 1: speedup vs workers (host has {cores} hardware thread(s))\n\
+         matcher = PartitionedRete(n), parallel_fire = true\n"
+    );
+    for s in bench_scenarios() {
+        let mut t = Table::new(&["workers", "wall ms", "speedup", "cycles"]);
+        let mut base: Option<f64> = None;
+        for &n in &workers {
+            let opts = EngineOptions {
+                matcher: MatcherKind::PartitionedRete(n),
+                ..Default::default()
+            };
+            let (out, _, _) = run_parallel(s.as_ref(), opts);
+            let wall = out.wall.as_secs_f64();
+            let b = *base.get_or_insert(wall);
+            t.row(vec![
+                n.to_string(),
+                ms(out.wall),
+                format!("{:.2}x", b / wall.max(1e-9)),
+                out.cycles.to_string(),
+            ]);
+        }
+        println!("## {}", s.name());
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 1 — benchmark characteristics: program sizes and PARULEL
+//! convergence behaviour for every workload at bench scale.
+
+use parulel_bench::{bench_scenarios, run_parallel, Table};
+use parulel_engine::EngineOptions;
+
+fn main() {
+    let mut t = Table::new(&[
+        "workload",
+        "rules",
+        "metas",
+        "classes",
+        "initial WM",
+        "cycles",
+        "firings",
+        "firings/cycle",
+        "peak eligible",
+        "valid",
+    ]);
+    for s in bench_scenarios() {
+        let p = s.program();
+        let wm0 = s.initial_wm().len();
+        let (out, stats, _) = run_parallel(s.as_ref(), EngineOptions::default());
+        t.row(vec![
+            s.name().to_string(),
+            p.rules().len().to_string(),
+            p.metas().len().to_string(),
+            p.classes.len().to_string(),
+            wm0.to_string(),
+            out.cycles.to_string(),
+            out.firings.to_string(),
+            format!("{:.1}", stats.firings_per_cycle()),
+            stats.peak_eligible.to_string(),
+            "yes".to_string(), // run_parallel panics otherwise
+        ]);
+    }
+    println!("Table 1: benchmark characteristics (PARULEL engine, RETE matcher)\n");
+    t.print();
+}

@@ -1,0 +1,36 @@
+//! Table 3 — claim C3: where cycle time goes. Phase breakdown
+//! (match / redact / fire / apply) plus meta-rule work. The claim is that
+//! programmable conflict resolution (the redact phase) costs a small
+//! share of the cycle.
+
+use parulel_bench::{bench_scenarios, ms, run_parallel, Table};
+use parulel_engine::EngineOptions;
+
+fn main() {
+    let mut t = Table::new(&[
+        "workload",
+        "match ms",
+        "redact ms",
+        "fire ms",
+        "apply ms",
+        "redact %",
+        "meta redactions",
+        "meta rounds",
+    ]);
+    for s in bench_scenarios() {
+        let (_, stats, _) = run_parallel(s.as_ref(), EngineOptions::default());
+        let total = stats.total_time().as_secs_f64().max(1e-9);
+        t.row(vec![
+            s.name().to_string(),
+            ms(stats.match_time),
+            ms(stats.redact_time),
+            ms(stats.fire_time),
+            ms(stats.apply_time),
+            format!("{:.1}%", 100.0 * stats.redact_time.as_secs_f64() / total),
+            stats.redacted_meta.to_string(),
+            stats.meta_rounds.to_string(),
+        ]);
+    }
+    println!("Table 3: cycle phase breakdown and meta-rule redaction cost\n");
+    t.print();
+}

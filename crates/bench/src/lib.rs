@@ -1,0 +1,161 @@
+//! # parulel-bench
+//!
+//! The experiment harness reproducing the PARULEL evaluation (see
+//! DESIGN.md §4 for the reconstructed table/figure index). One binary per
+//! table/figure:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | benchmark characteristics |
+//! | `table2` | many-firing vs one-firing semantics (claim C1) |
+//! | `fig1` | speedup vs workers (claim C2) |
+//! | `fig2` | match-engine ablation: naive / RETE / TREAT |
+//! | `table3` | cycle-phase breakdown & redaction cost (claim C3) |
+//! | `fig3` | copy-and-constrain (claim C4) |
+//! | `table4` | interference guard vs meta-rules |
+//!
+//! Criterion microbenches live in `benches/micro.rs`.
+
+#![warn(missing_docs)]
+
+use parulel_core::WorkingMemory;
+use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Strategy};
+use parulel_workloads::Scenario;
+use std::time::Duration;
+
+/// One full PARULEL run of a scenario; panics if validation fails so a
+/// bench can never silently report numbers for a wrong answer.
+pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> (Outcome, RunStats, WorkingMemory) {
+    let mut e = ParallelEngine::new(s.program(), s.initial_wm(), opts);
+    let out = e.run().expect("engine run failed");
+    s.validate(e.wm())
+        .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
+    let stats = e.stats().clone();
+    (out, stats, e.into_wm())
+}
+
+/// One serial OPS5 run of a scenario (also validated).
+pub fn run_serial(
+    s: &dyn Scenario,
+    strategy: Strategy,
+    opts: EngineOptions,
+) -> (Outcome, RunStats) {
+    let mut e = SerialEngine::new(s.program(), s.initial_wm(), strategy, opts);
+    let out = e.run().expect("engine run failed");
+    s.validate(e.wm())
+        .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
+    (out, e.stats().clone())
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// A fixed-width text table (the output format of every harness binary).
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// The scenario set used by the table/figure binaries, at "bench" sizes
+/// (larger than the test defaults).
+pub fn bench_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(parulel_workloads::Closure::new(60, 110, 7)),
+        Box::new(parulel_workloads::LabelProp::new(120, 150, 11)),
+        Box::new(parulel_workloads::Seating::new(8, 16, 3)),
+        Box::new(parulel_workloads::Market::new(120, 16, 5)),
+        Box::new(parulel_workloads::Waltz::new(60, 6, 13)),
+        Box::new(parulel_workloads::WaltzDb::new(6, 6, 5, 17)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+    }
+
+    #[test]
+    fn runners_validate() {
+        let s = parulel_workloads::Closure::new(10, 14, 3);
+        let (out, stats, _) = run_parallel(&s, EngineOptions::default());
+        assert!(out.quiescent);
+        assert!(stats.firings > 0);
+        let (out, _) = run_serial(&s, Strategy::Lex, EngineOptions::default());
+        assert!(out.quiescent);
+    }
+}

@@ -1,0 +1,262 @@
+//! Hand-rolled argument parsing for the `parulel` binary.
+
+use parulel_engine::{GuardMode, MatcherKind, Strategy};
+
+/// Usage text shown by `--help` and on argument errors.
+pub const USAGE: &str = "\
+parulel — the PARULEL parallel rule language
+
+USAGE:
+  parulel run FILE [OPTIONS]    execute a program
+  parulel check FILE            compile only; report errors
+  parulel fmt FILE              print canonical formatting
+  parulel --help
+
+RUN OPTIONS:
+  --engine parallel|lex|mea     execution semantics        [parallel]
+  --matcher rete|treat|naive|prete:N|ptreat:N              [rete]
+  --guard off|ww|serializable   interference guard         [off]
+  --max-cycles N                safety cycle limit         [1000000]
+  --trace                       print one line per cycle
+  --stats                       print phase times and counters
+  --dump-wm                     print the final working memory
+  --no-log                      suppress (write ...) output";
+
+/// Which execution engine `run` uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineChoice {
+    /// PARULEL match–redact–fire-all.
+    Parallel,
+    /// OPS5 baseline with this strategy.
+    Serial(Strategy),
+}
+
+/// Parsed `run` options.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Program file path.
+    pub file: String,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Matcher selection.
+    pub matcher: MatcherKind,
+    /// Guard mode.
+    pub guard: GuardMode,
+    /// Cycle limit.
+    pub max_cycles: u64,
+    /// Print per-cycle traces.
+    pub trace: bool,
+    /// Print run statistics.
+    pub stats: bool,
+    /// Print the final working memory.
+    pub dump_wm: bool,
+    /// Suppress `(write …)` output.
+    pub no_log: bool,
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `--help` (or no arguments).
+    Help,
+    /// `run FILE …`
+    Run(RunOpts),
+    /// `check FILE`
+    Check {
+        /// Program file path.
+        file: String,
+    },
+    /// `fmt FILE`
+    Fmt {
+        /// Program file path.
+        file: String,
+    },
+}
+
+impl Command {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Command, String> {
+        let mut it = argv.iter();
+        let Some(cmd) = it.next() else {
+            return Ok(Command::Help);
+        };
+        match cmd.as_str() {
+            "--help" | "-h" | "help" => Ok(Command::Help),
+            "check" => {
+                let file = it.next().ok_or("check needs a FILE")?.clone();
+                expect_end(it)?;
+                Ok(Command::Check { file })
+            }
+            "fmt" => {
+                let file = it.next().ok_or("fmt needs a FILE")?.clone();
+                expect_end(it)?;
+                Ok(Command::Fmt { file })
+            }
+            "run" => {
+                let file = it.next().ok_or("run needs a FILE")?.clone();
+                let mut opts = RunOpts {
+                    file,
+                    engine: EngineChoice::Parallel,
+                    matcher: MatcherKind::Rete,
+                    guard: GuardMode::Off,
+                    max_cycles: 1_000_000,
+                    trace: false,
+                    stats: false,
+                    dump_wm: false,
+                    no_log: false,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--engine" => {
+                            opts.engine = match next_val(&mut it, flag)?.as_str() {
+                                "parallel" => EngineChoice::Parallel,
+                                "lex" => EngineChoice::Serial(Strategy::Lex),
+                                "mea" => EngineChoice::Serial(Strategy::Mea),
+                                other => return Err(format!("unknown engine '{other}'")),
+                            }
+                        }
+                        "--matcher" => opts.matcher = parse_matcher(&next_val(&mut it, flag)?)?,
+                        "--guard" => {
+                            opts.guard = match next_val(&mut it, flag)?.as_str() {
+                                "off" => GuardMode::Off,
+                                "ww" => GuardMode::WriteWrite,
+                                "serializable" => GuardMode::Serializable,
+                                other => return Err(format!("unknown guard '{other}'")),
+                            }
+                        }
+                        "--max-cycles" => {
+                            opts.max_cycles = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--max-cycles needs an integer".to_string())?
+                        }
+                        "--trace" => opts.trace = true,
+                        "--stats" => opts.stats = true,
+                        "--dump-wm" => opts.dump_wm = true,
+                        "--no-log" => opts.no_log = true,
+                        other => return Err(format!("unknown option '{other}'")),
+                    }
+                }
+                Ok(Command::Run(opts))
+            }
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+fn expect_end(mut it: std::slice::Iter<'_, String>) -> Result<(), String> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument '{extra}'")),
+    }
+}
+
+fn next_val(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_matcher(s: &str) -> Result<MatcherKind, String> {
+    match s {
+        "rete" => Ok(MatcherKind::Rete),
+        "treat" => Ok(MatcherKind::Treat),
+        "naive" => Ok(MatcherKind::Naive),
+        _ => {
+            if let Some(n) = s.strip_prefix("prete:") {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad worker count in '{s}'"))?;
+                Ok(MatcherKind::PartitionedRete(n.max(1)))
+            } else if let Some(n) = s.strip_prefix("ptreat:") {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad worker count in '{s}'"))?;
+                Ok(MatcherKind::PartitionedTreat(n.max(1)))
+            } else {
+                Err(format!("unknown matcher '{s}'"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Command::parse(&v)
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(matches!(parse(&[]), Ok(Command::Help)));
+        assert!(matches!(parse(&["--help"]), Ok(Command::Help)));
+        assert!(matches!(parse(&["help"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Ok(Command::Run(o)) = parse(&["run", "prog.pll"]) else {
+            panic!()
+        };
+        assert_eq!(o.file, "prog.pll");
+        assert_eq!(o.engine, EngineChoice::Parallel);
+        assert_eq!(o.matcher, MatcherKind::Rete);
+        assert!(!o.trace && !o.stats && !o.dump_wm && !o.no_log);
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let Ok(Command::Run(o)) = parse(&[
+            "run",
+            "x.pll",
+            "--engine",
+            "mea",
+            "--matcher",
+            "prete:4",
+            "--guard",
+            "serializable",
+            "--max-cycles",
+            "99",
+            "--trace",
+            "--stats",
+            "--dump-wm",
+            "--no-log",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(o.engine, EngineChoice::Serial(Strategy::Mea));
+        assert_eq!(o.matcher, MatcherKind::PartitionedRete(4));
+        assert_eq!(o.guard, GuardMode::Serializable);
+        assert_eq!(o.max_cycles, 99);
+        assert!(o.trace && o.stats && o.dump_wm && o.no_log);
+    }
+
+    #[test]
+    fn matcher_parse_errors() {
+        assert!(parse(&["run", "x", "--matcher", "bogus"]).is_err());
+        assert!(parse(&["run", "x", "--matcher", "prete:"]).is_err());
+        assert!(parse(&["run", "x", "--matcher", "prete:abc"]).is_err());
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--matcher", "ptreat:0"]) else {
+            panic!()
+        };
+        assert_eq!(o.matcher, MatcherKind::PartitionedTreat(1));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse(&["run"]).is_err());
+        assert!(parse(&["check"]).is_err());
+        assert!(parse(&["check", "a", "b"]).is_err());
+        assert!(parse(&["run", "x", "--engine"]).is_err());
+        assert!(parse(&["run", "x", "--engine", "warp"]).is_err());
+        assert!(parse(&["run", "x", "--max-cycles", "many"]).is_err());
+        assert!(parse(&["explode"]).is_err());
+        assert!(parse(&["run", "x", "--bogus"]).is_err());
+    }
+}

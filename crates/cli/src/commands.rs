@@ -1,0 +1,308 @@
+//! Implementations of the `run`, `check` and `fmt` subcommands.
+
+use crate::args::{EngineChoice, RunOpts};
+use parulel_core::WorkingMemory;
+use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine};
+use std::io::Write;
+
+fn read_file(path: &str, out: &mut dyn Write) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(src) => Some(src),
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+/// `parulel check FILE` — compile, report the first diagnostic.
+pub fn check(path: &str, out: &mut dyn Write) -> i32 {
+    let Some(src) = read_file(path, out) else {
+        return 1;
+    };
+    match parulel_lang::compile_with_wm(&src) {
+        Ok((program, wm)) => {
+            let _ = writeln!(
+                out,
+                "{path}: ok ({} classes, {} rules, {} meta-rules, {} initial facts)",
+                program.classes.len(),
+                program.rules().len(),
+                program.metas().len(),
+                wm.len()
+            );
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{path}:{e}");
+            1
+        }
+    }
+}
+
+/// `parulel fmt FILE` — parse and print the canonical form.
+pub fn fmt(path: &str, out: &mut dyn Write) -> i32 {
+    let Some(src) = read_file(path, out) else {
+        return 1;
+    };
+    match parulel_lang::parse(&src) {
+        Ok(ast) => {
+            let _ = write!(out, "{}", parulel_lang::printer::print_program(&ast));
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{path}:{e}");
+            1
+        }
+    }
+}
+
+/// `parulel run FILE …` — execute.
+pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
+    let Some(src) = read_file(&opts.file, out) else {
+        return 1;
+    };
+    let (program, wm) = match parulel_lang::compile_with_wm(&src) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let _ = writeln!(out, "{}:{e}", opts.file);
+            return 1;
+        }
+    };
+    let engine_opts = EngineOptions {
+        matcher: opts.matcher,
+        guard: opts.guard,
+        max_cycles: opts.max_cycles,
+        collect_log: !opts.no_log,
+        trace: opts.trace,
+        ..Default::default()
+    };
+
+    let result = match opts.engine {
+        EngineChoice::Parallel => {
+            let mut e = ParallelEngine::new(&program, wm, engine_opts);
+            let outcome = e.run();
+            outcome.map(|o| {
+                for line in e.traces() {
+                    let _ = writeln!(out, "{line}");
+                }
+                finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program())
+            })
+        }
+        EngineChoice::Serial(strategy) => {
+            let mut e = SerialEngine::new(&program, wm, strategy, engine_opts);
+            let outcome = e.run();
+            outcome.map(|o| finish(out, opts, o, e.log(), e.stats(), e.wm(), &program))
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "runtime error: {e}");
+            1
+        }
+    }
+}
+
+fn finish(
+    out: &mut dyn Write,
+    opts: &RunOpts,
+    outcome: Outcome,
+    log: &[String],
+    stats: &RunStats,
+    wm: &WorkingMemory,
+    program: &parulel_core::Program,
+) -> i32 {
+    for line in log {
+        let _ = writeln!(out, "{line}");
+    }
+    let ending = if outcome.halted {
+        "halt"
+    } else if outcome.hit_cycle_limit {
+        "cycle limit"
+    } else {
+        "quiescence"
+    };
+    let _ = writeln!(
+        out,
+        "== {} firings in {} cycles ({ending}) ==",
+        outcome.firings, outcome.cycles
+    );
+    if opts.stats {
+        let _ = writeln!(
+            out,
+            "   firings/cycle {:.2} | peak eligible {} | redacted meta {} guard {}",
+            stats.firings_per_cycle(),
+            stats.peak_eligible,
+            stats.redacted_meta,
+            stats.redacted_guard
+        );
+        let _ = writeln!(
+            out,
+            "   match {:?} | redact {:?} | fire {:?} | apply {:?}",
+            stats.match_time, stats.redact_time, stats.fire_time, stats.apply_time
+        );
+    }
+    if opts.dump_wm {
+        let _ = writeln!(out, "-- final working memory ({} elements) --", wm.len());
+        for w in wm.sorted_snapshot() {
+            let decl = program.classes.decl(w.class);
+            let mut line = format!("  ({}", program.interner.resolve(decl.name));
+            for (attr, value) in decl.attrs.iter().zip(w.fields.iter()) {
+                line.push_str(&format!(
+                    " ^{} {}",
+                    program.interner.resolve(*attr),
+                    value.display(&program.interner)
+                ));
+            }
+            line.push(')');
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    if outcome.hit_cycle_limit {
+        3
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args::Command;
+    use crate::run_cli;
+
+    const PROGRAM: &str = "
+        (literalize count n)
+        (wm (count ^n 0))
+        (p step (count ^n <n>) (test (< <n> 3)) --> (modify 1 ^n (+ <n> 1)))
+    ";
+
+    fn temp_file(contents: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "parulel-cli-test-{}-{:x}.pll",
+            std::process::id(),
+            contents.len() * 31
+                + contents
+                    .as_bytes()
+                    .iter()
+                    .map(|&b| b as usize)
+                    .sum::<usize>()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn cli(words: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run_cli(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn run_counts_to_three() {
+        let f = temp_file(PROGRAM);
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--dump-wm", "--stats"]);
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("3 firings in 3 cycles"), "{output}");
+        assert!(output.contains("(count ^n 3)"), "{output}");
+        assert!(output.contains("firings/cycle"), "{output}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn run_with_trace_and_serial_engine() {
+        let f = temp_file(PROGRAM);
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--engine",
+            "lex",
+            "--matcher",
+            "treat",
+        ]);
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("3 firings in 3 cycles"), "{output}");
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--trace"]);
+        assert_eq!(code, 0);
+        assert!(output.contains("cycle    1"), "{output}");
+        assert!(output.contains("stepx1"), "{output}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn cycle_limit_exit_code() {
+        let f = temp_file(
+            "(literalize n v)
+             (wm (n ^v 0))
+             (p forever (n ^v <x>) --> (modify 1 ^v (+ <x> 1)))",
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--max-cycles", "7"]);
+        assert_eq!(code, 3, "{output}");
+        assert!(output.contains("cycle limit"), "{output}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn check_reports_ok_and_errors() {
+        let good = temp_file(PROGRAM);
+        let (code, output) = cli(&["check", good.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(output.contains("1 rules"), "{output}");
+        assert!(output.contains("1 initial facts"), "{output}");
+        std::fs::remove_file(good).ok();
+
+        let bad = temp_file("(p broken (ghost) --> (halt))");
+        let (code, output) = cli(&["check", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(output.contains("unknown class"), "{output}");
+        std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn fmt_roundtrips() {
+        let f = temp_file(PROGRAM);
+        let (code, formatted) = cli(&["fmt", f.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        // the formatted output must itself compile
+        assert!(
+            parulel_lang::compile_with_wm(&formatted).is_ok(),
+            "{formatted}"
+        );
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn missing_file_and_bad_args() {
+        let (code, output) = cli(&["run", "/no/such/file.pll"]);
+        assert_eq!(code, 1);
+        assert!(output.contains("cannot read"));
+        let (code, output) = cli(&["run", "x", "--warp", "9"]);
+        assert_eq!(code, 2);
+        assert!(output.contains("USAGE"), "{output}");
+        let (code, _) = cli(&["--help"]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn runtime_error_is_reported() {
+        let f = temp_file(
+            "(literalize n v)
+             (wm (n ^v 1))
+             (p crash (n ^v <x>) --> (make n ^v (// <x> 0)) (remove 1))",
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(output.contains("division by zero"), "{output}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn command_parse_is_reexported() {
+        // smoke: the library surface exposes the arg parser
+        assert!(matches!(
+            Command::parse(&["help".to_string()]),
+            Ok(Command::Help)
+        ));
+    }
+}

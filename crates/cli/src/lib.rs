@@ -1,0 +1,53 @@
+//! # parulel-cli
+//!
+//! The `parulel` command-line interpreter. Program files are
+//! self-contained: `literalize` declarations, `(wm …)` initial facts,
+//! rules and meta-rules. Three subcommands:
+//!
+//! ```text
+//! parulel run FILE     execute a program (PARULEL or OPS5 semantics)
+//! parulel check FILE   compile only; report the first error with location
+//! parulel fmt FILE     print the canonical formatting to stdout
+//! ```
+//!
+//! `run` options:
+//!
+//! ```text
+//! --engine parallel|lex|mea    execution semantics   [parallel]
+//! --matcher rete|treat|naive|prete:N|ptreat:N        [rete]
+//! --guard off|ww|serializable  interference guard    [off]
+//! --max-cycles N               safety cycle limit    [1000000]
+//! --trace                      print one line per cycle
+//! --stats                      print phase times and counters
+//! --dump-wm                    print the final working memory
+//! --no-log                     suppress (write …) output
+//! ```
+//!
+//! The library half (this crate) is the testable implementation; the
+//! `parulel` binary is a thin wrapper around [`run_cli`].
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// Entry point shared by the binary and the tests: parses `argv`
+/// (excluding the program name), executes, writes human output to `out`,
+/// returns the process exit code.
+pub fn run_cli(argv: &[String], out: &mut dyn Write) -> i32 {
+    match args::Command::parse(argv) {
+        Ok(args::Command::Help) => {
+            let _ = writeln!(out, "{}", args::USAGE);
+            0
+        }
+        Ok(args::Command::Run(opts)) => commands::run(&opts, out),
+        Ok(args::Command::Check { file }) => commands::check(&file, out),
+        Ok(args::Command::Fmt { file }) => commands::fmt(&file, out),
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The `parulel` binary: see crate docs / `parulel --help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(parulel_cli::run_cli(&argv, &mut stdout));
+}

@@ -1,0 +1,197 @@
+//! WME class declarations.
+//!
+//! The surface form `(literalize job id len machine status)` declares a
+//! class `job` whose WMEs carry four named fields. After compilation every
+//! attribute reference (`^machine`) becomes a field *slot index*, so the
+//! match network never touches attribute names at runtime.
+
+use crate::hash::FxHashMap;
+use crate::symbol::Symbol;
+
+/// Index of a class in the [`ClassRegistry`]. Dense, so per-class indexes
+/// can live in plain `Vec`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A declared WME class: name plus ordered attribute list.
+#[derive(Clone, Debug)]
+pub struct ClassDecl {
+    /// Interned class name.
+    pub name: Symbol,
+    /// Attribute names, in field-slot order.
+    pub attrs: Vec<Symbol>,
+}
+
+impl ClassDecl {
+    /// Number of field slots.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Slot index of attribute `attr`, if declared.
+    pub fn slot_of(&self, attr: Symbol) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+}
+
+/// The registry of all classes in a program.
+#[derive(Clone, Debug, Default)]
+pub struct ClassRegistry {
+    decls: Vec<ClassDecl>,
+    by_name: FxHashMap<Symbol, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a class. Returns an error if the name is already taken or
+    /// an attribute repeats.
+    pub fn declare(&mut self, name: Symbol, attrs: Vec<Symbol>) -> Result<ClassId, ClassError> {
+        if self.by_name.contains_key(&name) {
+            return Err(ClassError::Duplicate(name));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(ClassError::DuplicateAttr {
+                    class: name,
+                    attr: *a,
+                });
+            }
+        }
+        let id = ClassId(u32::try_from(self.decls.len()).expect("class registry overflow"));
+        self.by_name.insert(name, id);
+        self.decls.push(ClassDecl { name, attrs });
+        Ok(id)
+    }
+
+    /// Looks up a class by name.
+    pub fn id_of(&self, name: Symbol) -> Option<ClassId> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// The declaration for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry.
+    #[inline]
+    pub fn decl(&self, id: ClassId) -> &ClassDecl {
+        &self.decls[id.index()]
+    }
+
+    /// Number of declared classes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True iff no classes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Iterates `(id, decl)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDecl)> {
+        self.decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u32), d))
+    }
+}
+
+/// Errors from class declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassError {
+    /// A class with this name already exists.
+    Duplicate(Symbol),
+    /// An attribute name appears twice in one declaration.
+    DuplicateAttr {
+        /// The class being declared.
+        class: Symbol,
+        /// The repeated attribute.
+        attr: Symbol,
+    },
+}
+
+impl std::fmt::Display for ClassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassError::Duplicate(s) => write!(f, "duplicate class declaration (sym#{})", s.0),
+            ClassError::DuplicateAttr { class, attr } => write!(
+                f,
+                "duplicate attribute sym#{} in class sym#{}",
+                attr.0, class.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Interner;
+
+    fn setup() -> (Interner, ClassRegistry) {
+        (Interner::new(), ClassRegistry::new())
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let (i, mut reg) = setup();
+        let job = i.intern("job");
+        let id = reg
+            .declare(job, vec![i.intern("id"), i.intern("len")])
+            .unwrap();
+        assert_eq!(reg.id_of(job), Some(id));
+        assert_eq!(reg.decl(id).arity(), 2);
+        assert_eq!(reg.decl(id).slot_of(i.intern("len")), Some(1));
+        assert_eq!(reg.decl(id).slot_of(i.intern("bogus")), None);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let (i, mut reg) = setup();
+        let job = i.intern("job");
+        reg.declare(job, vec![]).unwrap();
+        assert_eq!(reg.declare(job, vec![]), Err(ClassError::Duplicate(job)));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let (i, mut reg) = setup();
+        let job = i.intern("job");
+        let id_attr = i.intern("id");
+        let err = reg.declare(job, vec![id_attr, id_attr]).unwrap_err();
+        assert_eq!(
+            err,
+            ClassError::DuplicateAttr {
+                class: job,
+                attr: id_attr
+            }
+        );
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let (i, mut reg) = setup();
+        for k in 0..10 {
+            let id = reg.declare(i.intern(&format!("c{k}")), vec![]).unwrap();
+            assert_eq!(id.index(), k);
+        }
+        assert_eq!(reg.len(), 10);
+        assert_eq!(reg.iter().count(), 10);
+    }
+}

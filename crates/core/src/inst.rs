@@ -1,0 +1,264 @@
+//! Rule instantiations and the conflict set.
+//!
+//! An [`Instantiation`] is one complete, consistent match of a rule's LHS:
+//! the rule, the WMEs matched by its positive CEs (in positive-CE order),
+//! and the resulting variable bindings. The [`ConflictSet`] is the set of
+//! all current instantiations — in PARULEL it is a first-class object that
+//! meta-rules match over and redact from.
+
+use crate::hash::FxHashMap;
+use crate::ir::RuleId;
+use crate::value::Value;
+use crate::wme::{Wme, WmeId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity of an instantiation: the rule plus the exact WMEs matched.
+/// Two matches of the same rule on the same WMEs are the same
+/// instantiation (bindings are a function of the WMEs). Keys order first
+/// by rule, then lexicographically by WME ids — a deterministic total
+/// order used for reproducible iteration and tie-breaking.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct InstKey {
+    /// The matched rule.
+    pub rule: RuleId,
+    /// Ids of the WMEs matched by the positive CEs, in CE order.
+    pub wmes: Arc<[WmeId]>,
+}
+
+impl fmt::Display for InstKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.rule.0)?;
+        for (i, w) in self.wmes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One complete match of a rule's LHS.
+#[derive(Clone, Debug)]
+pub struct Instantiation {
+    /// The matched rule.
+    pub rule: RuleId,
+    /// The WMEs matched by the positive CEs, in CE order. Full WMEs (not
+    /// just ids) so the fire phase reads fields without a WM lookup.
+    pub wmes: Arc<[Wme]>,
+    /// The binding environment (indexed by `VarId`). Sized to the rule's
+    /// `num_vars`, so RHS `bind` slots are preallocated (NIL until bound).
+    pub env: Arc<[Value]>,
+}
+
+impl Instantiation {
+    /// Builds an instantiation.
+    pub fn new(rule: RuleId, wmes: impl Into<Arc<[Wme]>>, env: impl Into<Arc<[Value]>>) -> Self {
+        Instantiation {
+            rule,
+            wmes: wmes.into(),
+            env: env.into(),
+        }
+    }
+
+    /// The identity key of this instantiation.
+    pub fn key(&self) -> InstKey {
+        InstKey {
+            rule: self.rule,
+            wmes: self.wmes.iter().map(|w| w.id).collect(),
+        }
+    }
+
+    /// Whether this instantiation matched the WME with id `id`.
+    pub fn uses_wme(&self, id: WmeId) -> bool {
+        self.wmes.iter().any(|w| w.id == id)
+    }
+
+    /// Recency vector for LEX ordering: matched WME timestamps, sorted
+    /// descending (most recent first).
+    pub fn recency(&self) -> Vec<u64> {
+        let mut ts: Vec<u64> = self.wmes.iter().map(|w| w.id.time()).collect();
+        ts.sort_unstable_by(|a, b| b.cmp(a));
+        ts
+    }
+
+    /// The most recent matched timestamp (MEA's primary key looks at the
+    /// first CE; classic MEA uses the first CE's timestamp).
+    pub fn first_ce_time(&self) -> u64 {
+        self.wmes.first().map(|w| w.id.time()).unwrap_or(0)
+    }
+}
+
+/// The conflict set: all current instantiations, indexed by identity.
+///
+/// Maintains a by-rule index so meta-rule evaluation can enumerate
+/// candidates for a [`MetaCe`](crate::ir::MetaCe) without scanning
+/// everything.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictSet {
+    by_key: FxHashMap<InstKey, Instantiation>,
+}
+
+impl ConflictSet {
+    /// An empty conflict set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an instantiation. Returns false if it was already present.
+    pub fn insert(&mut self, inst: Instantiation) -> bool {
+        self.by_key.insert(inst.key(), inst).is_none()
+    }
+
+    /// Removes by key. Returns the instantiation if it was present.
+    pub fn remove(&mut self, key: &InstKey) -> Option<Instantiation> {
+        self.by_key.remove(key)
+    }
+
+    /// True iff the key is present.
+    pub fn contains(&self, key: &InstKey) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// Looks up by key.
+    pub fn get(&self, key: &InstKey) -> Option<&Instantiation> {
+        self.by_key.get(key)
+    }
+
+    /// Number of instantiations.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Iterates instantiations in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instantiation> {
+        self.by_key.values()
+    }
+
+    /// Removes every instantiation that matched `id` (retraction support:
+    /// when a WME dies, so do all matches that used it). Returns how many
+    /// were removed.
+    pub fn retract_wme(&mut self, id: WmeId) -> usize {
+        let before = self.by_key.len();
+        self.by_key.retain(|_, inst| !inst.uses_wme(id));
+        before - self.by_key.len()
+    }
+
+    /// A deterministic, sorted snapshot of the instantiations (by key).
+    pub fn sorted(&self) -> Vec<Instantiation> {
+        let mut v: Vec<Instantiation> = self.by_key.values().cloned().collect();
+        v.sort_by_key(|inst| inst.key());
+        v
+    }
+
+    /// Sorted keys only (cheaper than [`ConflictSet::sorted`] when the
+    /// caller just needs identities).
+    pub fn sorted_keys(&self) -> Vec<InstKey> {
+        let mut v: Vec<InstKey> = self.by_key.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<Instantiation> for ConflictSet {
+    fn from_iter<T: IntoIterator<Item = Instantiation>>(iter: T) -> Self {
+        let mut cs = ConflictSet::new();
+        for i in iter {
+            cs.insert(i);
+        }
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassId;
+
+    fn inst(rule: u32, wme_ids: &[u64]) -> Instantiation {
+        let wmes: Vec<Wme> = wme_ids
+            .iter()
+            .map(|&id| Wme::new(WmeId(id), ClassId(0), vec![Value::Int(id as i64)]))
+            .collect();
+        Instantiation::new(RuleId(rule), wmes, vec![])
+    }
+
+    #[test]
+    fn key_identity() {
+        let a = inst(1, &[10, 20]);
+        let b = inst(1, &[10, 20]);
+        let c = inst(1, &[20, 10]); // different CE assignment = different match
+        let d = inst(2, &[10, 20]);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_ne!(a.key(), d.key());
+    }
+
+    #[test]
+    fn key_ordering_is_rule_then_wmes() {
+        let mut keys = [
+            inst(2, &[1]).key(),
+            inst(1, &[9]).key(),
+            inst(1, &[2, 3]).key(),
+            inst(1, &[2, 1]).key(),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], inst(1, &[2, 1]).key());
+        assert_eq!(keys[1], inst(1, &[2, 3]).key());
+        assert_eq!(keys[2], inst(1, &[9]).key());
+        assert_eq!(keys[3], inst(2, &[1]).key());
+    }
+
+    #[test]
+    fn conflict_set_insert_remove() {
+        let mut cs = ConflictSet::new();
+        assert!(cs.insert(inst(1, &[1])));
+        assert!(!cs.insert(inst(1, &[1]))); // duplicate
+        assert!(cs.insert(inst(1, &[2])));
+        assert_eq!(cs.len(), 2);
+        let k = inst(1, &[1]).key();
+        assert!(cs.contains(&k));
+        assert!(cs.remove(&k).is_some());
+        assert!(cs.remove(&k).is_none());
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn retract_wme_removes_all_users() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(1, &[1, 2]));
+        cs.insert(inst(1, &[2, 3]));
+        cs.insert(inst(2, &[3]));
+        assert_eq!(cs.retract_wme(WmeId(2)), 2);
+        assert_eq!(cs.len(), 1);
+        assert!(cs.contains(&inst(2, &[3]).key()));
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut cs = ConflictSet::new();
+        for ids in [[5u64, 1], [3, 2], [1, 9]] {
+            cs.insert(inst(1, &ids));
+        }
+        let keys: Vec<InstKey> = cs.sorted().iter().map(|i| i.key()).collect();
+        assert_eq!(keys, cs.sorted_keys());
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn recency_and_first_ce() {
+        let i = inst(1, &[5, 9, 2]);
+        assert_eq!(i.recency(), vec![9, 5, 2]);
+        assert_eq!(i.first_ce_time(), 5);
+        assert!(i.uses_wme(WmeId(9)));
+        assert!(!i.uses_wme(WmeId(7)));
+    }
+}

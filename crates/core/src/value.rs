@@ -1,0 +1,350 @@
+//! The dynamic value type stored in working-memory fields.
+//!
+//! OPS5-family languages are dynamically typed: a WME field holds a
+//! symbolic atom, an integer, or a float. [`Value`] is 16 bytes, `Copy`,
+//! and implements a *total* `Eq`/`Ord`/`Hash` (floats compared by
+//! `total_cmp`) so values can key hash joins and be sorted for
+//! deterministic output. Numeric predicate tests (`<`, `>=`, …) use
+//! [`Value::num_cmp`], which compares ints and floats numerically across
+//! types, matching OPS5 semantics.
+
+use crate::symbol::{Interner, Symbol};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A working-memory field value.
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// An interned symbolic atom (includes `nil`).
+    Sym(Symbol),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+}
+
+impl Value {
+    /// The `nil` placeholder value.
+    pub const NIL: Value = Value::Sym(Symbol::NIL);
+
+    /// True iff this is the `nil` symbol.
+    #[inline]
+    pub fn is_nil(self) -> bool {
+        matches!(self, Value::Sym(Symbol::NIL))
+    }
+
+    /// Numeric comparison across `Int`/`Float`. Returns `None` when either
+    /// side is a symbol (symbols admit only equality tests) or when a float
+    /// comparison involves NaN. Int/Float comparison is *exact* (no
+    /// precision loss casting huge ints to f64), keeping it consistent
+    /// with [`Value::join_key`] hashing.
+    #[inline]
+    pub fn num_cmp(self, other: Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(&b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(&b),
+            (Value::Int(a), Value::Float(b)) => cmp_int_float(a, b),
+            (Value::Float(a), Value::Int(b)) => cmp_int_float(b, a).map(Ordering::reverse),
+            _ => None,
+        }
+    }
+
+    /// Canonicalizes the value for use as a hash-join key: a float that is
+    /// numerically equal to an `i64` becomes that `Int`, so any two values
+    /// that [`Value::matches_eq`] calls equal hash to the same bucket.
+    /// (Join buckets are always re-checked with the real predicate, so
+    /// false *positives* — e.g. all NaNs sharing a bucket — are harmless;
+    /// this only has to prevent false negatives.)
+    #[inline]
+    pub fn join_key(self) -> Value {
+        match self {
+            Value::Float(f) if f == f.trunc() && f >= -(2f64.powi(63)) && f < 2f64.powi(63) => {
+                Value::Int(f as i64)
+            }
+            other => other,
+        }
+    }
+
+    /// Equality as the match network sees it: symbols by identity, numbers
+    /// numerically (so `Int(2)` matches `Float(2.0)`).
+    #[inline]
+    pub fn matches_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            _ => self.num_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// Renders the value using `interner` for symbols.
+    pub fn display(self, interner: &Interner) -> String {
+        match self {
+            Value::Sym(s) => interner.resolve(s).to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f:?}"),
+        }
+    }
+
+    /// Discriminant rank used by the total order: Sym < Int < Float.
+    #[inline]
+    fn rank(self) -> u8 {
+        match self {
+            Value::Sym(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+        }
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64` (no lossy int→float
+/// cast): the float is split into integral part and fractional remainder.
+#[inline]
+fn cmp_int_float(a: i64, b: f64) -> Option<Ordering> {
+    if b.is_nan() {
+        return None;
+    }
+    // 2^63 and above exceeds every i64; below -2^63 is under every i64.
+    if b >= 9.223_372_036_854_776e18 {
+        return Some(Ordering::Less);
+    }
+    if b < -9.223_372_036_854_776e18 {
+        return Some(Ordering::Greater);
+    }
+    let floor = b.floor();
+    let fi = floor as i64; // exact: integral and in range
+    Some(match a.cmp(&fi) {
+        // a == floor(b): a < b iff b has a fractional part.
+        Ordering::Equal => {
+            if b > floor {
+                Ordering::Less
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    })
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Sym(s) => {
+                state.write_u8(0);
+                s.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// A total order used only for deterministic sorting of output rows and
+    /// canonicalization — *not* for predicate tests (see [`Value::num_cmp`]).
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => write!(f, "sym#{}", s.0),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashSet;
+
+    #[test]
+    fn nil_detection() {
+        assert!(Value::NIL.is_nil());
+        assert!(!Value::Int(0).is_nil());
+        assert!(!Value::Sym(Symbol(1)).is_nil());
+    }
+
+    #[test]
+    fn num_cmp_cross_type() {
+        assert_eq!(
+            Value::Int(2).num_cmp(Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).num_cmp(Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(3).num_cmp(Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Sym(Symbol(1)).num_cmp(Value::Int(2)), None);
+        assert_eq!(Value::Float(f64::NAN).num_cmp(Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn matches_eq_semantics() {
+        assert!(Value::Int(2).matches_eq(Value::Float(2.0)));
+        assert!(!Value::Int(2).matches_eq(Value::Int(3)));
+        assert!(Value::Sym(Symbol(4)).matches_eq(Value::Sym(Symbol(4))));
+        assert!(!Value::Sym(Symbol(4)).matches_eq(Value::Sym(Symbol(5))));
+        // A symbol never numerically equals a number.
+        assert!(!Value::Sym(Symbol(4)).matches_eq(Value::Int(4)));
+    }
+
+    #[test]
+    fn strict_eq_is_bitwise_for_floats() {
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        // But Int(2) != Float(2.0) under strict Eq (hash-key identity).
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let mut set = FxHashSet::default();
+        set.insert(Value::Float(f64::NAN));
+        assert!(set.contains(&Value::Float(f64::NAN)));
+        set.insert(Value::Int(7));
+        set.insert(Value::Int(7));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn total_order_is_total_and_antisymmetric() {
+        let vals = [
+            Value::Sym(Symbol(0)),
+            Value::Sym(Symbol(9)),
+            Value::Int(-1),
+            Value::Int(5),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let ab = a.cmp(&b);
+                let ba = b.cmp(&a);
+                assert_eq!(ab, ba.reverse());
+                if ab == Ordering::Equal {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_comparison_is_exact_at_scale() {
+        // 2^53 + 1 is not representable in f64; a lossy cast would call
+        // these equal.
+        let big = (1i64 << 53) + 1;
+        assert_eq!(
+            Value::Int(big).num_cmp(Value::Float((1i64 << 53) as f64)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(i64::MAX).num_cmp(Value::Float(9.3e18)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).num_cmp(Value::Float(-9.3e18)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).num_cmp(Value::Float(-(2f64.powi(63)))),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(3).num_cmp(Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(-3).num_cmp(Value::Float(-3.5)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn join_key_unifies_matching_numbers() {
+        // Everything matches_eq-equal must share a join key.
+        let pairs = [
+            (Value::Int(2), Value::Float(2.0)),
+            (Value::Float(-0.0), Value::Float(0.0)),
+            (Value::Int(0), Value::Float(-0.0)),
+            (Value::Int(-7), Value::Float(-7.0)),
+        ];
+        for (a, b) in pairs {
+            assert!(a.matches_eq(b), "{a:?} vs {b:?}");
+            assert_eq!(a.join_key(), b.join_key(), "{a:?} vs {b:?}");
+        }
+        // Non-integral floats keep their identity.
+        assert_eq!(Value::Float(0.5).join_key(), Value::Float(0.5));
+        // Out-of-range floats stay floats (and don't match any i64 anyway).
+        assert_eq!(Value::Float(1e300).join_key(), Value::Float(1e300));
+        assert_eq!(Value::Sym(Symbol(3)).join_key(), Value::Sym(Symbol(3)));
+    }
+
+    #[test]
+    fn display_with_interner() {
+        let i = Interner::new();
+        let s = i.intern("hello");
+        assert_eq!(Value::Sym(s).display(&i), "hello");
+        assert_eq!(Value::Int(42).display(&i), "42");
+        assert_eq!(Value::Float(1.5).display(&i), "1.5");
+    }
+}

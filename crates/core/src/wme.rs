@@ -1,0 +1,82 @@
+//! Working-memory elements.
+
+use crate::classes::ClassId;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity (and creation timestamp) of a WME. Ids increase monotonically
+/// as elements are asserted, so comparing ids compares recency — which is
+/// what the LEX/MEA baseline strategies order on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WmeId(pub u64);
+
+impl WmeId {
+    /// Raw timestamp.
+    #[inline]
+    pub fn time(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WmeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A working-memory element: a typed tuple.
+///
+/// Fields are stored in an `Arc<[Value]>` so that instantiations, RETE
+/// tokens, and parallel fire workers can share a WME without copying its
+/// payload; cloning a `Wme` is two word copies plus a refcount bump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Wme {
+    /// Identity / creation timestamp.
+    pub id: WmeId,
+    /// Class (shape) of this element.
+    pub class: ClassId,
+    /// Field values, in the class's declared attribute order.
+    pub fields: Arc<[Value]>,
+}
+
+impl Wme {
+    /// Builds a WME. The field count must match the class arity; the
+    /// working memory enforces this on insert.
+    pub fn new(id: WmeId, class: ClassId, fields: impl Into<Arc<[Value]>>) -> Self {
+        Wme {
+            id,
+            class,
+            fields: fields.into(),
+        }
+    }
+
+    /// Field at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range for this WME's class.
+    #[inline]
+    pub fn field(&self, slot: usize) -> Value {
+        self.fields[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wme_ids_order_by_recency() {
+        assert!(WmeId(1) < WmeId(2));
+        assert_eq!(WmeId(7).time(), 7);
+        assert_eq!(WmeId(3).to_string(), "w3");
+    }
+
+    #[test]
+    fn cloning_shares_fields() {
+        let w = Wme::new(WmeId(1), ClassId(0), vec![Value::Int(1), Value::Int(2)]);
+        let w2 = w.clone();
+        assert!(Arc::ptr_eq(&w.fields, &w2.fields));
+        assert_eq!(w2.field(1), Value::Int(2));
+    }
+}

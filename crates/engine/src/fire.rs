@@ -1,0 +1,247 @@
+//! RHS evaluation: turning a surviving instantiation into a [`Delta`]
+//! fragment, and merging fragments deterministically.
+//!
+//! PARULEL fires a whole *set* of instantiations per cycle. Each RHS is
+//! evaluated against a snapshot (the WMEs the instantiation matched and
+//! its bindings — no live WM access), producing an isolated
+//! [`FireResult`]; evaluation is therefore embarrassingly parallel. The
+//! fragments are then concatenated in instantiation-key order and
+//! normalized, so the merged delta — including the ids assigned to new
+//! WMEs — is identical no matter how many threads evaluated it.
+
+use parulel_core::expr::EvalError;
+use parulel_core::{Action, Delta, Instantiation, Interner, Program, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors that abort a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// An RHS expression failed to evaluate (arithmetic on a symbol,
+    /// division by zero).
+    RhsEval {
+        /// The rule whose RHS failed.
+        rule: String,
+        /// The underlying evaluation error.
+        error: EvalError,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RhsEval { rule, error } => {
+                write!(f, "RHS of rule '{rule}' failed to evaluate: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The isolated effect of firing one instantiation.
+#[derive(Clone, Debug, Default)]
+pub struct FireResult {
+    /// The delta fragment (removes reference matched WME ids; adds carry
+    /// evaluated field tuples).
+    pub delta: Delta,
+    /// Rendered `write` output lines.
+    pub log: Vec<String>,
+    /// The RHS executed a `halt`.
+    pub halt: bool,
+}
+
+/// Evaluates the RHS of `inst` (a match of `program`'s rule `inst.rule`).
+///
+/// `modify` decomposes into remove-then-make: the new tuple starts from
+/// the *matched* WME's fields (the cycle-start snapshot) with the listed
+/// slots replaced. Two instantiations modifying the same WME therefore
+/// both retract it (idempotent) and each assert their own version — the
+/// interference PARULEL expects meta-rules (or the guard) to prevent.
+pub fn fire(
+    program: &Program,
+    inst: &Instantiation,
+    collect_log: bool,
+) -> Result<FireResult, EngineError> {
+    let rule = program.rule(inst.rule);
+    let mut env: Vec<Value> = inst.env.to_vec();
+    let fail = |error: EvalError| EngineError::RhsEval {
+        rule: program.rule_name(inst.rule),
+        error,
+    };
+    for (var, expr) in &rule.binds {
+        env[var.index()] = expr.eval(&env).map_err(fail)?;
+    }
+    let mut out = FireResult::default();
+    for action in &rule.actions {
+        match action {
+            Action::Make { class, fields } => {
+                let vals: Result<Vec<Value>, EvalError> =
+                    fields.iter().map(|e| e.eval(&env)).collect();
+                out.delta
+                    .adds
+                    .push((*class, Arc::from(vals.map_err(fail)?)));
+            }
+            Action::Remove { ce } => {
+                out.delta.removes.push(inst.wmes[*ce as usize].id);
+            }
+            Action::Modify { ce, sets } => {
+                let wme = &inst.wmes[*ce as usize];
+                out.delta.removes.push(wme.id);
+                let mut fields: Vec<Value> = wme.fields.to_vec();
+                for (slot, expr) in sets {
+                    fields[*slot as usize] = expr.eval(&env).map_err(fail)?;
+                }
+                out.delta.adds.push((wme.class, Arc::from(fields)));
+            }
+            Action::Write(exprs) => {
+                if collect_log {
+                    out.log.push(render_write(&program.interner, exprs, &env)?);
+                }
+            }
+            Action::Halt => out.halt = true,
+        }
+    }
+    Ok(out)
+}
+
+fn render_write(
+    interner: &Interner,
+    exprs: &[parulel_core::Expr],
+    env: &[Value],
+) -> Result<String, EngineError> {
+    let mut parts = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = e.eval(env).map_err(|error| EngineError::RhsEval {
+            rule: String::from("<write>"),
+            error,
+        })?;
+        parts.push(v.display(interner));
+    }
+    Ok(parts.join(" "))
+}
+
+/// Merges per-instantiation results (already in deterministic order) into
+/// one normalized cycle delta plus the combined log/halt flag.
+pub fn merge(results: Vec<FireResult>) -> (Delta, Vec<String>, bool) {
+    let mut delta = Delta::new();
+    let mut log = Vec::new();
+    let mut halt = false;
+    for r in results {
+        delta.merge(r.delta);
+        log.extend(r.log);
+        halt |= r.halt;
+    }
+    delta.normalize();
+    (delta, log, halt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parulel_core::{Value, WorkingMemory};
+    use parulel_lang::compile;
+    use parulel_match::{Matcher, Rete};
+
+    fn one_inst(
+        src: &str,
+        setup: impl FnOnce(&Program, &mut WorkingMemory),
+    ) -> (Program, Instantiation) {
+        let p = compile(src).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        setup(&p, &mut wm);
+        let mut m = Rete::new(Arc::new(p.clone()));
+        m.seed(&wm);
+        let cs = m.conflict_set().sorted();
+        assert_eq!(cs.len(), 1, "expected exactly one instantiation");
+        (p, cs[0].clone())
+    }
+
+    #[test]
+    fn make_remove_modify_bind_write_halt() {
+        let (p, inst) = one_inst(
+            "(literalize n v)
+             (literalize out v)
+             (p r (n ^v <x>)
+              -->
+              (bind <y> (* <x> 10))
+              (make out ^v <y>)
+              (modify 1 ^v (+ <x> 1))
+              (write result <y>)
+              (halt))",
+            |p, wm| {
+                let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+                wm.insert(n, vec![Value::Int(4)]);
+            },
+        );
+        let r = fire(&p, &inst, true).unwrap();
+        assert!(r.halt);
+        assert_eq!(r.log, vec!["result 40"]);
+        // modify = remove + make; plus the explicit make
+        assert_eq!(r.delta.removes.len(), 1);
+        assert_eq!(r.delta.adds.len(), 2);
+        let out_add = &r.delta.adds[0];
+        assert_eq!(out_add.1[0], Value::Int(40));
+        let modified = &r.delta.adds[1];
+        assert_eq!(modified.1[0], Value::Int(5));
+    }
+
+    #[test]
+    fn rhs_eval_error_is_reported_with_rule_name() {
+        let (p, inst) = one_inst(
+            "(literalize n v)
+             (p crash (n ^v <x>) --> (make n ^v (// <x> 0)))",
+            |p, wm| {
+                let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+                wm.insert(n, vec![Value::Int(1)]);
+            },
+        );
+        let err = fire(&p, &inst, false).unwrap_err();
+        match err {
+            EngineError::RhsEval { rule, error } => {
+                assert_eq!(rule, "crash");
+                assert_eq!(error, EvalError::DivideByZero);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_dedupes_removes_and_keeps_add_order() {
+        let mut a = FireResult::default();
+        a.delta.removes.push(parulel_core::WmeId(5));
+        a.delta
+            .adds
+            .push((parulel_core::ClassId(0), Arc::from(vec![Value::Int(1)])));
+        a.log.push("a".into());
+        let mut b = FireResult::default();
+        b.delta.removes.push(parulel_core::WmeId(5));
+        b.delta
+            .adds
+            .push((parulel_core::ClassId(0), Arc::from(vec![Value::Int(2)])));
+        b.halt = true;
+        let (delta, log, halt) = merge(vec![a, b]);
+        assert_eq!(delta.removes.len(), 1);
+        assert_eq!(delta.adds.len(), 2);
+        assert_eq!(delta.adds[0].1[0], Value::Int(1));
+        assert_eq!(delta.adds[1].1[0], Value::Int(2));
+        assert_eq!(log, vec!["a"]);
+        assert!(halt);
+    }
+
+    #[test]
+    fn write_renders_symbols_via_interner() {
+        let (p, inst) = one_inst(
+            "(literalize n v)
+             (p r (n ^v <x>) --> (write the answer is <x>))",
+            |p, wm| {
+                let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+                wm.insert(n, vec![Value::Int(42)]);
+            },
+        );
+        let r = fire(&p, &inst, true).unwrap();
+        assert_eq!(r.log, vec!["the answer is 42"]);
+        // log collection off ⇒ no allocation
+        let r = fire(&p, &inst, false).unwrap();
+        assert!(r.log.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! # parulel-engine
+//!
+//! Execution engines for the PARULEL reproduction.
+//!
+//! ## The PARULEL cycle ([`ParallelEngine`])
+//!
+//! Classic OPS5 runs *match → resolve → act*: compute the conflict set,
+//! select **one** instantiation with a hard-wired strategy (LEX/MEA), fire
+//! it, repeat. PARULEL's contribution is the *match → redact → fire-all*
+//! cycle:
+//!
+//! 1. **Match** — an incremental matcher (`parulel-match`) maintains the
+//!    conflict set; refraction removes already-fired instantiations.
+//! 2. **Redact** — [`meta`]: the program's *meta-rules* run to fixpoint
+//!    over the conflict set, deleting ("redacting") instantiations that
+//!    must not fire together. Conflict resolution becomes programmable,
+//!    application-level knowledge.
+//! 3. **Fire all** — every surviving instantiation fires *in the same
+//!    cycle*: RHS actions are evaluated in parallel (rayon) into
+//!    per-instantiation deltas, merged in deterministic key order, and
+//!    applied to working memory atomically.
+//!
+//! An optional [`interference`] guard checks the surviving set for
+//! write-write (and optionally read-write) overlaps and auto-redacts,
+//! reporting what a correct meta-rule set should have prevented.
+//!
+//! ## The OPS5 baseline ([`SerialEngine`])
+//!
+//! The same matchers driven one-firing-per-cycle under LEX or MEA —
+//! the baseline every speedup table compares against.
+//!
+//! ## Copy-and-constrain ([`ccc`])
+//!
+//! The PARULEL-era program transform for match parallelism: split a hot
+//! rule into `k` copies, each constrained by a hash-residue test on a
+//! binding field, so a partitioned matcher spreads its join work across
+//! `k` workers.
+
+#![warn(missing_docs)]
+
+pub mod ccc;
+pub mod fire;
+pub mod interference;
+pub mod meta;
+pub mod parallel;
+pub mod refraction;
+pub mod serial;
+pub mod stats;
+
+pub use ccc::copy_and_constrain;
+pub use fire::{EngineError, FireResult};
+pub use interference::GuardMode;
+pub use parallel::ParallelEngine;
+pub use serial::{SerialEngine, Strategy};
+pub use stats::{CycleStats, CycleTrace, Outcome, RunStats};
+
+use parulel_core::Program;
+use parulel_match::{Matcher, NaiveMatcher, Partitioned, Rete, Treat};
+use std::sync::Arc;
+
+/// Which match engine a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MatcherKind {
+    /// Recompute-from-scratch oracle.
+    Naive,
+    /// Incremental RETE (the default).
+    #[default]
+    Rete,
+    /// TREAT (alpha memories only).
+    Treat,
+    /// Rule-partitioned parallel RETE with this many workers.
+    PartitionedRete(usize),
+    /// Rule-partitioned parallel TREAT with this many workers.
+    PartitionedTreat(usize),
+}
+
+impl MatcherKind {
+    /// Instantiates the matcher.
+    pub fn build(self, program: Arc<Program>) -> Box<dyn Matcher> {
+        match self {
+            MatcherKind::Naive => Box::new(NaiveMatcher::new(program)),
+            MatcherKind::Rete => Box::new(Rete::new(program)),
+            MatcherKind::Treat => Box::new(Treat::new(program)),
+            MatcherKind::PartitionedRete(n) => Box::new(Partitioned::rete(program, n)),
+            MatcherKind::PartitionedTreat(n) => Box::new(Partitioned::treat(program, n)),
+        }
+    }
+}
+
+/// Run-time options shared by both engines.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Match engine selection.
+    pub matcher: MatcherKind,
+    /// Interference guard mode (parallel engine only).
+    pub guard: GuardMode,
+    /// Evaluate RHSs of a cycle's surviving instantiations in parallel.
+    pub parallel_fire: bool,
+    /// Stop (with `hit_cycle_limit`) after this many cycles; a safety net
+    /// for non-terminating programs.
+    pub max_cycles: u64,
+    /// Keep `write` action output in the run log.
+    pub collect_log: bool,
+    /// Record a [`CycleTrace`] per cycle (costs a name resolution per
+    /// fired rule; off by default).
+    pub trace: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            matcher: MatcherKind::Rete,
+            guard: GuardMode::Off,
+            parallel_fire: true,
+            max_cycles: 1_000_000,
+            collect_log: true,
+            trace: false,
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The PARULEL execution engine: match → redact → fire-all.
+
+use crate::fire::{self, EngineError, FireResult};
+use crate::interference;
+use crate::meta;
+use crate::refraction::Refraction;
+use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
+use crate::EngineOptions;
+use parulel_core::{Program, WorkingMemory};
+use parulel_match::Matcher;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The set-oriented parallel engine.
+///
+/// Every cycle: take the eligible (unrefracted) conflict set, run the
+/// program's meta-rules to redact conflicting instantiations, optionally
+/// apply the interference guard, evaluate every survivor's RHS in
+/// parallel, merge the deltas deterministically, and commit the batch to
+/// working memory and the incremental matcher.
+///
+/// Termination: the run ends when the eligible set is empty (quiescence),
+/// when everything eligible is redacted (a meta-level deadlock — firing
+/// nothing would loop forever, so it counts as quiescence), when a `halt`
+/// fires, or at the cycle limit.
+pub struct ParallelEngine {
+    program: Arc<Program>,
+    wm: WorkingMemory,
+    matcher: Box<dyn Matcher>,
+    refraction: Refraction,
+    opts: EngineOptions,
+    stats: RunStats,
+    log: Vec<String>,
+    traces: Vec<CycleTrace>,
+    halted: bool,
+}
+
+impl ParallelEngine {
+    /// Builds an engine over `program` with `wm` as the initial working
+    /// memory; the matcher is seeded immediately.
+    pub fn new(program: &Program, wm: WorkingMemory, opts: EngineOptions) -> Self {
+        let program = Arc::new(program.clone());
+        let mut matcher = opts.matcher.build(program.clone());
+        matcher.seed(&wm);
+        ParallelEngine {
+            program,
+            wm,
+            matcher,
+            refraction: Refraction::new(),
+            opts,
+            stats: RunStats::default(),
+            log: Vec::new(),
+            traces: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// The current working memory.
+    pub fn wm(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// Consumes the engine, yielding the final working memory.
+    pub fn into_wm(self) -> WorkingMemory {
+        self.wm
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Collected `write` output.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Per-cycle traces (empty unless `EngineOptions::trace` was set).
+    pub fn traces(&self) -> &[CycleTrace] {
+        &self.traces
+    }
+
+    /// The compiled program this engine runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// True once a `halt` action has fired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Injects external working-memory changes between cycles (a live
+    /// feed, an embedding application's transaction). The delta is applied
+    /// to working memory and pushed through the incremental matcher; the
+    /// next [`step`](Self::step) sees the updated conflict set. Returns
+    /// the concrete WMEs removed and added.
+    pub fn inject(
+        &mut self,
+        delta: &parulel_core::Delta,
+    ) -> (Vec<parulel_core::Wme>, Vec<parulel_core::Wme>) {
+        let (removed, added) = self.wm.apply(delta);
+        self.matcher.apply(&removed, &added);
+        self.refraction.prune(self.matcher.conflict_set());
+        (removed, added)
+    }
+
+    /// Executes one cycle. Returns `Ok(true)` if at least one
+    /// instantiation fired, `Ok(false)` on quiescence.
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        let mut cycle = CycleStats::default();
+
+        let t = Instant::now();
+        let cs = self.matcher.conflict_set();
+        cycle.conflict_set = cs.len();
+        let eligible = self.refraction.eligible(cs);
+        cycle.eligible = eligible.len();
+        cycle.match_time = t.elapsed();
+        if eligible.is_empty() {
+            return Ok(false);
+        }
+
+        let t = Instant::now();
+        let redact_out = meta::redact(&self.program, eligible);
+        cycle.redacted_meta = redact_out.redacted;
+        cycle.meta_rounds = redact_out.rounds;
+        let guard_out = interference::guard(&self.program, redact_out.surviving, self.opts.guard);
+        cycle.redacted_guard = guard_out.redacted;
+        let surviving = guard_out.surviving;
+        cycle.redact_time = t.elapsed();
+        if surviving.is_empty() {
+            // Everything eligible was redacted: firing nothing would
+            // repeat forever, so treat as quiescence.
+            self.stats.absorb(&cycle);
+            return Ok(false);
+        }
+
+        let t = Instant::now();
+        let program = &self.program;
+        let collect_log = self.opts.collect_log;
+        let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
+            surviving
+                .par_iter()
+                .map(|inst| fire::fire(program, inst, collect_log))
+                .collect()
+        } else {
+            surviving
+                .iter()
+                .map(|inst| fire::fire(program, inst, collect_log))
+                .collect()
+        };
+        let (delta, log, halt) = fire::merge(results?);
+        cycle.fired = surviving.len();
+        cycle.adds = delta.adds.len();
+        cycle.removes = delta.removes.len();
+        self.refraction.record(surviving.iter());
+        cycle.fire_time = t.elapsed();
+
+        // Attribute the incremental network update to match time (it
+        // *is* matching); apply time covers WM mutation and refraction
+        // upkeep only.
+        let t = Instant::now();
+        let (removed, added) = self.wm.apply(&delta);
+        cycle.apply_time = t.elapsed();
+        let t = Instant::now();
+        self.matcher.apply(&removed, &added);
+        cycle.match_time += t.elapsed();
+        let t = Instant::now();
+        self.refraction.prune(self.matcher.conflict_set());
+        cycle.apply_time += t.elapsed();
+
+        self.log.extend(log);
+        self.halted |= halt;
+        if self.opts.trace {
+            let mut by_rule: parulel_core::FxHashMap<parulel_core::RuleId, usize> =
+                parulel_core::FxHashMap::default();
+            for inst in &surviving {
+                *by_rule.entry(inst.rule).or_default() += 1;
+            }
+            let mut fired_rules: Vec<(String, usize)> = by_rule
+                .into_iter()
+                .map(|(r, n)| (self.program.rule_name(r), n))
+                .collect();
+            fired_rules.sort();
+            self.traces.push(CycleTrace {
+                cycle: self.stats.cycles + 1,
+                eligible: cycle.eligible,
+                redacted_meta: cycle.redacted_meta,
+                redacted_guard: cycle.redacted_guard,
+                fired_rules,
+                adds: cycle.adds,
+                removes: cycle.removes,
+            });
+        }
+        self.stats.absorb(&cycle);
+        Ok(true)
+    }
+
+    /// Runs to quiescence, halt, or the cycle limit.
+    pub fn run(&mut self) -> Result<Outcome, EngineError> {
+        let start = Instant::now();
+        let mut quiescent = false;
+        let mut hit_cycle_limit = false;
+        let first_cycle = self.stats.cycles;
+        let first_firings = self.stats.firings;
+        loop {
+            if self.halted {
+                break;
+            }
+            if self.stats.cycles - first_cycle >= self.opts.max_cycles {
+                hit_cycle_limit = true;
+                break;
+            }
+            if !self.step()? {
+                quiescent = true;
+                break;
+            }
+        }
+        // Per-call numbers: a caller that injects facts and runs again
+        // gets this continuation's cycles, not the lifetime total (which
+        // lives in `stats`).
+        Ok(Outcome {
+            cycles: self.stats.cycles - first_cycle,
+            firings: self.stats.firings - first_firings,
+            halted: self.halted,
+            quiescent,
+            hit_cycle_limit,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatcherKind;
+    use parulel_core::Value;
+    use parulel_lang::compile;
+
+    fn engine(src: &str, facts: &[(&str, Vec<Value>)], opts: EngineOptions) -> ParallelEngine {
+        let p = compile(src).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        for (class, fields) in facts {
+            let cid = p.classes.id_of(p.interner.intern(class)).unwrap();
+            wm.insert(cid, fields.clone());
+        }
+        ParallelEngine::new(&p, wm, opts)
+    }
+
+    #[test]
+    fn counter_runs_to_quiescence() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 5)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        assert!(out.quiescent);
+        assert!(!out.halted);
+        assert_eq!(out.cycles, 5);
+        assert_eq!(out.firings, 5);
+        let final_n = e.wm().iter().next().unwrap().field(0);
+        assert_eq!(final_n, Value::Int(5));
+    }
+
+    #[test]
+    fn set_oriented_firing_runs_all_instantiations_in_one_cycle() {
+        let mut e = engine(
+            "(literalize cell id v)
+             (p bump (cell ^id <i> ^v 0) --> (modify 1 ^v 1))",
+            &[
+                ("cell", vec![Value::Int(1), Value::Int(0)]),
+                ("cell", vec![Value::Int(2), Value::Int(0)]),
+                ("cell", vec![Value::Int(3), Value::Int(0)]),
+                ("cell", vec![Value::Int(4), Value::Int(0)]),
+            ],
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        assert_eq!(out.cycles, 1, "all four fire simultaneously");
+        assert_eq!(out.firings, 4);
+        assert!(e.wm().iter().all(|w| w.field(1) == Value::Int(1)));
+    }
+
+    #[test]
+    fn meta_redaction_serializes_conflicting_work() {
+        // Two jobs want the one machine; the meta-rule keeps the shorter.
+        let src = "
+            (literalize job id len done)
+            (literalize machine busy)
+            (p run (job ^id <j> ^len <l> ^done no) (machine ^busy no)
+             --> (modify 1 ^done yes))
+            (mp shortest-first
+              (inst run (job ^len <l1>) _)
+              (inst run (job ^len <l2>) _)
+              (test (> <l1> <l2>))
+             --> (redact 1))";
+        let p = compile(src).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let i = &p.interner;
+        let job = p.classes.id_of(i.intern("job")).unwrap();
+        let machine = p.classes.id_of(i.intern("machine")).unwrap();
+        let (no, yes) = (i.intern("no"), i.intern("yes"));
+        wm.insert(job, vec![Value::Int(1), Value::Int(9), Value::Sym(no)]);
+        wm.insert(job, vec![Value::Int(2), Value::Int(3), Value::Sym(no)]);
+        wm.insert(machine, vec![Value::Sym(no)]);
+        let mut e = ParallelEngine::new(&p, wm, EngineOptions::default());
+        let out = e.run().unwrap();
+        // Cycle 1: both jobs eligible, meta keeps job 2 only. Cycle 2:
+        // job 1 (no longer redacted — job 2 is done) fires.
+        assert_eq!(out.cycles, 2);
+        assert_eq!(out.firings, 2);
+        assert_eq!(e.stats().redacted_meta, 1);
+        assert!(e
+            .wm()
+            .iter_class(job)
+            .all(|w| w.field(2) == Value::Sym(yes)));
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) --> (modify 1 ^n (+ <n> 1)))
+             (p stop (count ^n 3) --> (halt))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        assert!(out.halted);
+        assert!(!out.quiescent);
+        // count reaches 3, `stop` fires (with `step` also firing that
+        // cycle), run ends after that cycle: n == 4.
+        let n = e.wm().iter().next().unwrap().field(0);
+        assert_eq!(n, Value::Int(4));
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaways() {
+        let mut e = engine(
+            "(literalize count n)
+             (p grow (count ^n <n>) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions {
+                max_cycles: 10,
+                ..Default::default()
+            },
+        );
+        let out = e.run().unwrap();
+        assert!(out.hit_cycle_limit);
+        assert_eq!(out.cycles, 10);
+    }
+
+    #[test]
+    fn refraction_prevents_refiring_pure_makes() {
+        let mut e = engine(
+            "(literalize seed v)
+             (literalize derived v)
+             (p derive (seed ^v <x>) --> (make derived ^v <x>))",
+            &[("seed", vec![Value::Int(1)]), ("seed", vec![Value::Int(2)])],
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        assert_eq!(out.cycles, 1);
+        assert_eq!(out.firings, 2);
+        assert_eq!(e.wm().len(), 4); // 2 seeds + 2 derived, no runaway
+    }
+
+    #[test]
+    fn write_log_collected_in_key_order() {
+        let mut e = engine(
+            "(literalize n v)
+             (p say (n ^v <x>) --> (write saw <x>) (remove 1))",
+            &[("n", vec![Value::Int(10)]), ("n", vec![Value::Int(20)])],
+            EngineOptions::default(),
+        );
+        e.run().unwrap();
+        assert_eq!(e.log(), &["saw 10".to_string(), "saw 20".to_string()]);
+    }
+
+    #[test]
+    fn inject_feeds_the_running_engine() {
+        let mut e = engine(
+            "(literalize req id)
+             (literalize done id)
+             (p serve (req ^id <r>) --> (remove 1) (make done ^id <r>))",
+            &[("req", vec![Value::Int(1)])],
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        assert_eq!((out.cycles, out.firings), (1, 1));
+        // Inject two more requests into the live engine.
+        let req = e
+            .program()
+            .classes
+            .id_of(e.program().interner.intern("req"))
+            .unwrap();
+        let mut delta = parulel_core::Delta::new();
+        delta.adds.push((req, vec![Value::Int(2)].into()));
+        delta.adds.push((req, vec![Value::Int(3)].into()));
+        let (removed, added) = e.inject(&delta);
+        assert!(removed.is_empty());
+        assert_eq!(added.len(), 2);
+        let out = e.run().unwrap();
+        assert_eq!((out.cycles, out.firings), (1, 2), "per-call outcome");
+        assert_eq!(e.stats().firings, 3, "lifetime stats keep the total");
+        let done = e
+            .program()
+            .classes
+            .id_of(e.program().interner.intern("done"))
+            .unwrap();
+        assert_eq!(e.wm().iter_class(done).count(), 3);
+    }
+
+    #[test]
+    fn trace_records_fired_rules_per_cycle() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 3)) --> (modify 1 ^n (+ <n> 1)))",
+            &[
+                ("count", vec![Value::Int(0)]),
+                ("count", vec![Value::Int(1)]),
+            ],
+            EngineOptions {
+                trace: true,
+                ..Default::default()
+            },
+        );
+        e.run().unwrap();
+        let traces = e.traces();
+        assert!(!traces.is_empty());
+        assert_eq!(traces[0].cycle, 1);
+        assert_eq!(traces[0].fired_rules, vec![("step".to_string(), 2)]);
+        let rendered = traces[0].to_string();
+        assert!(rendered.contains("stepx2"), "{rendered}");
+        // trace off by default
+        let mut quiet = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 3)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions::default(),
+        );
+        quiet.run().unwrap();
+        assert!(quiet.traces().is_empty());
+    }
+
+    #[test]
+    fn all_matcher_kinds_agree_on_final_wm() {
+        let src = "
+            (literalize edge from to)
+            (literalize reach from to)
+            (p seed (edge ^from <a> ^to <b>) -(reach ^from <a> ^to <b>)
+             --> (make reach ^from <a> ^to <b>))
+            (p close (reach ^from <a> ^to <b>) (edge ^from <b> ^to <c>)
+                     -(reach ^from <a> ^to <c>)
+             --> (make reach ^from <a> ^to <c>))";
+        let p = compile(src).unwrap();
+        let edge = p.classes.id_of(p.interner.intern("edge")).unwrap();
+        let build_wm = || {
+            let mut wm = WorkingMemory::new(&p.classes);
+            for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 1), (2, 5)] {
+                wm.insert(edge, vec![Value::Int(a), Value::Int(b)]);
+            }
+            wm
+        };
+        let mut reference = None;
+        for kind in [
+            MatcherKind::Naive,
+            MatcherKind::Rete,
+            MatcherKind::Treat,
+            MatcherKind::PartitionedRete(3),
+            MatcherKind::PartitionedTreat(2),
+        ] {
+            let mut e = ParallelEngine::new(
+                &p,
+                build_wm(),
+                EngineOptions {
+                    matcher: kind,
+                    ..Default::default()
+                },
+            );
+            let out = e.run().unwrap();
+            assert!(out.quiescent, "{kind:?}");
+            let facts = e.wm().canonical_facts();
+            match &reference {
+                None => reference = Some(facts),
+                Some(r) => assert_eq!(&facts, r, "{kind:?} diverged"),
+            }
+        }
+    }
+}

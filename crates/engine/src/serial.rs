@@ -1,0 +1,292 @@
+//! The sequential OPS5 baseline: match → resolve (LEX/MEA) → act, one
+//! instantiation per cycle. Table 2 compares this against the PARULEL
+//! many-firing engine on identical programs.
+
+use crate::fire::{self, EngineError};
+use crate::refraction::Refraction;
+use crate::stats::{CycleStats, Outcome, RunStats};
+use crate::EngineOptions;
+use parulel_core::{Instantiation, Program, WorkingMemory};
+use parulel_match::Matcher;
+use std::cmp::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// OPS5 conflict-resolution strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// LEX: refraction, then recency of all timestamps (lexicographic,
+    /// newest first), then specificity.
+    #[default]
+    Lex,
+    /// MEA: refraction, then recency of the *first* CE's timestamp, then
+    /// the LEX ordering.
+    Mea,
+}
+
+/// The one-firing-per-cycle engine.
+pub struct SerialEngine {
+    program: Arc<Program>,
+    wm: WorkingMemory,
+    matcher: Box<dyn Matcher>,
+    refraction: Refraction,
+    strategy: Strategy,
+    opts: EngineOptions,
+    stats: RunStats,
+    log: Vec<String>,
+    halted: bool,
+}
+
+impl SerialEngine {
+    /// Builds the baseline engine. `opts.guard` is ignored (a single
+    /// firing cannot interfere with itself); meta-rules are ignored too —
+    /// conflict resolution is the hard-wired `strategy`, which is exactly
+    /// the contrast PARULEL draws.
+    pub fn new(
+        program: &Program,
+        wm: WorkingMemory,
+        strategy: Strategy,
+        opts: EngineOptions,
+    ) -> Self {
+        let program = Arc::new(program.clone());
+        let mut matcher = opts.matcher.build(program.clone());
+        matcher.seed(&wm);
+        SerialEngine {
+            program,
+            wm,
+            matcher,
+            refraction: Refraction::new(),
+            strategy,
+            opts,
+            stats: RunStats::default(),
+            log: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// The current working memory.
+    pub fn wm(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Collected `write` output.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Compares two instantiations under the strategy; `Greater` wins.
+    fn prefer(&self, a: &Instantiation, b: &Instantiation) -> Ordering {
+        let lex = |a: &Instantiation, b: &Instantiation| -> Ordering {
+            let (ra, rb) = (a.recency(), b.recency());
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            // More timestamps (deeper match) dominates on a tie.
+            match ra.len().cmp(&rb.len()) {
+                Ordering::Equal => {
+                    let sa = self.program.rule(a.rule).specificity();
+                    let sb = self.program.rule(b.rule).specificity();
+                    sa.cmp(&sb)
+                }
+                other => other,
+            }
+        };
+        let primary = match self.strategy {
+            Strategy::Lex => lex(a, b),
+            Strategy::Mea => a
+                .first_ce_time()
+                .cmp(&b.first_ce_time())
+                .then_with(|| lex(a, b)),
+        };
+        // Final deterministic tie-break: smaller key loses (so the
+        // *larger* key wins; any fixed rule works, it just must be total).
+        primary.then_with(|| a.key().cmp(&b.key()))
+    }
+
+    /// One match–resolve–act cycle. `Ok(true)` if something fired.
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        let mut cycle = CycleStats::default();
+        let t = Instant::now();
+        let cs = self.matcher.conflict_set();
+        cycle.conflict_set = cs.len();
+        let eligible = self.refraction.eligible(cs);
+        cycle.eligible = eligible.len();
+        cycle.match_time = t.elapsed();
+        if eligible.is_empty() {
+            return Ok(false);
+        }
+
+        let t = Instant::now();
+        let winner = eligible
+            .iter()
+            .max_by(|a, b| self.prefer(a, b))
+            .expect("non-empty eligible set")
+            .clone();
+        cycle.redact_time = t.elapsed();
+
+        let t = Instant::now();
+        let result = fire::fire(&self.program, &winner, self.opts.collect_log)?;
+        let (delta, log, halt) = fire::merge(vec![result]);
+        self.refraction.record(std::iter::once(&winner));
+        cycle.fired = 1;
+        cycle.adds = delta.adds.len();
+        cycle.removes = delta.removes.len();
+        cycle.fire_time = t.elapsed();
+
+        // Attribute the incremental network update to match time (it
+        // *is* matching); apply time covers WM mutation and refraction
+        // upkeep only.
+        let t = Instant::now();
+        let (removed, added) = self.wm.apply(&delta);
+        cycle.apply_time = t.elapsed();
+        let t = Instant::now();
+        self.matcher.apply(&removed, &added);
+        cycle.match_time += t.elapsed();
+        let t = Instant::now();
+        self.refraction.prune(self.matcher.conflict_set());
+        cycle.apply_time += t.elapsed();
+
+        self.log.extend(log);
+        self.halted |= halt;
+        self.stats.absorb(&cycle);
+        Ok(true)
+    }
+
+    /// Runs to quiescence, halt, or the cycle limit.
+    pub fn run(&mut self) -> Result<Outcome, EngineError> {
+        let start = Instant::now();
+        let mut quiescent = false;
+        let mut hit_cycle_limit = false;
+        let first_cycle = self.stats.cycles;
+        let first_firings = self.stats.firings;
+        loop {
+            if self.halted {
+                break;
+            }
+            if self.stats.cycles - first_cycle >= self.opts.max_cycles {
+                hit_cycle_limit = true;
+                break;
+            }
+            if !self.step()? {
+                quiescent = true;
+                break;
+            }
+        }
+        // Per-call numbers: a caller that injects facts and runs again
+        // gets this continuation's cycles, not the lifetime total (which
+        // lives in `stats`).
+        Ok(Outcome {
+            cycles: self.stats.cycles - first_cycle,
+            firings: self.stats.firings - first_firings,
+            halted: self.halted,
+            quiescent,
+            hit_cycle_limit,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParallelEngine;
+    use parulel_core::Value;
+    use parulel_lang::compile;
+
+    fn wm_with(p: &Program, facts: &[(&str, Vec<Value>)]) -> WorkingMemory {
+        let mut wm = WorkingMemory::new(&p.classes);
+        for (class, fields) in facts {
+            let cid = p.classes.id_of(p.interner.intern(class)).unwrap();
+            wm.insert(cid, fields.clone());
+        }
+        wm
+    }
+
+    #[test]
+    fn fires_one_per_cycle() {
+        let p = compile(
+            "(literalize cell id v)
+             (p bump (cell ^id <i> ^v 0) --> (modify 1 ^v 1))",
+        )
+        .unwrap();
+        let wm = wm_with(
+            &p,
+            &[
+                ("cell", vec![Value::Int(1), Value::Int(0)]),
+                ("cell", vec![Value::Int(2), Value::Int(0)]),
+                ("cell", vec![Value::Int(3), Value::Int(0)]),
+            ],
+        );
+        let mut e = SerialEngine::new(&p, wm, Strategy::Lex, EngineOptions::default());
+        let out = e.run().unwrap();
+        assert_eq!(out.cycles, 3, "serial engine needs one cycle per cell");
+        assert_eq!(out.firings, 3);
+    }
+
+    #[test]
+    fn lex_prefers_recency_then_specificity() {
+        let p = compile(
+            "(literalize a v)
+             (p plain (a ^v <x>) --> (remove 1))
+             (p specific (a ^v <x>) (test (>= <x> 0)) --> (remove 1) (write specific))",
+        )
+        .unwrap();
+        let wm = wm_with(&p, &[("a", vec![Value::Int(1)])]);
+        let mut e = SerialEngine::new(&p, wm, Strategy::Lex, EngineOptions::default());
+        e.run().unwrap();
+        // Same single WME (equal recency): specificity must pick `specific`.
+        assert_eq!(e.log(), &["specific".to_string()]);
+    }
+
+    #[test]
+    fn mea_prefers_recent_first_ce() {
+        let p = compile(
+            "(literalize goal id)
+             (p act (goal ^id <g>) --> (remove 1) (write acted <g>))",
+        )
+        .unwrap();
+        let wm = wm_with(
+            &p,
+            &[("goal", vec![Value::Int(1)]), ("goal", vec![Value::Int(2)])],
+        );
+        let mut e = SerialEngine::new(&p, wm, Strategy::Mea, EngineOptions::default());
+        e.run().unwrap();
+        // goal 2 was asserted later ⇒ fires first.
+        assert_eq!(e.log(), &["acted 2".to_string(), "acted 1".to_string()]);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_confluent_program() {
+        let src = "
+            (literalize n v)
+            (literalize sq v)
+            (p square (n ^v <x>) --> (make sq ^v (* <x> <x>)) (remove 1))";
+        let p = compile(src).unwrap();
+        let facts: Vec<(&str, Vec<Value>)> = (1..=5).map(|i| ("n", vec![Value::Int(i)])).collect();
+        let mut serial = SerialEngine::new(
+            &p,
+            wm_with(&p, &facts),
+            Strategy::Lex,
+            EngineOptions::default(),
+        );
+        let s_out = serial.run().unwrap();
+        let mut parallel = ParallelEngine::new(&p, wm_with(&p, &facts), EngineOptions::default());
+        let p_out = parallel.run().unwrap();
+        assert_eq!(s_out.firings, 5);
+        assert_eq!(p_out.firings, 5);
+        assert_eq!(s_out.cycles, 5);
+        assert_eq!(p_out.cycles, 1, "PARULEL collapses 5 cycles into 1");
+        assert_eq!(
+            serial.wm().canonical_facts(),
+            parallel.wm().canonical_facts()
+        );
+    }
+}

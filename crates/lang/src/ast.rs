@@ -1,0 +1,263 @@
+//! Abstract syntax for PARULEL source programs.
+//!
+//! The AST mirrors the surface syntax closely (names are still strings,
+//! attributes unresolved); the [`compiler`](crate::compiler) lowers it to
+//! the [`parulel_core`] IR.
+
+use crate::error::Span;
+use parulel_core::expr::{BinOp, PredOp};
+
+/// A literal constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// Symbolic atom (`pending`, `nil`, …) or string literal.
+    Sym(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+}
+
+/// A term: a constant or a variable reference.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// A constant.
+    Const(Const),
+    /// A `<var>`.
+    Var(String),
+}
+
+/// One restriction on an attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Restriction {
+    /// `OP term` (bare `term` means `= term`).
+    Cmp(PredOp, Term),
+    /// `<< c1 c2 … >>` — the value must equal one of the constants.
+    OneOf(Vec<Const>),
+}
+
+/// `^attr restriction…` inside a pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrSpec {
+    /// Attribute name (unresolved).
+    pub attr: String,
+    /// Conjunction of restrictions on the attribute's value.
+    pub restrictions: Vec<Restriction>,
+}
+
+/// A pattern condition element: `(class ^attr spec …)`, possibly negated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternCe {
+    /// True for `-(class …)`.
+    pub negated: bool,
+    /// Class name (unresolved).
+    pub class: String,
+    /// Attribute specifications.
+    pub attrs: Vec<AttrSpec>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An arithmetic expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// A term.
+    Term(Term),
+    /// `(op lhs rhs)`.
+    Bin(BinOp, Box<AstExpr>, Box<AstExpr>),
+}
+
+/// A predicate test: `(op lhs rhs)` with a comparison operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstTest {
+    /// The comparison.
+    pub op: PredOp,
+    /// Left expression.
+    pub lhs: AstExpr,
+    /// Right expression.
+    pub rhs: AstExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An LHS item of an object-level rule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ce {
+    /// A (possibly negated) pattern.
+    Pattern(PatternCe),
+    /// A `(test …)` predicate.
+    Test(AstTest),
+}
+
+/// An RHS action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstAction {
+    /// `(make class ^attr expr …)`
+    Make {
+        /// Class name.
+        class: String,
+        /// Attribute assignments; unlisted attributes default to `nil`.
+        sets: Vec<(String, AstExpr)>,
+        /// Source location.
+        span: Span,
+    },
+    /// `(remove k)` — k is the 1-based source ordinal of a pattern CE.
+    Remove {
+        /// 1-based CE designator.
+        ce: u8,
+        /// Source location.
+        span: Span,
+    },
+    /// `(modify k ^attr expr …)`
+    Modify {
+        /// 1-based CE designator.
+        ce: u8,
+        /// Attribute reassignments.
+        sets: Vec<(String, AstExpr)>,
+        /// Source location.
+        span: Span,
+    },
+    /// `(bind <var> expr)`
+    Bind {
+        /// Variable name being introduced.
+        var: String,
+        /// Its value.
+        expr: AstExpr,
+        /// Source location.
+        span: Span,
+    },
+    /// `(write expr …)`
+    Write {
+        /// Values to render.
+        exprs: Vec<AstExpr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `(halt)`
+    Halt {
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// An object-level rule: `(p name ce… --> action…)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstRule {
+    /// Rule name.
+    pub name: String,
+    /// LHS items in source order.
+    pub ces: Vec<Ce>,
+    /// RHS actions in source order.
+    pub actions: Vec<AstAction>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One positional pattern inside a meta `inst` CE: either `_` (wildcard)
+/// or `(class ^attr spec …)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetaPat {
+    /// `_` — matches any WME in this position.
+    Wild,
+    /// A pattern over the WME in this position. The class must agree with
+    /// the object rule's CE class (checked by the compiler).
+    Pattern(PatternCe),
+}
+
+/// An LHS item of a meta-rule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetaCeAst {
+    /// `(inst rule-name pat…)` — matches one instantiation of `rule-name`.
+    Inst {
+        /// Object rule name.
+        rule: String,
+        /// Positional patterns over the instantiation's positive-CE WMEs.
+        pats: Vec<MetaPat>,
+        /// Source location.
+        span: Span,
+    },
+    /// `(test …)` over meta variables.
+    Test(AstTest),
+}
+
+/// A meta-rule: `(mp name inst-ce… --> (redact k)…)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstMeta {
+    /// Meta-rule name.
+    pub name: String,
+    /// LHS items.
+    pub ces: Vec<MetaCeAst>,
+    /// 1-based indices of `inst` CEs to redact.
+    pub redacts: Vec<u8>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decl {
+    /// `(literalize class attr…)`
+    Literalize {
+        /// Class name.
+        name: String,
+        /// Attribute names in slot order.
+        attrs: Vec<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// An object-level rule.
+    Rule(AstRule),
+    /// A meta-rule.
+    Meta(AstMeta),
+    /// `(wm (class ^attr const …) …)` — initial working-memory facts.
+    /// Restrictions must be constant equalities; unlisted attributes
+    /// default to `nil`.
+    WmFacts {
+        /// The facts, reusing the pattern shape (validated at compile
+        /// time to be ground).
+        facts: Vec<PatternCe>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// A parsed source program.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SrcProgram {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+impl SrcProgram {
+    /// Iterates the object-level rules.
+    pub fn rules(&self) -> impl Iterator<Item = &AstRule> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Rule(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Iterates the meta-rules.
+    pub fn metas(&self) -> impl Iterator<Item = &AstMeta> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Meta(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Iterates the class declarations.
+    pub fn literalizes(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Literalize { name, attrs, .. } => Some((name.as_str(), attrs.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// Iterates the initial working-memory facts, in declaration order.
+    pub fn wm_facts(&self) -> impl Iterator<Item = &PatternCe> {
+        self.decls.iter().flat_map(|d| match d {
+            Decl::WmFacts { facts, .. } => facts.as_slice(),
+            _ => &[],
+        })
+    }
+}

@@ -1,0 +1,790 @@
+//! Semantic analysis and lowering from AST to the [`parulel_core`] IR.
+//!
+//! Responsibilities:
+//!
+//! * build the class registry from `literalize` declarations;
+//! * resolve attribute names to field slots;
+//! * allocate per-rule variable ids in first-occurrence order, enforcing
+//!   the binding discipline (first occurrence binds; predicates on unbound
+//!   variables are errors; variables first bound inside a negated CE are
+//!   local to that CE);
+//! * anchor `test` CEs at the earliest join position where their variables
+//!   are bound;
+//! * map CE designators in `remove`/`modify` to positive-CE ordinals;
+//! * validate meta-rules against the object rules they reference
+//!   (positional pattern classes must agree).
+
+use crate::ast::{self, AstExpr, AstMeta, AstRule, AstTest, Ce, Decl, MetaCeAst, MetaPat, Term};
+use crate::error::{LangError, Span};
+use parulel_core::hash::{FxHashMap, FxHashSet};
+use parulel_core::ir::{
+    Action, CePattern, ConditionElement, FieldCheck, FieldTest, MetaAction, MetaCe, MetaRule,
+    MetaRuleId, Polarity, Program, Rule, RuleId, RuleTest, VarId,
+};
+use parulel_core::{ClassRegistry, Expr, Interner, PredOp, Symbol, TestExpr, Value};
+
+/// Compiles a parsed program to executable IR.
+pub fn compile_ast(ast: &ast::SrcProgram) -> Result<Program, LangError> {
+    let interner = Interner::new();
+    let mut classes = ClassRegistry::new();
+    for decl in &ast.decls {
+        if let Decl::Literalize { name, attrs, span } = decl {
+            let name_sym = interner.intern(name);
+            let attr_syms: Vec<Symbol> = attrs.iter().map(|a| interner.intern(a)).collect();
+            classes
+                .declare(name_sym, attr_syms)
+                .map_err(|e| LangError::new(format!("in (literalize {name} …): {e}"), *span))?;
+        }
+    }
+
+    let mut program = Program::new(interner, classes);
+
+    for rule in ast.rules() {
+        let compiled = compile_rule(&program, rule)?;
+        program
+            .add_rule(compiled)
+            .map_err(|e| LangError::new(format!("in rule {}: {e}", rule.name), rule.span))?;
+    }
+    for meta in ast.metas() {
+        let compiled = compile_meta(&program, meta)?;
+        program
+            .add_meta(compiled)
+            .map_err(|e| LangError::new(format!("in meta-rule {}: {e}", meta.name), meta.span))?;
+    }
+    Ok(program)
+}
+
+/// Builds the initial working memory from a program's `(wm …)` blocks.
+/// Every fact must be ground: attribute specs restricted to a single
+/// constant equality; unlisted attributes default to `nil`.
+pub fn initial_wm(
+    program: &Program,
+    ast: &ast::SrcProgram,
+) -> Result<parulel_core::WorkingMemory, LangError> {
+    let mut wm = parulel_core::WorkingMemory::new(&program.classes);
+    for fact in ast.wm_facts() {
+        if fact.negated {
+            return Err(LangError::new("a WM fact cannot be negated", fact.span));
+        }
+        let class_sym = program.interner.intern(&fact.class);
+        let class = program.classes.id_of(class_sym).ok_or_else(|| {
+            LangError::new(
+                format!("unknown class '{}' in wm fact", fact.class),
+                fact.span,
+            )
+        })?;
+        let decl = program.classes.decl(class);
+        let mut fields = vec![Value::NIL; decl.arity()];
+        for spec in &fact.attrs {
+            let slot = decl
+                .slot_of(program.interner.intern(&spec.attr))
+                .ok_or_else(|| {
+                    LangError::new(
+                        format!("class '{}' has no attribute ^{}", fact.class, spec.attr),
+                        fact.span,
+                    )
+                })?;
+            match spec.restrictions.as_slice() {
+                [ast::Restriction::Cmp(PredOp::Eq, Term::Const(c))] => {
+                    fields[slot] = const_value(&program.interner, c);
+                }
+                _ => {
+                    return Err(LangError::new(
+                        format!("wm fact field ^{} must be a single constant", spec.attr),
+                        fact.span,
+                    ))
+                }
+            }
+        }
+        wm.insert(class, fields);
+    }
+    Ok(wm)
+}
+
+/// Tracks variable allocation for one rule (or meta-rule).
+struct VarCtx {
+    ids: FxHashMap<String, VarId>,
+    /// Variables first bound inside a negated CE: usable only there.
+    locals: FxHashSet<String>,
+    next: u16,
+}
+
+impl VarCtx {
+    fn new() -> Self {
+        VarCtx {
+            ids: FxHashMap::default(),
+            locals: FxHashSet::default(),
+            next: 0,
+        }
+    }
+
+    fn alloc(&mut self, name: &str, span: Span) -> Result<VarId, LangError> {
+        if self.next == u16::MAX {
+            return Err(LangError::new("too many variables in one rule", span));
+        }
+        let id = VarId(self.next);
+        self.next += 1;
+        self.ids.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Resolves a variable for *reading* (predicates, expressions, later
+    /// occurrences). Errors on unbound or negative-CE-local variables.
+    fn read(&self, name: &str, span: Span) -> Result<VarId, LangError> {
+        if self.locals.contains(name) {
+            return Err(LangError::new(
+                format!("variable <{name}> is local to a negated CE and cannot be used here"),
+                span,
+            ));
+        }
+        self.ids.get(name).copied().ok_or_else(|| {
+            LangError::new(format!("variable <{name}> used before it is bound"), span)
+        })
+    }
+}
+
+fn const_value(interner: &Interner, c: &ast::Const) -> Value {
+    match c {
+        ast::Const::Sym(s) => Value::Sym(interner.intern(s)),
+        ast::Const::Int(i) => Value::Int(*i),
+        ast::Const::Float(f) => Value::Float(*f),
+    }
+}
+
+fn compile_rule(program: &Program, rule: &AstRule) -> Result<Rule, LangError> {
+    let interner = &program.interner;
+    let mut vars = VarCtx::new();
+    let mut ces: Vec<ConditionElement> = Vec::new();
+    let mut tests: Vec<RuleTest> = Vec::new();
+    // 1-based pattern-CE designator -> (compiled CE index, positive ordinal)
+    let mut designators: Vec<(usize, Option<u8>)> = Vec::new();
+    // Per compiled CE: cumulative exported-variable count after it joins.
+    let mut bound_after: Vec<u16> = Vec::new();
+    let mut pos_count: u8 = 0;
+
+    for ce in &rule.ces {
+        match ce {
+            Ce::Pattern(pat) => {
+                let compiled = compile_pattern_ce(program, pat, &mut vars)?;
+                let pos_ord = if pat.negated {
+                    None
+                } else {
+                    let o = pos_count;
+                    pos_count = pos_count.checked_add(1).ok_or_else(|| {
+                        LangError::new("too many positive CEs (max 255)", pat.span)
+                    })?;
+                    Some(o)
+                };
+                designators.push((ces.len(), pos_ord));
+                ces.push(compiled);
+                bound_after.push(vars.next);
+            }
+            Ce::Test(t) => {
+                let test = compile_test(interner, t, &vars)?;
+                // Anchor at the earliest CE after which all referenced
+                // variables are bound.
+                let anchor = match test.max_var() {
+                    None => 0,
+                    Some(v) => bound_after.iter().position(|&n| n > v.0).ok_or_else(|| {
+                        LangError::new("test references variable bound later", t.span)
+                    })?,
+                };
+                if ces.is_empty() {
+                    return Err(LangError::new(
+                        "a rule may not start with a test CE",
+                        t.span,
+                    ));
+                }
+                tests.push(RuleTest { anchor, test });
+            }
+        }
+    }
+
+    // RHS: binds first-class, actions resolved against designators.
+    let mut binds: Vec<(VarId, Expr)> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    for action in &rule.actions {
+        match action {
+            ast::AstAction::Bind { var, expr, span } => {
+                let e = compile_expr(interner, expr, &vars, *span)?;
+                if vars.ids.contains_key(var) {
+                    return Err(LangError::new(
+                        format!("variable <{var}> rebound on the RHS"),
+                        *span,
+                    ));
+                }
+                let id = vars.alloc(var, *span)?;
+                binds.push((id, e));
+            }
+            ast::AstAction::Make { class, sets, span } => {
+                let (class_id, fields) =
+                    compile_field_sets(program, class, sets, &vars, *span, None)?;
+                actions.push(Action::Make {
+                    class: class_id,
+                    fields,
+                });
+            }
+            ast::AstAction::Remove { ce, span } => {
+                actions.push(Action::Remove {
+                    ce: resolve_designator(&designators, *ce, *span)?,
+                });
+            }
+            ast::AstAction::Modify { ce, sets, span } => {
+                let pos = resolve_designator(&designators, *ce, *span)?;
+                let ce_index = designators[*ce as usize - 1].0;
+                let class_id = ces[ce_index].class;
+                let decl = program.classes.decl(class_id);
+                let mut slot_sets = Vec::with_capacity(sets.len());
+                for (attr, expr) in sets {
+                    let slot = decl.slot_of(program.interner.intern(attr)).ok_or_else(|| {
+                        LangError::new(
+                            format!("class has no attribute ^{attr} (modify {ce})"),
+                            *span,
+                        )
+                    })?;
+                    slot_sets.push((slot as u16, compile_expr(interner, expr, &vars, *span)?));
+                }
+                actions.push(Action::Modify {
+                    ce: pos,
+                    sets: slot_sets,
+                });
+            }
+            ast::AstAction::Write { exprs, span } => {
+                let compiled: Result<Vec<Expr>, LangError> = exprs
+                    .iter()
+                    .map(|e| compile_expr(interner, e, &vars, *span))
+                    .collect();
+                actions.push(Action::Write(compiled?));
+            }
+            ast::AstAction::Halt { .. } => actions.push(Action::Halt),
+        }
+    }
+
+    Ok(Rule {
+        id: RuleId(0), // assigned by Program::add_rule
+        name: interner.intern(&rule.name),
+        ces,
+        tests,
+        binds,
+        actions,
+        num_vars: vars.next,
+    })
+}
+
+fn resolve_designator(
+    designators: &[(usize, Option<u8>)],
+    ce: u8,
+    span: Span,
+) -> Result<u8, LangError> {
+    let idx = ce as usize - 1;
+    match designators.get(idx) {
+        Some((_, Some(pos))) => Ok(*pos),
+        Some((_, None)) => Err(LangError::new(
+            format!("CE {ce} is negated and cannot be removed/modified"),
+            span,
+        )),
+        None => Err(LangError::new(
+            format!(
+                "CE designator {ce} out of range ({} pattern CEs)",
+                designators.len()
+            ),
+            span,
+        )),
+    }
+}
+
+fn compile_pattern_ce(
+    program: &Program,
+    pat: &ast::PatternCe,
+    vars: &mut VarCtx,
+) -> Result<ConditionElement, LangError> {
+    let interner = &program.interner;
+    let class_sym = interner.intern(&pat.class);
+    let class = program
+        .classes
+        .id_of(class_sym)
+        .ok_or_else(|| LangError::new(format!("unknown class '{}'", pat.class), pat.span))?;
+    let decl = program.classes.decl(class);
+
+    let mut tests: Vec<FieldTest> = Vec::new();
+    // Variables bound locally within this negated CE (for error reporting
+    // we also push them into `vars.locals` at the end).
+    let mut bound_here: Vec<String> = Vec::new();
+
+    for spec in &pat.attrs {
+        let slot = decl.slot_of(interner.intern(&spec.attr)).ok_or_else(|| {
+            LangError::new(
+                format!("class '{}' has no attribute ^{}", pat.class, spec.attr),
+                pat.span,
+            )
+        })? as u16;
+        for restriction in &spec.restrictions {
+            let check = match restriction {
+                ast::Restriction::OneOf(cs) => {
+                    FieldCheck::OneOf(cs.iter().map(|c| const_value(interner, c)).collect())
+                }
+                ast::Restriction::Cmp(op, Term::Const(c)) => {
+                    FieldCheck::Const(*op, const_value(interner, c))
+                }
+                ast::Restriction::Cmp(op, Term::Var(name)) => {
+                    let known = vars.ids.contains_key(name);
+                    let local_reuse = pat.negated && bound_here.contains(name);
+                    let foreign_local = vars.locals.contains(name) && !local_reuse;
+                    if known && !foreign_local {
+                        FieldCheck::Var(*op, vars.ids[name])
+                    } else if known && foreign_local {
+                        return Err(LangError::new(
+                            format!(
+                                "variable <{name}> is local to a negated CE and cannot be used here"
+                            ),
+                            pat.span,
+                        ));
+                    } else if *op == PredOp::Eq {
+                        // First occurrence: bind (exported from positive
+                        // CEs, local within negated CEs).
+                        let id = vars.alloc(name, pat.span)?;
+                        if pat.negated {
+                            bound_here.push(name.clone());
+                        }
+                        FieldCheck::Bind(id)
+                    } else {
+                        return Err(LangError::new(
+                            format!("predicate {op} on unbound variable <{name}>"),
+                            pat.span,
+                        ));
+                    }
+                }
+            };
+            tests.push(FieldTest { slot, check });
+        }
+    }
+    for name in bound_here {
+        vars.locals.insert(name);
+    }
+    Ok(ConditionElement {
+        class,
+        polarity: if pat.negated {
+            Polarity::Negative
+        } else {
+            Polarity::Positive
+        },
+        tests,
+    })
+}
+
+fn compile_expr(
+    interner: &Interner,
+    expr: &AstExpr,
+    vars: &VarCtx,
+    span: Span,
+) -> Result<Expr, LangError> {
+    Ok(match expr {
+        AstExpr::Term(Term::Const(c)) => Expr::Const(const_value(interner, c)),
+        AstExpr::Term(Term::Var(name)) => Expr::Var(vars.read(name, span)?),
+        AstExpr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(compile_expr(interner, l, vars, span)?),
+            Box::new(compile_expr(interner, r, vars, span)?),
+        ),
+    })
+}
+
+fn compile_test(interner: &Interner, test: &AstTest, vars: &VarCtx) -> Result<TestExpr, LangError> {
+    Ok(TestExpr {
+        op: test.op,
+        lhs: compile_expr(interner, &test.lhs, vars, test.span)?,
+        rhs: compile_expr(interner, &test.rhs, vars, test.span)?,
+    })
+}
+
+/// Compiles a `make`'s attribute assignments to a dense field vector
+/// (unset attributes default to `nil`).
+fn compile_field_sets(
+    program: &Program,
+    class: &str,
+    sets: &[(String, AstExpr)],
+    vars: &VarCtx,
+    span: Span,
+    _ce: Option<u8>,
+) -> Result<(parulel_core::ClassId, Vec<Expr>), LangError> {
+    let interner = &program.interner;
+    let class_sym = interner.intern(class);
+    let class_id = program
+        .classes
+        .id_of(class_sym)
+        .ok_or_else(|| LangError::new(format!("unknown class '{class}'"), span))?;
+    let decl = program.classes.decl(class_id);
+    let mut fields: Vec<Expr> = vec![Expr::Const(Value::NIL); decl.arity()];
+    for (attr, expr) in sets {
+        let slot = decl.slot_of(interner.intern(attr)).ok_or_else(|| {
+            LangError::new(format!("class '{class}' has no attribute ^{attr}"), span)
+        })?;
+        fields[slot] = compile_expr(interner, expr, vars, span)?;
+    }
+    Ok((class_id, fields))
+}
+
+fn compile_meta(program: &Program, meta: &AstMeta) -> Result<MetaRule, LangError> {
+    let interner = &program.interner;
+    let mut vars = VarCtx::new();
+    let mut ces: Vec<MetaCe> = Vec::new();
+    let mut tests: Vec<TestExpr> = Vec::new();
+
+    for item in &meta.ces {
+        match item {
+            MetaCeAst::Inst { rule, pats, span } => {
+                let rule_sym = interner.intern(rule);
+                let rule_id = program
+                    .rule_by_name(rule_sym)
+                    .ok_or_else(|| LangError::new(format!("unknown rule '{rule}'"), *span))?;
+                let obj_rule = program.rule(rule_id);
+                let pos_classes: Vec<_> = obj_rule
+                    .positive_ce_indices()
+                    .map(|i| obj_rule.ces[i].class)
+                    .collect();
+                if pats.len() > pos_classes.len() {
+                    return Err(LangError::new(
+                        format!(
+                            "inst pattern lists {} positions but rule '{rule}' has {} positive CEs",
+                            pats.len(),
+                            pos_classes.len()
+                        ),
+                        *span,
+                    ));
+                }
+                let mut compiled_pats = Vec::with_capacity(pats.len());
+                for (k, mp) in pats.iter().enumerate() {
+                    match mp {
+                        MetaPat::Wild => compiled_pats.push(CePattern::default()),
+                        MetaPat::Pattern(pat) => {
+                            if pat.negated {
+                                return Err(LangError::new(
+                                    "positional patterns in inst CEs cannot be negated",
+                                    pat.span,
+                                ));
+                            }
+                            let ce = compile_pattern_ce(program, pat, &mut vars)?;
+                            if ce.class != pos_classes[k] {
+                                return Err(LangError::new(
+                                    format!(
+                                        "position {} of rule '{rule}' matches class '{}', \
+                                         pattern says '{}'",
+                                        k + 1,
+                                        interner.resolve(program.classes.decl(pos_classes[k]).name),
+                                        pat.class
+                                    ),
+                                    pat.span,
+                                ));
+                            }
+                            compiled_pats.push(CePattern { tests: ce.tests });
+                        }
+                    }
+                }
+                ces.push(MetaCe {
+                    rule: rule_id,
+                    pats: compiled_pats,
+                });
+            }
+            MetaCeAst::Test(t) => tests.push(compile_test(interner, t, &vars)?),
+        }
+    }
+
+    let mut actions = Vec::with_capacity(meta.redacts.len());
+    for &r in &meta.redacts {
+        if r as usize > ces.len() {
+            return Err(LangError::new(
+                format!("redact {r} out of range ({} inst CEs)", ces.len()),
+                meta.span,
+            ));
+        }
+        actions.push(MetaAction::Redact { ce: r - 1 });
+    }
+
+    Ok(MetaRule {
+        id: MetaRuleId(0), // assigned by Program::add_meta
+        name: interner.intern(&meta.name),
+        ces,
+        tests,
+        actions,
+        num_vars: vars.next,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile(src: &str) -> Program {
+        compile_ast(&parse(src).unwrap()).unwrap()
+    }
+
+    fn compile_err(src: &str) -> LangError {
+        compile_ast(&parse(src).unwrap()).unwrap_err()
+    }
+
+    const SCHED: &str = "
+        (literalize job id len machine status)
+        (literalize machine id free)
+        (p schedule
+          (job ^id <j> ^len <l> ^machine nil ^status pending)
+          (machine ^id <m> ^free yes)
+          (test (> <l> 0))
+         -->
+          (modify 1 ^machine <m> ^status running)
+          (modify 2 ^free no))";
+
+    #[test]
+    fn compiles_schedule() {
+        let p = compile(SCHED);
+        assert_eq!(p.rules().len(), 1);
+        let r = &p.rules()[0];
+        assert_eq!(r.ces.len(), 2);
+        assert_eq!(r.tests.len(), 1);
+        assert_eq!(r.num_vars, 3); // j, l, m
+        assert_eq!(r.tests[0].anchor, 0); // <l> bound by first CE
+                                          // modify 1 -> positive ordinal 0; modify 2 -> 1
+        match &r.actions[0] {
+            Action::Modify { ce: 0, sets } => assert_eq!(sets.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match &r.actions[1] {
+            Action::Modify { ce: 1, sets } => {
+                assert_eq!(sets[0].0, 1); // ^free is slot 1
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_first_use_binds_then_tests() {
+        let p = compile(
+            "(literalize pair a b)
+             (p same (pair ^a <x> ^b <x>) --> (remove 1))",
+        );
+        let r = &p.rules()[0];
+        assert_eq!(r.num_vars, 1);
+        assert!(matches!(
+            r.ces[0].tests[0].check,
+            FieldCheck::Bind(VarId(0))
+        ));
+        assert!(matches!(
+            r.ces[0].tests[1].check,
+            FieldCheck::Var(PredOp::Eq, VarId(0))
+        ));
+    }
+
+    #[test]
+    fn predicate_on_unbound_var_is_error() {
+        let e = compile_err(
+            "(literalize a x)
+             (p r (a ^x > <v>) --> (remove 1))",
+        );
+        assert!(e.msg.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn negated_ce_local_vars() {
+        // <w> first bound in a negated CE: fine locally, error elsewhere.
+        compile(
+            "(literalize a x y)
+             (p r (a ^x <v>) -(a ^x <w> ^y <w>) --> (remove 1))",
+        );
+        let e = compile_err(
+            "(literalize a x y)
+             (p r (a ^x <v>) -(a ^x <w>) (test (> <w> 1)) --> (remove 1))",
+        );
+        assert!(e.msg.contains("local to a negated CE"), "{e}");
+    }
+
+    #[test]
+    fn designators_skip_negated_ces() {
+        let e = compile_err(
+            "(literalize a x)
+             (p r (a ^x 1) -(a ^x 2) --> (remove 2))",
+        );
+        assert!(e.msg.contains("negated"), "{e}");
+        let e = compile_err(
+            "(literalize a x)
+             (p r (a ^x 1) --> (remove 3))",
+        );
+        assert!(e.msg.contains("out of range"), "{e}");
+        // remove of second pattern CE maps to positive ordinal 1
+        let p = compile(
+            "(literalize a x)
+             (p r (a ^x 1) -(a ^x 2) (a ^x 3) --> (remove 3))",
+        );
+        assert!(matches!(p.rules()[0].actions[0], Action::Remove { ce: 1 }));
+    }
+
+    #[test]
+    fn make_defaults_unset_fields_to_nil() {
+        let p = compile(
+            "(literalize a x y z)
+             (p r (a ^x <v>) --> (make a ^y <v>))",
+        );
+        let Action::Make { fields, .. } = &p.rules()[0].actions[0] else {
+            panic!()
+        };
+        assert_eq!(fields[0], Expr::Const(Value::NIL));
+        assert_eq!(fields[1], Expr::Var(VarId(0)));
+        assert_eq!(fields[2], Expr::Const(Value::NIL));
+    }
+
+    #[test]
+    fn bind_allocates_new_var_and_rejects_rebind() {
+        let p = compile(
+            "(literalize a x)
+             (p r (a ^x <v>) --> (bind <w> (+ <v> 1)) (make a ^x <w>))",
+        );
+        let r = &p.rules()[0];
+        assert_eq!(r.num_vars, 2);
+        assert_eq!(r.binds.len(), 1);
+        let e = compile_err(
+            "(literalize a x)
+             (p r (a ^x <v>) --> (bind <v> 1))",
+        );
+        assert!(e.msg.contains("rebound"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(compile_err("(p r (ghost) --> (halt))")
+            .msg
+            .contains("unknown class"));
+        assert!(compile_err(
+            "(literalize a x)
+             (p r (a ^bogus 1) --> (halt))"
+        )
+        .msg
+        .contains("no attribute"));
+        assert!(compile_err(
+            "(literalize a x)
+             (p r (a ^x 1) --> (make ghost))"
+        )
+        .msg
+        .contains("unknown class"));
+    }
+
+    #[test]
+    fn test_anchor_uses_latest_needed_ce() {
+        let p = compile(
+            "(literalize a x)
+             (literalize b y)
+             (p r (a ^x <u>) (b ^y <v>) (test (> <v> <u>)) --> (halt))",
+        );
+        assert_eq!(p.rules()[0].tests[0].anchor, 1);
+    }
+
+    #[test]
+    fn meta_rule_compiles_and_validates() {
+        let src = format!(
+            "{SCHED}
+             (mp one-per-machine
+               (inst schedule (job ^len <l1>) (machine ^id <m>))
+               (inst schedule (job ^len <l2>) (machine ^id <m>))
+               (test (> <l1> <l2>))
+              -->
+               (redact 1))"
+        );
+        let p = compile(&src);
+        assert_eq!(p.metas().len(), 1);
+        let m = &p.metas()[0];
+        assert_eq!(m.ces.len(), 2);
+        assert_eq!(m.tests.len(), 1);
+        assert_eq!(m.actions, vec![MetaAction::Redact { ce: 0 }]);
+        assert_eq!(m.num_vars, 3); // l1, m, l2
+    }
+
+    #[test]
+    fn meta_class_mismatch_rejected() {
+        let src = format!(
+            "{SCHED}
+             (mp bad (inst schedule (machine ^id <m>)) --> (redact 1))"
+        );
+        let e = compile_ast(&parse(&src).unwrap()).unwrap_err();
+        assert!(e.msg.contains("matches class"), "{e}");
+    }
+
+    #[test]
+    fn meta_unknown_rule_and_bad_redact() {
+        let e = compile_err("(mp m (inst ghost) --> (redact 1))");
+        assert!(e.msg.contains("unknown rule"), "{e}");
+        let src = format!("{SCHED} (mp m (inst schedule) --> (redact 2))");
+        let e = compile_ast(&parse(&src).unwrap()).unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn meta_wildcard_positions() {
+        let src = format!(
+            "{SCHED}
+             (mp m (inst schedule _ (machine ^id <m>)) --> (redact 1))"
+        );
+        let p = compile(&src);
+        assert!(p.metas()[0].ces[0].pats[0].tests.is_empty());
+        assert_eq!(p.metas()[0].ces[0].pats[1].tests.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_class_reported_with_span() {
+        let e = compile_err("(literalize a x)\n(literalize a y)");
+        assert_eq!(e.span.line, 2);
+    }
+
+    #[test]
+    fn wm_facts_materialize() {
+        let src = "
+            (literalize job id len status)
+            (wm (job ^id 1 ^len 5 ^status pending)
+                (job ^id 2))
+            (p r (job ^id <j>) --> (remove 1))";
+        let (p, wm) = crate::compile_with_wm(src).unwrap();
+        assert_eq!(wm.len(), 2);
+        let job = p.classes.id_of(p.interner.intern("job")).unwrap();
+        let mut rows: Vec<Vec<Value>> = wm.iter_class(job).map(|w| w.fields.to_vec()).collect();
+        rows.sort();
+        let pending = Value::Sym(p.interner.intern("pending"));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Int(5), pending],
+                vec![Value::Int(2), Value::NIL, Value::NIL],
+            ]
+        );
+    }
+
+    #[test]
+    fn wm_facts_must_be_ground() {
+        let var = "
+            (literalize job id)
+            (wm (job ^id <v>))";
+        assert!(crate::compile_with_wm(var)
+            .unwrap_err()
+            .msg
+            .contains("single constant"));
+        let pred = "
+            (literalize job id)
+            (wm (job ^id > 3))";
+        assert!(crate::compile_with_wm(pred)
+            .unwrap_err()
+            .msg
+            .contains("single constant"));
+        let unknown = "(wm (ghost ^id 1))";
+        assert!(crate::compile_with_wm(unknown)
+            .unwrap_err()
+            .msg
+            .contains("unknown class"));
+    }
+
+    #[test]
+    fn oneof_and_brace_restrictions_compile() {
+        let p = compile(
+            "(literalize a x)
+             (p r (a ^x << red green >>) (a ^x { > 0 <= 10 }) --> (halt))",
+        );
+        let r = &p.rules()[0];
+        assert!(matches!(r.ces[0].tests[0].check, FieldCheck::OneOf(ref v) if v.len() == 2));
+        assert_eq!(r.ces[1].tests.len(), 2);
+    }
+}

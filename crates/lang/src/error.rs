@@ -1,0 +1,63 @@
+//! Source-located error reporting for the lexer, parser and compiler.
+
+use std::fmt;
+
+/// A half-open byte span with line/column of its start (1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line of the span start.
+    pub line: u32,
+    /// 1-based column of the span start.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error raised while lexing, parsing or compiling PARULEL source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where the problem was found.
+    pub span: Span,
+}
+
+impl LangError {
+    /// Builds an error at `span`.
+    pub fn new(msg: impl Into<String>, span: Span) -> Self {
+        LangError {
+            msg: msg.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LangError::new("unexpected token", Span::new(3, 14));
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+    }
+}

@@ -1,0 +1,397 @@
+//! The PARULEL lexer.
+//!
+//! Hand-rolled scanner producing [`Token`]s with line/column spans.
+//! The only interesting disambiguation is around `<` and `>`:
+//! `<<`/`>>` delimit constant disjunctions, `<=`/`<>`/`<`/`>=`/`>` are
+//! predicates, and `<name>` is a variable.
+
+use crate::error::{LangError, Span};
+use crate::token::{Tok, Token};
+use parulel_core::expr::PredOp;
+
+/// Character class for symbol bodies: anything not reserved by the syntax.
+fn is_sym_char(c: char) -> bool {
+    !c.is_whitespace() && !matches!(c, '(' | ')' | '{' | '}' | '^' | '<' | '>' | '=' | ';' | '"')
+}
+
+fn is_sym_start(c: char) -> bool {
+    is_sym_char(c) && !c.is_ascii_digit() && c != '-'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: std::str::CharIndices<'a>,
+    peeked: Option<(usize, char)>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<(usize, char)> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.peeked.take().or_else(|| self.chars.next());
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        next
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn take_while(&mut self, start: usize, pred: impl Fn(char) -> bool) -> &'a str {
+        let mut end = start;
+        while let Some((i, c)) = self.peek() {
+            if pred(c) {
+                end = i + c.len_utf8();
+                self.bump();
+            } else {
+                return &self.src[start..i];
+            }
+        }
+        &self.src[start..end.max(start)]
+    }
+}
+
+/// Lexes an entire source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and `;` comments.
+        loop {
+            match cur.peek() {
+                Some((_, c)) if c.is_whitespace() => {
+                    cur.bump();
+                }
+                Some((_, ';')) => {
+                    while let Some((_, c)) = cur.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let span = cur.span();
+        let Some((start, c)) = cur.peek() else {
+            out.push(Token {
+                tok: Tok::Eof,
+                span,
+            });
+            return Ok(out);
+        };
+        let tok = match c {
+            '(' => {
+                cur.bump();
+                Tok::LParen
+            }
+            ')' => {
+                cur.bump();
+                Tok::RParen
+            }
+            '{' => {
+                cur.bump();
+                Tok::LBrace
+            }
+            '}' => {
+                cur.bump();
+                Tok::RBrace
+            }
+            '=' => {
+                cur.bump();
+                Tok::Pred(PredOp::Eq)
+            }
+            '^' => {
+                cur.bump();
+                let (s, _) = cur
+                    .peek()
+                    .ok_or_else(|| LangError::new("attribute name expected after ^", span))?;
+                let name = cur.take_while(s, is_sym_char);
+                if name.is_empty() {
+                    return Err(LangError::new("attribute name expected after ^", span));
+                }
+                Tok::Attr(name.to_string())
+            }
+            '"' => {
+                cur.bump();
+                let mut text = String::new();
+                loop {
+                    match cur.bump() {
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match cur.bump() {
+                            Some((_, 'n')) => text.push('\n'),
+                            Some((_, 't')) => text.push('\t'),
+                            Some((_, other)) => text.push(other),
+                            None => {
+                                return Err(LangError::new("unterminated string literal", span))
+                            }
+                        },
+                        Some((_, other)) => text.push(other),
+                        None => return Err(LangError::new("unterminated string literal", span)),
+                    }
+                }
+                Tok::Str(text)
+            }
+            '<' => {
+                cur.bump();
+                match cur.peek() {
+                    Some((_, '<')) => {
+                        cur.bump();
+                        Tok::LDisj
+                    }
+                    Some((_, '=')) => {
+                        cur.bump();
+                        Tok::Pred(PredOp::Le)
+                    }
+                    Some((_, '>')) => {
+                        cur.bump();
+                        Tok::Pred(PredOp::Ne)
+                    }
+                    Some((s, c2)) if is_sym_char(c2) => {
+                        let name = cur.take_while(s, is_sym_char);
+                        match cur.peek() {
+                            Some((_, '>')) => {
+                                cur.bump();
+                                Tok::Var(name.to_string())
+                            }
+                            _ => {
+                                return Err(LangError::new(
+                                    format!("unterminated variable <{name}"),
+                                    span,
+                                ))
+                            }
+                        }
+                    }
+                    _ => Tok::Pred(PredOp::Lt),
+                }
+            }
+            '>' => {
+                cur.bump();
+                match cur.peek() {
+                    Some((_, '>')) => {
+                        cur.bump();
+                        Tok::RDisj
+                    }
+                    Some((_, '=')) => {
+                        cur.bump();
+                        Tok::Pred(PredOp::Ge)
+                    }
+                    _ => Tok::Pred(PredOp::Gt),
+                }
+            }
+            '-' => {
+                cur.bump();
+                match cur.peek() {
+                    Some((i, c2)) if c2.is_ascii_digit() || c2 == '.' => {
+                        let text = cur.take_while(i, |c| {
+                            c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-'
+                        });
+                        number(&format!("-{text}"), span)?
+                    }
+                    Some((_, '-')) => {
+                        cur.bump();
+                        match cur.peek() {
+                            Some((_, '>')) => {
+                                cur.bump();
+                                Tok::Arrow
+                            }
+                            _ => return Err(LangError::new("expected --> after --", span)),
+                        }
+                    }
+                    _ => Tok::Minus,
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let text = cur.take_while(start, |c| {
+                    c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-'
+                });
+                number(text, span)?
+            }
+            s if is_sym_start(s) => {
+                let name = cur.take_while(start, is_sym_char);
+                if name == "_" {
+                    Tok::Wild
+                } else {
+                    Tok::Sym(name.to_string())
+                }
+            }
+            other => {
+                return Err(LangError::new(
+                    format!("unexpected character '{other}'"),
+                    span,
+                ));
+            }
+        };
+        out.push(Token { tok, span });
+    }
+}
+
+fn number(text: &str, span: Span) -> Result<Tok, LangError> {
+    if text.contains(['.', 'e', 'E']) {
+        text.parse::<f64>()
+            .map(Tok::Float)
+            .map_err(|_| LangError::new(format!("bad float literal '{text}'"), span))
+    } else {
+        text.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| LangError::new(format!("bad integer literal '{text}'"), span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let mut v: Vec<Tok> = lex(src).unwrap().into_iter().map(|t| t.tok).collect();
+        assert_eq!(v.pop(), Some(Tok::Eof));
+        v
+    }
+
+    #[test]
+    fn punctuation_and_arrow() {
+        assert_eq!(
+            toks("( ) { } -->"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Arrow
+            ]
+        );
+    }
+
+    #[test]
+    fn angle_disambiguation() {
+        assert_eq!(
+            toks("< <= <> << <x> > >= >>"),
+            vec![
+                Tok::Pred(PredOp::Lt),
+                Tok::Pred(PredOp::Le),
+                Tok::Pred(PredOp::Ne),
+                Tok::LDisj,
+                Tok::Var("x".into()),
+                Tok::Pred(PredOp::Gt),
+                Tok::Pred(PredOp::Ge),
+                Tok::RDisj,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 3.5 -0.25 1e3"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(-7),
+                Tok::Float(3.5),
+                Tok::Float(-0.25),
+                Tok::Float(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_attrs_vars() {
+        assert_eq!(
+            toks("job ^status <j-2> nil rule-name mod // + *"),
+            vec![
+                Tok::Sym("job".into()),
+                Tok::Attr("status".into()),
+                Tok::Var("j-2".into()),
+                Tok::Sym("nil".into()),
+                Tok::Sym("rule-name".into()),
+                Tok::Sym("mod".into()),
+                Tok::Sym("//".into()),
+                Tok::Sym("+".into()),
+                Tok::Sym("*".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_negation_vs_arrow() {
+        assert_eq!(
+            toks("-( - -3 -->"),
+            vec![
+                Tok::Minus,
+                Tok::LParen,
+                Tok::Minus,
+                Tok::Int(-3),
+                Tok::Arrow
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hello" "a\nb" "q\"q""#),
+            vec![
+                Tok::Str("hello".into()),
+                Tok::Str("a\nb".into()),
+                Tok::Str("q\"q".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("foo ; a comment ( ) <x>\nbar"),
+            vec![Tok::Sym("foo".into()), Tok::Sym("bar".into())]
+        );
+    }
+
+    #[test]
+    fn wildcard() {
+        assert_eq!(toks("_ _x"), vec![Tok::Wild, Tok::Sym("_x".into())]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("foo\n  bar").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("<unclosed").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("--").is_err());
+        assert!(lex("98765432109876543210987").is_err()); // i64 overflow
+    }
+
+    #[test]
+    fn eq_pred() {
+        assert_eq!(toks("="), vec![Tok::Pred(PredOp::Eq)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! # parulel-lang
+//!
+//! The PARULEL surface language: an OPS5-style s-expression syntax for
+//! classes (`literalize`), object-level rules (`p`), and meta-rules (`mp`),
+//! compiled to the [`parulel_core`] IR.
+//!
+//! ## Syntax overview
+//!
+//! ```lisp
+//! (literalize job id len machine status)
+//! (literalize machine id free)
+//!
+//! (p schedule
+//!   (job ^id <j> ^len <l> ^machine nil ^status pending)
+//!   (machine ^id <m> ^free yes)
+//!   -(halted)                          ; negated CE
+//!   (test (> <l> 0))                   ; predicate test
+//!  -->
+//!   (modify 1 ^machine <m> ^status running)
+//!   (modify 2 ^free no)
+//!   (write scheduled <j> on <m>))
+//!
+//! (mp one-job-per-machine              ; meta-rule
+//!   (inst schedule (job ^len <l1>) (machine ^id <m>))
+//!   (inst schedule (job ^len <l2>) (machine ^id <m>))
+//!   (test (> <l1> <l2>))
+//!  -->
+//!   (redact 1))
+//! ```
+//!
+//! Attribute value forms inside a pattern:
+//!
+//! * `^attr pending` / `^attr 3` / `^attr 1.5` — constant equality
+//! * `^attr <v>` — variable (first occurrence binds, later ones test)
+//! * `^attr > 3`, `^attr <> <v>` — single predicate restriction
+//! * `^attr { > 0 <= <max> }` — conjunction of restrictions
+//! * `^attr << red green blue >>` — disjunction of constants
+//!
+//! RHS actions: `make`, `remove k`, `modify k ^attr val…`, `bind <v> expr`,
+//! `write …`, `halt`. Arithmetic: `(+ a b)`, `(- a b)`, `(* a b)`,
+//! `(// a b)`, `(mod a b)` — nestable.
+//!
+//! ## Entry points
+//!
+//! * [`parse`] — source → [`ast::SrcProgram`]
+//! * [`compile`] — source → [`parulel_core::Program`] (parse + semantic
+//!   analysis + IR generation)
+//! * [`printer::print_program`] — AST → canonical source (round-trips
+//!   through [`parse`]; property-tested)
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compiler;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::SrcProgram;
+pub use compiler::compile_ast;
+pub use error::{LangError, Span};
+
+/// Parses PARULEL source into an AST.
+pub fn parse(src: &str) -> Result<ast::SrcProgram, LangError> {
+    parser::Parser::new(src)?.parse_program()
+}
+
+/// Compiles PARULEL source to an executable [`parulel_core::Program`].
+/// Any `(wm …)` blocks are validated but not materialized — use
+/// [`compile_with_wm`] when the source carries its own initial facts.
+pub fn compile(src: &str) -> Result<parulel_core::Program, LangError> {
+    compile_ast(&parse(src)?)
+}
+
+/// Compiles PARULEL source *and* materializes its `(wm …)` blocks into an
+/// initial working memory — everything a self-contained program file
+/// needs to run.
+pub fn compile_with_wm(
+    src: &str,
+) -> Result<(parulel_core::Program, parulel_core::WorkingMemory), LangError> {
+    let ast = parse(src)?;
+    let program = compile_ast(&ast)?;
+    let wm = compiler::initial_wm(&program, &ast)?;
+    Ok((program, wm))
+}

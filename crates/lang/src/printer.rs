@@ -1,0 +1,380 @@
+//! Canonical pretty-printer: AST → source text.
+//!
+//! The printer and [`crate::parse`] round-trip: for any well-formed AST,
+//! `parse(print(ast))` yields an AST equal to the original modulo spans.
+//! This is property-tested in the crate's test suite and used by tooling
+//! that rewrites programs (e.g. the copy-and-constrain explainer).
+
+use crate::ast::*;
+use parulel_core::expr::BinOp;
+use std::fmt::Write;
+
+/// Prints a whole program.
+pub fn print_program(p: &SrcProgram) -> String {
+    let mut out = String::new();
+    for decl in &p.decls {
+        match decl {
+            Decl::Literalize { name, attrs, .. } => {
+                let _ = write!(out, "(literalize {name}");
+                for a in attrs {
+                    let _ = write!(out, " {a}");
+                }
+                out.push_str(")\n");
+            }
+            Decl::Rule(r) => print_rule(&mut out, r),
+            Decl::Meta(m) => print_meta(&mut out, m),
+            Decl::WmFacts { facts, .. } => {
+                out.push_str("(wm\n");
+                for f in facts {
+                    out.push_str("  ");
+                    print_pattern(&mut out, f);
+                    out.push('\n');
+                }
+                out.push_str(")\n");
+            }
+        }
+    }
+    out
+}
+
+fn print_rule(out: &mut String, r: &AstRule) {
+    let _ = writeln!(out, "(p {}", r.name);
+    for ce in &r.ces {
+        match ce {
+            Ce::Pattern(pat) => {
+                out.push_str("  ");
+                if pat.negated {
+                    out.push('-');
+                }
+                print_pattern(out, pat);
+                out.push('\n');
+            }
+            Ce::Test(t) => {
+                out.push_str("  (test ");
+                print_test(out, t);
+                out.push_str(")\n");
+            }
+        }
+    }
+    out.push_str(" -->\n");
+    for a in &r.actions {
+        out.push_str("  ");
+        print_action(out, a);
+        out.push('\n');
+    }
+    out.push_str(")\n");
+}
+
+fn print_pattern(out: &mut String, pat: &PatternCe) {
+    let _ = write!(out, "({}", pat.class);
+    for spec in &pat.attrs {
+        let _ = write!(out, " ^{}", spec.attr);
+        match spec.restrictions.as_slice() {
+            [Restriction::OneOf(cs)] => {
+                out.push_str(" <<");
+                for c in cs {
+                    out.push(' ');
+                    print_const(out, c);
+                }
+                out.push_str(" >>");
+            }
+            [single] => {
+                out.push(' ');
+                print_restriction(out, single);
+            }
+            many => {
+                out.push_str(" {");
+                for r in many {
+                    out.push(' ');
+                    print_restriction(out, r);
+                }
+                out.push_str(" }");
+            }
+        }
+    }
+    out.push(')');
+}
+
+fn print_restriction(out: &mut String, r: &Restriction) {
+    match r {
+        Restriction::Cmp(op, term) => {
+            if *op != parulel_core::expr::PredOp::Eq {
+                let _ = write!(out, "{op} ");
+            }
+            print_term(out, term);
+        }
+        Restriction::OneOf(cs) => {
+            out.push_str("<<");
+            for c in cs {
+                out.push(' ');
+                print_const(out, c);
+            }
+            out.push_str(" >>");
+        }
+    }
+}
+
+fn print_const(out: &mut String, c: &Const) {
+    match c {
+        // Symbols that would not re-lex as a plain symbol are quoted.
+        Const::Sym(s) if needs_quoting(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Const::Sym(s) => out.push_str(s),
+        Const::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Const::Float(f) => {
+            let _ = write!(out, "{f:?}");
+        }
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s == "_"
+        || s.starts_with(|c: char| c.is_ascii_digit() || c == '-')
+        || s.chars().any(|c| {
+            c.is_whitespace()
+                || matches!(c, '(' | ')' | '{' | '}' | '^' | '<' | '>' | '=' | ';' | '"')
+        })
+}
+
+fn print_term(out: &mut String, t: &Term) {
+    match t {
+        Term::Const(c) => print_const(out, c),
+        Term::Var(v) => {
+            let _ = write!(out, "<{v}>");
+        }
+    }
+}
+
+fn print_expr(out: &mut String, e: &AstExpr) {
+    match e {
+        AstExpr::Term(t) => print_term(out, t),
+        AstExpr::Bin(op, l, r) => {
+            let name = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "//",
+                BinOp::Mod => "mod",
+            };
+            let _ = write!(out, "({name} ");
+            print_expr(out, l);
+            out.push(' ');
+            print_expr(out, r);
+            out.push(')');
+        }
+    }
+}
+
+fn print_test(out: &mut String, t: &AstTest) {
+    let _ = write!(out, "({} ", t.op);
+    print_expr(out, &t.lhs);
+    out.push(' ');
+    print_expr(out, &t.rhs);
+    out.push(')');
+}
+
+fn print_action(out: &mut String, a: &AstAction) {
+    match a {
+        AstAction::Make { class, sets, .. } => {
+            let _ = write!(out, "(make {class}");
+            print_sets(out, sets);
+            out.push(')');
+        }
+        AstAction::Remove { ce, .. } => {
+            let _ = write!(out, "(remove {ce})");
+        }
+        AstAction::Modify { ce, sets, .. } => {
+            let _ = write!(out, "(modify {ce}");
+            print_sets(out, sets);
+            out.push(')');
+        }
+        AstAction::Bind { var, expr, .. } => {
+            let _ = write!(out, "(bind <{var}> ");
+            print_expr(out, expr);
+            out.push(')');
+        }
+        AstAction::Write { exprs, .. } => {
+            out.push_str("(write");
+            for e in exprs {
+                out.push(' ');
+                print_expr(out, e);
+            }
+            out.push(')');
+        }
+        AstAction::Halt { .. } => out.push_str("(halt)"),
+    }
+}
+
+fn print_sets(out: &mut String, sets: &[(String, AstExpr)]) {
+    for (attr, e) in sets {
+        let _ = write!(out, " ^{attr} ");
+        print_expr(out, e);
+    }
+}
+
+fn print_meta(out: &mut String, m: &AstMeta) {
+    let _ = writeln!(out, "(mp {}", m.name);
+    for ce in &m.ces {
+        match ce {
+            MetaCeAst::Inst { rule, pats, .. } => {
+                let _ = write!(out, "  (inst {rule}");
+                for p in pats {
+                    out.push(' ');
+                    match p {
+                        MetaPat::Wild => out.push('_'),
+                        MetaPat::Pattern(pat) => print_pattern(out, pat),
+                    }
+                }
+                out.push_str(")\n");
+            }
+            MetaCeAst::Test(t) => {
+                out.push_str("  (test ");
+                print_test(out, t);
+                out.push_str(")\n");
+            }
+        }
+    }
+    out.push_str(" -->\n");
+    for r in &m.redacts {
+        let _ = writeln!(out, "  (redact {r})");
+    }
+    out.push_str(")\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strips spans so ASTs can be compared structurally.
+    fn normalize(mut p: SrcProgram) -> SrcProgram {
+        use crate::error::Span;
+        fn fix_pat(p: &mut PatternCe) {
+            p.span = Span::default();
+        }
+        fn fix_test(t: &mut AstTest) {
+            t.span = Span::default();
+        }
+        for d in &mut p.decls {
+            match d {
+                Decl::Literalize { span, .. } => *span = Span::default(),
+                Decl::Rule(r) => {
+                    r.span = Span::default();
+                    for ce in &mut r.ces {
+                        match ce {
+                            Ce::Pattern(pat) => fix_pat(pat),
+                            Ce::Test(t) => fix_test(t),
+                        }
+                    }
+                    for a in &mut r.actions {
+                        match a {
+                            AstAction::Make { span, .. }
+                            | AstAction::Remove { span, .. }
+                            | AstAction::Modify { span, .. }
+                            | AstAction::Bind { span, .. }
+                            | AstAction::Write { span, .. }
+                            | AstAction::Halt { span } => *span = Span::default(),
+                        }
+                    }
+                }
+                Decl::WmFacts { span, facts } => {
+                    *span = Span::default();
+                    for f in facts {
+                        fix_pat(f);
+                    }
+                }
+                Decl::Meta(m) => {
+                    m.span = Span::default();
+                    for ce in &mut m.ces {
+                        match ce {
+                            MetaCeAst::Inst { span, pats, .. } => {
+                                *span = Span::default();
+                                for p in pats {
+                                    if let MetaPat::Pattern(pat) = p {
+                                        fix_pat(pat);
+                                    }
+                                }
+                            }
+                            MetaCeAst::Test(t) => fix_test(t),
+                        }
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    fn roundtrip(src: &str) {
+        let ast1 = normalize(parse(src).unwrap());
+        let printed = print_program(&ast1);
+        let ast2 = normalize(
+            parse(&printed)
+                .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}")),
+        );
+        assert_eq!(ast1, ast2, "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_kitchen_sink() {
+        roundtrip(
+            "(literalize job id len machine status)
+             (literalize machine id free)
+             (p schedule
+               (job ^id <j> ^len { > 0 <= 100 } ^machine nil ^status << pending held >>)
+               -(machine ^id <j> ^free no)
+               (test (> (+ <j> 1) 0))
+              -->
+               (make machine ^id (* <j> 2) ^free yes)
+               (modify 1 ^status running)
+               (remove 1)
+               (bind <w> (mod <j> 7))
+               (write \"fired:\" <w>)
+               (halt))
+             (mp prefer
+               (inst schedule (job ^len <l1>) _)
+               (inst schedule (job ^len <l2>))
+               (test (> <l1> <l2>))
+              -->
+               (redact 1))",
+        );
+    }
+
+    #[test]
+    fn roundtrip_negative_numbers_and_floats() {
+        roundtrip(
+            "(literalize a x)
+             (p r (a ^x -3) (a ^x 2.5) (a ^x -0.125) --> (make a ^x (- 0 1)))",
+        );
+    }
+
+    #[test]
+    fn quoted_symbols_survive() {
+        roundtrip(
+            "(literalize a x)
+             (p r (a ^x \"two words\") --> (write \"a;b\" \"-lead\" \"12x\"))",
+        );
+    }
+
+    #[test]
+    fn roundtrip_wm_facts() {
+        roundtrip(
+            "(literalize job id len)
+             (wm (job ^id 1 ^len 5)
+                 (job ^id 2)
+                 (job))
+             (p r (job ^id <j>) --> (remove 1))",
+        );
+    }
+
+    #[test]
+    fn wildcard_symbol_is_quoted() {
+        // A symbol spelled "_" must print quoted or it would re-lex as Wild.
+        let mut out = String::new();
+        print_const(&mut out, &Const::Sym("_".into()));
+        assert_eq!(out, "\"_\"");
+    }
+}

@@ -1,0 +1,78 @@
+//! Token definitions for the PARULEL lexer.
+
+use crate::error::Span;
+use parulel_core::expr::PredOp;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<<` — opens a disjunction of constants.
+    LDisj,
+    /// `>>` — closes a disjunction.
+    RDisj,
+    /// `-->`
+    Arrow,
+    /// `-` immediately before `(` — marks a negated CE; also the binary
+    /// minus inside arithmetic calls.
+    Minus,
+    /// `^attr`
+    Attr(String),
+    /// `<name>`
+    Var(String),
+    /// A bare symbol / identifier (`job`, `nil`, `yes`, `+`, `mod`, …).
+    Sym(String),
+    /// A string literal (interned as a symbol at compile time).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// A comparison predicate: `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    Pred(PredOp),
+    /// `_` — wildcard (meta-rule positional patterns).
+    Wild,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LDisj => write!(f, "<<"),
+            Tok::RDisj => write!(f, ">>"),
+            Tok::Arrow => write!(f, "-->"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Attr(a) => write!(f, "^{a}"),
+            Tok::Var(v) => write!(f, "<{v}>"),
+            Tok::Sym(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x:?}"),
+            Tok::Pred(p) => write!(f, "{p}"),
+            Tok::Wild => write!(f, "_"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}

@@ -1,0 +1,58 @@
+//! Robustness properties: the lexer/parser/compiler never panic — any
+//! byte soup either parses or returns a located `LangError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_total_on_arbitrary_strings(src in ".{0,200}") {
+        let _ = parulel_lang::lexer::lex(&src); // must not panic
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(src in ".{0,200}") {
+        let _ = parulel_lang::parse(&src); // must not panic
+    }
+
+    #[test]
+    fn compiler_total_on_paren_soup(
+        src in r#"[() a-z0-9<>^{}\-=;"]{0,160}"#
+    ) {
+        // biased toward token-shaped garbage to reach deeper phases
+        let _ = parulel_lang::compile_with_wm(&src); // must not panic
+    }
+
+    #[test]
+    fn compiler_total_on_mangled_programs(
+        head in prop::sample::select(vec![
+            "(literalize a x y)",
+            "(literalize a x y) (p r (a ^x <v>) -->",
+            "(p r (a ^x <v>) --> (remove 1))",
+            "(mp m (inst r) --> (redact 1))",
+            "(wm (a ^x 1))",
+        ]),
+        tail in r#"[() a-z0-9<>^{}\-=]{0,60}"#,
+    ) {
+        let src = format!("{head} {tail}");
+        let _ = parulel_lang::compile_with_wm(&src); // must not panic
+    }
+}
+
+#[test]
+fn errors_carry_positions_on_deep_garbage() {
+    for src in [
+        "((((((((((",
+        "(p (p (p",
+        "(literalize literalize literalize)",
+        "(p r (a ^ ^ ^) --> )",
+        "(wm (wm (wm)))",
+        "\u{0}\u{1}\u{2}",
+        "(p r (a ^x <<<<<>>>>>) --> (halt))",
+    ] {
+        if let Err(e) = parulel_lang::compile_with_wm(src) {
+            assert!(e.span.line >= 1, "{src:?} -> {e}");
+        }
+    }
+}

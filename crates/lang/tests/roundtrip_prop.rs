@@ -1,0 +1,280 @@
+//! Property test: for any well-formed AST the pretty-printer emits source
+//! that re-parses to the same AST (modulo spans).
+
+use parulel_core::expr::{BinOp, PredOp};
+use parulel_lang::ast::*;
+use parulel_lang::error::Span;
+use parulel_lang::printer::print_program;
+use proptest::prelude::*;
+
+// ---------- generators ----------
+
+fn ident() -> impl Strategy<Value = String> {
+    // identifiers the lexer accepts as bare symbols
+    "[a-z][a-z0-9-]{0,6}".prop_map(|s| s)
+}
+
+fn constant() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        ident().prop_map(Const::Sym),
+        // quoted-symbol path: strings with spaces and reserved chars
+        "[a-z ;^<>=()]{1,8}".prop_map(Const::Sym),
+        (-1000i64..1000).prop_map(Const::Int),
+        (-100.0f64..100.0).prop_map(|f| Const::Float((f * 4.0).round() / 4.0)),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        constant().prop_map(Term::Const),
+        ident().prop_map(Term::Var),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = PredOp> {
+    prop_oneof![
+        Just(PredOp::Eq),
+        Just(PredOp::Ne),
+        Just(PredOp::Lt),
+        Just(PredOp::Le),
+        Just(PredOp::Gt),
+        Just(PredOp::Ge),
+    ]
+}
+
+fn restriction() -> impl Strategy<Value = Restriction> {
+    prop_oneof![
+        3 => (pred(), term()).prop_map(|(op, t)| Restriction::Cmp(op, t)),
+        1 => prop::collection::vec(constant(), 1..3).prop_map(Restriction::OneOf),
+    ]
+}
+
+fn attr_spec() -> impl Strategy<Value = AttrSpec> {
+    (ident(), prop::collection::vec(restriction(), 1..3))
+        .prop_map(|(attr, restrictions)| AttrSpec { attr, restrictions })
+}
+
+fn pattern(negated: bool) -> impl Strategy<Value = PatternCe> {
+    (ident(), prop::collection::vec(attr_spec(), 0..3)).prop_map(move |(class, attrs)| PatternCe {
+        negated,
+        class,
+        attrs,
+        span: Span::default(),
+    })
+}
+
+fn expr() -> impl Strategy<Value = AstExpr> {
+    let leaf = term().prop_map(AstExpr::Term);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::Mod),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| AstExpr::Bin(op, Box::new(l), Box::new(r)))
+    })
+}
+
+fn test_ce() -> impl Strategy<Value = AstTest> {
+    (pred(), expr(), expr()).prop_map(|(op, lhs, rhs)| AstTest {
+        op,
+        lhs,
+        rhs,
+        span: Span::default(),
+    })
+}
+
+fn ce() -> impl Strategy<Value = Ce> {
+    prop_oneof![
+        3 => pattern(false).prop_map(Ce::Pattern),
+        1 => pattern(true).prop_map(Ce::Pattern),
+        1 => test_ce().prop_map(Ce::Test),
+    ]
+}
+
+fn action() -> impl Strategy<Value = AstAction> {
+    prop_oneof![
+        (ident(), prop::collection::vec((ident(), expr()), 0..3)).prop_map(|(class, sets)| {
+            AstAction::Make {
+                class,
+                sets,
+                span: Span::default(),
+            }
+        }),
+        (1u8..5).prop_map(|ce| AstAction::Remove {
+            ce,
+            span: Span::default()
+        }),
+        (1u8..5, prop::collection::vec((ident(), expr()), 0..2)).prop_map(|(ce, sets)| {
+            AstAction::Modify {
+                ce,
+                sets,
+                span: Span::default(),
+            }
+        }),
+        (ident(), expr()).prop_map(|(var, expr)| AstAction::Bind {
+            var,
+            expr,
+            span: Span::default()
+        }),
+        prop::collection::vec(expr(), 0..3).prop_map(|exprs| AstAction::Write {
+            exprs,
+            span: Span::default()
+        }),
+        Just(AstAction::Halt {
+            span: Span::default()
+        }),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = AstRule> {
+    (
+        ident(),
+        // first CE must be a pattern (rule LHS cannot start with a test,
+        // and the printer/parser pair should preserve that invariant)
+        pattern(false),
+        prop::collection::vec(ce(), 0..3),
+        prop::collection::vec(action(), 0..4),
+    )
+        .prop_map(|(name, first, rest, actions)| {
+            let mut ces = vec![Ce::Pattern(first)];
+            ces.extend(rest);
+            AstRule {
+                name,
+                ces,
+                actions,
+                span: Span::default(),
+            }
+        })
+}
+
+fn meta_pat() -> impl Strategy<Value = MetaPat> {
+    prop_oneof![
+        Just(MetaPat::Wild),
+        pattern(false).prop_map(MetaPat::Pattern),
+    ]
+}
+
+fn meta() -> impl Strategy<Value = AstMeta> {
+    (
+        ident(),
+        (ident(), prop::collection::vec(meta_pat(), 0..3)),
+        prop::collection::vec(test_ce(), 0..2),
+        prop::collection::vec(1u8..4, 1..3),
+    )
+        .prop_map(|(name, (rule, pats), tests, redacts)| {
+            let mut ces = vec![MetaCeAst::Inst {
+                rule,
+                pats,
+                span: Span::default(),
+            }];
+            ces.extend(tests.into_iter().map(MetaCeAst::Test));
+            AstMeta {
+                name,
+                ces,
+                redacts,
+                span: Span::default(),
+            }
+        })
+}
+
+fn decl() -> impl Strategy<Value = Decl> {
+    prop_oneof![
+        (ident(), prop::collection::vec(ident(), 0..4)).prop_map(|(name, attrs)| {
+            Decl::Literalize {
+                name,
+                attrs,
+                span: Span::default(),
+            }
+        }),
+        rule().prop_map(Decl::Rule),
+        meta().prop_map(Decl::Meta),
+        prop::collection::vec(pattern(false), 1..3).prop_map(|facts| Decl::WmFacts {
+            facts,
+            span: Span::default()
+        }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = SrcProgram> {
+    prop::collection::vec(decl(), 1..5).prop_map(|decls| SrcProgram { decls })
+}
+
+// ---------- normalization (strip spans) ----------
+
+fn strip(mut p: SrcProgram) -> SrcProgram {
+    fn fix_pat(pat: &mut PatternCe) {
+        pat.span = Span::default();
+    }
+    fn fix_test(t: &mut AstTest) {
+        t.span = Span::default();
+    }
+    for d in &mut p.decls {
+        match d {
+            Decl::Literalize { span, .. } => *span = Span::default(),
+            Decl::WmFacts { span, facts } => {
+                *span = Span::default();
+                facts.iter_mut().for_each(fix_pat);
+            }
+            Decl::Rule(r) => {
+                r.span = Span::default();
+                for ce in &mut r.ces {
+                    match ce {
+                        Ce::Pattern(pat) => fix_pat(pat),
+                        Ce::Test(t) => fix_test(t),
+                    }
+                }
+                for a in &mut r.actions {
+                    match a {
+                        AstAction::Make { span, .. }
+                        | AstAction::Remove { span, .. }
+                        | AstAction::Modify { span, .. }
+                        | AstAction::Bind { span, .. }
+                        | AstAction::Write { span, .. }
+                        | AstAction::Halt { span } => *span = Span::default(),
+                    }
+                }
+            }
+            Decl::Meta(m) => {
+                m.span = Span::default();
+                for ce in &mut m.ces {
+                    match ce {
+                        MetaCeAst::Inst { span, pats, .. } => {
+                            *span = Span::default();
+                            for pat in pats {
+                                if let MetaPat::Pattern(p) = pat {
+                                    fix_pat(p);
+                                }
+                            }
+                        }
+                        MetaCeAst::Test(t) => fix_test(t),
+                    }
+                }
+            }
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_then_parse_is_identity(ast in program()) {
+        let printed = print_program(&ast);
+        let reparsed = parulel_lang::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(
+            strip(ast),
+            strip(reparsed),
+            "--- printed ---\n{}",
+            printed
+        );
+    }
+}

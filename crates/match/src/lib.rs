@@ -1,0 +1,75 @@
+//! # parulel-match
+//!
+//! Match engines for the PARULEL reproduction. Matching — computing the
+//! conflict set of all rule instantiations — dominates production-system
+//! run time, and PARULEL's parallel cycle depends on *incremental*,
+//! *state-saving* match: each cycle only the working-memory delta is
+//! pushed through the network.
+//!
+//! Four engines, one [`Matcher`] trait:
+//!
+//! * [`NaiveMatcher`] — recomputes the conflict set from scratch on demand.
+//!   Exists as the correctness oracle the incremental engines are
+//!   property-tested against, and as the "no state saving" baseline in
+//!   the Figure 2 ablation.
+//! * [`Rete`] — the classic state-saving network (Forgy 1982): per-CE alpha
+//!   memories with constant tests, hash-indexed equality joins, beta token
+//!   memories, and counted negative nodes. Add *and* remove are
+//!   incremental.
+//! * [`Treat`] — Miranker's alpha-memory-only alternative: no beta
+//!   memories; the conflict set itself is the only join state. Adds seed
+//!   enumeration at each matching CE position; removes delete conflict-set
+//!   entries directly. Cheaper on remove-heavy programs, pays join
+//!   recomputation on adds.
+//! * [`Partitioned`] — PARULEL's parallel match: rules are partitioned
+//!   across workers, each owning a private RETE (or TREAT) over the same
+//!   WME stream; deltas are applied to all workers in parallel (rayon) and
+//!   the conflict set is the union. Combine with the copy-and-constrain
+//!   transform (in `parulel-engine`) to split hot rules across workers.
+
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod naive;
+pub mod partitioned;
+pub mod rete;
+pub mod treat;
+
+pub use naive::NaiveMatcher;
+pub use partitioned::Partitioned;
+pub use rete::Rete;
+pub use treat::Treat;
+
+use parulel_core::{ConflictSet, Wme, WorkingMemory};
+
+/// A match engine: consumes working-memory changes, maintains the conflict
+/// set.
+pub trait Matcher: Send {
+    /// Feeds one asserted WME through the network.
+    fn add_wme(&mut self, wme: &Wme);
+
+    /// Feeds one retracted WME through the network.
+    fn remove_wme(&mut self, wme: &Wme);
+
+    /// Applies a batch of changes (removes first, then adds — the order
+    /// the engine applies deltas in). Parallel matchers override this to
+    /// process the whole batch per worker.
+    fn apply(&mut self, removed: &[Wme], added: &[Wme]) {
+        for w in removed {
+            self.remove_wme(w);
+        }
+        for w in added {
+            self.add_wme(w);
+        }
+    }
+
+    /// Seeds the network from an initial working memory.
+    fn seed(&mut self, wm: &WorkingMemory) {
+        for w in wm.iter() {
+            self.add_wme(w);
+        }
+    }
+
+    /// The current conflict set.
+    fn conflict_set(&mut self) -> &ConflictSet;
+}

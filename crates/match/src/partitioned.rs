@@ -1,0 +1,215 @@
+//! PARULEL's parallel match: rule-level partitioning across workers.
+//!
+//! Each worker owns a private matcher (RETE or TREAT) built over a subset
+//! of the program's rules; every working-memory delta is applied to all
+//! workers **in parallel** (a rayon fork-join per batch), and the conflict
+//! set is the union of the workers' sets.
+//!
+//! Rule-level partitioning was the decomposition of choice for
+//! production-system machines of the PARULEL era (DADO, PSM): no shared
+//! match state, no synchronization inside the match phase, perfect
+//! determinism. Its weakness — one hot rule can dominate a worker — is
+//! exactly what the *copy-and-constrain* transform (`parulel-engine`)
+//! addresses by splitting hot rules into hash-disjoint copies first.
+
+use crate::{Matcher, Rete, Treat};
+use parulel_core::{ConflictSet, Program, RuleId, Wme};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A matcher that distributes rules across `n` inner matchers and applies
+/// deltas to them in parallel.
+pub struct Partitioned<M: Matcher> {
+    workers: Vec<M>,
+    merged: ConflictSet,
+    dirty: bool,
+}
+
+/// Round-robin rule partition: rule *i* goes to worker *i mod n*.
+pub fn round_robin(num_rules: usize, n: usize) -> Vec<Vec<RuleId>> {
+    let n = n.max(1);
+    let mut parts = vec![Vec::new(); n];
+    for i in 0..num_rules {
+        parts[i % n].push(RuleId(i as u32));
+    }
+    parts
+}
+
+impl<M: Matcher> Partitioned<M> {
+    /// Builds a partitioned matcher with `n` workers, constructing each
+    /// worker with `make(program, rules)`.
+    pub fn new_with(
+        program: Arc<Program>,
+        n: usize,
+        make: impl Fn(Arc<Program>, Vec<RuleId>) -> M,
+    ) -> Self {
+        let parts = round_robin(program.rules().len(), n);
+        let workers = parts
+            .into_iter()
+            .map(|rules| make(program.clone(), rules))
+            .collect();
+        Partitioned {
+            workers,
+            merged: ConflictSet::new(),
+            dirty: true,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Partitioned<Rete> {
+    /// `n` RETE workers over `program`.
+    pub fn rete(program: Arc<Program>, n: usize) -> Self {
+        Self::new_with(program, n, Rete::with_rules)
+    }
+}
+
+impl Partitioned<Treat> {
+    /// `n` TREAT workers over `program`.
+    pub fn treat(program: Arc<Program>, n: usize) -> Self {
+        Self::new_with(program, n, Treat::with_rules)
+    }
+}
+
+impl<M: Matcher> Matcher for Partitioned<M> {
+    fn add_wme(&mut self, wme: &Wme) {
+        for w in &mut self.workers {
+            w.add_wme(wme);
+        }
+        self.dirty = true;
+    }
+
+    fn remove_wme(&mut self, wme: &Wme) {
+        for w in &mut self.workers {
+            w.remove_wme(wme);
+        }
+        self.dirty = true;
+    }
+
+    fn apply(&mut self, removed: &[Wme], added: &[Wme]) {
+        self.workers.par_iter_mut().for_each(|w| {
+            w.apply(removed, added);
+        });
+        self.dirty = true;
+    }
+
+    fn seed(&mut self, wm: &parulel_core::WorkingMemory) {
+        let all: Vec<Wme> = wm.iter().cloned().collect();
+        self.workers.par_iter_mut().for_each(|w| {
+            for wme in &all {
+                w.add_wme(wme);
+            }
+        });
+        self.dirty = true;
+    }
+
+    fn conflict_set(&mut self) -> &ConflictSet {
+        if self.dirty {
+            let mut merged = ConflictSet::new();
+            for w in &mut self.workers {
+                for inst in w.conflict_set().iter() {
+                    merged.insert(inst.clone());
+                }
+            }
+            self.merged = merged;
+            self.dirty = false;
+        }
+        &self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveMatcher;
+    use parulel_core::{Value, WorkingMemory};
+    use parulel_lang::compile;
+
+    const SRC: &str = "
+        (literalize a x)
+        (literalize b y)
+        (p r1 (a ^x <v>) (b ^y <v>) --> (halt))
+        (p r2 (a ^x <v>) -(b ^y <v>) --> (halt))
+        (p r3 (b ^y { > 5 }) --> (halt))
+        (p r4 (a ^x <v>) (a ^x <v>) --> (halt))";
+
+    fn setup() -> (Arc<Program>, WorkingMemory) {
+        let p = Arc::new(compile(SRC).unwrap());
+        let mut wm = WorkingMemory::new(&p.classes);
+        let a = p.classes.id_of(p.interner.intern("a")).unwrap();
+        let b = p.classes.id_of(p.interner.intern("b")).unwrap();
+        for v in 0..8 {
+            wm.insert(a, vec![Value::Int(v)]);
+            if v % 2 == 0 {
+                wm.insert(b, vec![Value::Int(v)]);
+            }
+        }
+        (p, wm)
+    }
+
+    #[test]
+    fn partitioned_equals_monolithic() {
+        let (p, wm) = setup();
+        let mut reference = NaiveMatcher::new(p.clone());
+        reference.seed(&wm);
+        let want = reference.conflict_set().sorted_keys();
+        for n in [1, 2, 3, 8] {
+            let mut m = Partitioned::rete(p.clone(), n);
+            m.seed(&wm);
+            assert_eq!(m.conflict_set().sorted_keys(), want, "rete n={n}");
+            let mut m = Partitioned::treat(p.clone(), n);
+            m.seed(&wm);
+            assert_eq!(m.conflict_set().sorted_keys(), want, "treat n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_apply_matches_single_steps() {
+        let (p, wm) = setup();
+        let all: Vec<Wme> = wm.sorted_snapshot();
+        let mut batch = Partitioned::rete(p.clone(), 3);
+        batch.apply(&[], &all);
+        let mut single = Partitioned::rete(p.clone(), 3);
+        for w in &all {
+            single.add_wme(w);
+        }
+        assert_eq!(
+            batch.conflict_set().sorted_keys(),
+            single.conflict_set().sorted_keys()
+        );
+        // and removal of half the WMEs
+        let (dead, _live) = all.split_at(all.len() / 2);
+        batch.apply(dead, &[]);
+        for w in dead {
+            single.remove_wme(w);
+        }
+        assert_eq!(
+            batch.conflict_set().sorted_keys(),
+            single.conflict_set().sorted_keys()
+        );
+    }
+
+    #[test]
+    fn round_robin_covers_all_rules() {
+        let parts = round_robin(10, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 10);
+        let mut all: Vec<u32> = parts.iter().flatten().map(|r| r.0).collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_rules_is_fine() {
+        let (p, wm) = setup();
+        let mut m = Partitioned::rete(p.clone(), 64);
+        m.seed(&wm);
+        assert!(!m.conflict_set().is_empty());
+        assert_eq!(m.num_workers(), 64);
+    }
+}

@@ -1,0 +1,735 @@
+//! An incremental RETE network (Forgy 1982), the state-saving matcher
+//! PARULEL's cycle is built on.
+//!
+//! ## Structure
+//!
+//! One linear network per rule ("rule net"): level *k* of a net
+//! corresponds to condition element *k* in join order.
+//!
+//! * Every level owns an **alpha memory**: the WMEs of the CE's class that
+//!   pass its constant (alpha) tests, hash-indexed by the level's
+//!   **equality join keys** (the `(slot, var)` pairs where the CE equates
+//!   a field with a variable bound by an earlier CE).
+//! * A **token** is a consistent match of the first *k* CEs: the matched
+//!   positive WMEs, their ids (the token key), and the variable bindings.
+//! * Positive levels join input tokens (the previous level's outputs, or
+//!   the root token) with their alpha memory; candidates come from the
+//!   hash index, residual beta tests and anchored rule tests run per
+//!   candidate.
+//! * Negative levels are **counted**: for each input token the level
+//!   stores how many alpha WMEs are consistent with it; the token passes
+//!   through while the count is zero. Adding a blocker retracts the
+//!   downstream tokens; removing the last blocker re-propagates.
+//! * The last level's outputs are the rule's instantiations, maintained
+//!   directly in the [`ConflictSet`].
+//!
+//! Alpha memories are *not* shared across rules. Sharing is a
+//! constant-factor optimization orthogonal to everything measured here,
+//! and per-rule networks are what the partitioned parallel matcher needs
+//! anyway (each worker owns whole rule nets).
+
+use crate::Matcher;
+use parulel_core::{
+    ConditionElement, ConflictSet, FxHashMap, FxHashSet, InstKey, Instantiation, Polarity, Program,
+    RuleId, TestExpr, Value, VarId, Wme, WmeId,
+};
+use std::sync::Arc;
+
+type TokKey = Arc<[WmeId]>;
+type KeyVals = Box<[Value]>;
+
+/// A partial match: the first `k` CEs of a rule, satisfied consistently.
+#[derive(Clone, Debug)]
+struct Token {
+    /// Ids of the positive WMEs matched so far (the identity).
+    key: TokKey,
+    /// The matched positive WMEs.
+    wmes: Vec<Wme>,
+    /// Variable bindings (full rule width).
+    env: Box<[Value]>,
+}
+
+/// One level of a rule net.
+struct Level {
+    ce: ConditionElement,
+    /// Rule tests anchored at this level.
+    tests: Vec<TestExpr>,
+    /// Equality join keys: `(slot, var)`.
+    keys: Vec<(u16, VarId)>,
+    /// Alpha memory: WMEs passing class + constant tests.
+    alpha: FxHashMap<WmeId, Wme>,
+    /// Alpha memory indexed by join-key values.
+    alpha_index: FxHashMap<KeyVals, FxHashSet<WmeId>>,
+    /// Input tokens (previous level's outputs) indexed by this level's
+    /// join-key values.
+    left_index: FxHashMap<KeyVals, FxHashSet<TokKey>>,
+    /// Output tokens of this level.
+    tokens: FxHashMap<TokKey, Token>,
+    /// Negative levels: per input-token key, the number of alpha WMEs
+    /// consistent with it. The token passes through iff the count is 0.
+    neg_counts: FxHashMap<TokKey, u32>,
+    /// Removal index: WME id → output tokens at this level that matched
+    /// it positively. Retracting a WME touches only these tokens instead
+    /// of scanning the level.
+    by_wme: FxHashMap<WmeId, FxHashSet<TokKey>>,
+    /// Cascade index: input-token key → output tokens at this level
+    /// derived from it (pos levels extend the key by one id; neg levels
+    /// pass it through unchanged).
+    children: FxHashMap<TokKey, FxHashSet<TokKey>>,
+}
+
+impl Level {
+    /// The input-token key an output token at this level derives from.
+    fn parent_key(&self, key: &TokKey) -> TokKey {
+        if self.is_negative() {
+            key.clone()
+        } else {
+            key[..key.len() - 1].into()
+        }
+    }
+}
+
+impl Level {
+    fn is_negative(&self) -> bool {
+        self.ce.polarity == Polarity::Negative
+    }
+
+    fn wme_keyvals(&self, wme: &Wme) -> KeyVals {
+        self.keys
+            .iter()
+            .map(|&(slot, _)| wme.field(slot as usize).join_key())
+            .collect()
+    }
+
+    fn token_keyvals(&self, tok: &Token) -> KeyVals {
+        self.keys
+            .iter()
+            .map(|&(_, var)| tok.env[var.index()].join_key())
+            .collect()
+    }
+
+    /// Does `wme` extend/block `tok` at this level (beta tests only)?
+    /// Uses a scratch env; bindings are not kept.
+    fn beta_matches(&self, tok: &Token, wme: &Wme) -> bool {
+        let mut scratch = tok.env.clone();
+        self.ce.run_beta(wme, &mut scratch)
+    }
+}
+
+/// One rule's network.
+struct RuleNet {
+    rule: RuleId,
+    levels: Vec<Level>,
+    root: Token,
+}
+
+/// The incremental RETE matcher.
+pub struct Rete {
+    nets: Vec<RuleNet>,
+    cs: ConflictSet,
+}
+
+impl Rete {
+    /// Builds a network for every rule of `program`.
+    pub fn new(program: Arc<Program>) -> Self {
+        let rules = (0..program.rules().len() as u32).map(RuleId).collect();
+        Self::with_rules(program, rules)
+    }
+
+    /// Builds networks for a subset of rules (the partitioned matcher's
+    /// workers use this).
+    pub fn with_rules(program: Arc<Program>, rules: Vec<RuleId>) -> Self {
+        let mut nets = Vec::with_capacity(rules.len());
+        let mut cs = ConflictSet::new();
+        for rid in rules {
+            let rule = program.rule(rid);
+            let mut levels: Vec<Level> = rule
+                .ces
+                .iter()
+                .enumerate()
+                .map(|(k, ce)| Level {
+                    ce: ce.clone(),
+                    tests: rule
+                        .tests
+                        .iter()
+                        .filter(|t| t.anchor == k)
+                        .map(|t| t.test.clone())
+                        .collect(),
+                    keys: ce.eq_join_keys(rule.vars_bound_by(k)),
+                    alpha: FxHashMap::default(),
+                    alpha_index: FxHashMap::default(),
+                    left_index: FxHashMap::default(),
+                    tokens: FxHashMap::default(),
+                    neg_counts: FxHashMap::default(),
+                    by_wme: FxHashMap::default(),
+                    children: FxHashMap::default(),
+                })
+                .collect();
+            let root = Token {
+                key: Arc::from(Vec::new()),
+                wmes: Vec::new(),
+                env: vec![Value::NIL; rule.num_vars as usize].into(),
+            };
+            // Register the root token as input to level 0 and let it flow
+            // through any leading negative levels (alphas are empty now).
+            let kv = levels[0].token_keyvals(&root);
+            levels[0]
+                .left_index
+                .entry(kv)
+                .or_default()
+                .insert(root.key.clone());
+            let mut net = RuleNet {
+                rule: rid,
+                levels,
+                root,
+            };
+            if net.levels[0].is_negative() {
+                net.levels[0].neg_counts.insert(net.root.key.clone(), 0);
+                let tok = net.root.clone();
+                net.insert_token(0, tok, &mut cs);
+            }
+            nets.push(net);
+        }
+        Rete { nets, cs }
+    }
+}
+
+impl RuleNet {
+    /// Number of levels.
+    fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Extends `tok` with `wme` at positive level `k`, if consistent.
+    fn extend(&self, k: usize, tok: &Token, wme: &Wme) -> Option<Token> {
+        let level = &self.levels[k];
+        let mut env = tok.env.clone();
+        if !level.ce.run_beta(wme, &mut env) {
+            return None;
+        }
+        if !level.tests.iter().all(|t| t.check(&env)) {
+            return None;
+        }
+        let mut key: Vec<WmeId> = tok.key.to_vec();
+        key.push(wme.id);
+        let mut wmes = tok.wmes.clone();
+        wmes.push(wme.clone());
+        Some(Token {
+            key: key.into(),
+            wmes,
+            env,
+        })
+    }
+
+    /// For a token passing *through* negative level `k`: anchored tests
+    /// must still hold (env is unchanged).
+    fn neg_pass_tests(&self, k: usize, tok: &Token) -> bool {
+        self.levels[k].tests.iter().all(|t| t.check(&tok.env))
+    }
+
+    /// Inserts `tok` as an output of level `k` and propagates downstream.
+    fn insert_token(&mut self, k: usize, tok: Token, cs: &mut ConflictSet) {
+        if self.levels[k]
+            .tokens
+            .insert(tok.key.clone(), tok.clone())
+            .is_some()
+        {
+            return; // already present (idempotent)
+        }
+        for id in tok.key.iter() {
+            self.levels[k]
+                .by_wme
+                .entry(*id)
+                .or_default()
+                .insert(tok.key.clone());
+        }
+        let parent = self.levels[k].parent_key(&tok.key);
+        self.levels[k]
+            .children
+            .entry(parent)
+            .or_default()
+            .insert(tok.key.clone());
+        if k + 1 == self.depth() {
+            cs.insert(Instantiation::new(
+                self.rule,
+                tok.wmes.clone(),
+                tok.env.to_vec(),
+            ));
+            return;
+        }
+        let next = k + 1;
+        let kv = self.levels[next].token_keyvals(&tok);
+        self.levels[next]
+            .left_index
+            .entry(kv.clone())
+            .or_default()
+            .insert(tok.key.clone());
+        if self.levels[next].is_negative() {
+            let count = match self.levels[next].alpha_index.get(&kv) {
+                Some(bucket) => {
+                    let level = &self.levels[next];
+                    bucket
+                        .iter()
+                        .filter(|wid| level.beta_matches(&tok, &level.alpha[wid]))
+                        .count() as u32
+                }
+                None => 0,
+            };
+            self.levels[next].neg_counts.insert(tok.key.clone(), count);
+            if count == 0 && self.neg_pass_tests(next, &tok) {
+                self.insert_token(next, tok, cs);
+            }
+        } else {
+            let candidates: Vec<Wme> = match self.levels[next].alpha_index.get(&kv) {
+                Some(bucket) => {
+                    let level = &self.levels[next];
+                    bucket.iter().map(|wid| level.alpha[wid].clone()).collect()
+                }
+                None => Vec::new(),
+            };
+            for w in candidates {
+                if let Some(t2) = self.extend(next, &tok, &w) {
+                    self.insert_token(next, t2, cs);
+                }
+            }
+        }
+    }
+
+    /// Removes the output token with `key` from level `k`, cascading into
+    /// deeper levels and the conflict set. Tolerates already-absent keys.
+    fn remove_output(&mut self, k: usize, key: &TokKey, cs: &mut ConflictSet) {
+        let Some(tok) = self.levels[k].tokens.remove(key) else {
+            return;
+        };
+        for id in tok.key.iter() {
+            let emptied = match self.levels[k].by_wme.get_mut(id) {
+                Some(set) => {
+                    set.remove(&tok.key);
+                    set.is_empty()
+                }
+                None => false,
+            };
+            if emptied {
+                self.levels[k].by_wme.remove(id);
+            }
+        }
+        let parent = self.levels[k].parent_key(&tok.key);
+        let emptied = match self.levels[k].children.get_mut(&parent) {
+            Some(set) => {
+                set.remove(&tok.key);
+                set.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            self.levels[k].children.remove(&parent);
+        }
+        if k + 1 == self.depth() {
+            cs.remove(&InstKey {
+                rule: self.rule,
+                wmes: tok.key.clone(),
+            });
+            return;
+        }
+        let next = k + 1;
+        let kv = self.levels[next].token_keyvals(&tok);
+        let emptied = match self.levels[next].left_index.get_mut(&kv) {
+            Some(bucket) => {
+                bucket.remove(&tok.key);
+                bucket.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            self.levels[next].left_index.remove(&kv);
+        }
+        if self.levels[next].is_negative() {
+            self.levels[next].neg_counts.remove(&tok.key);
+        }
+        // Cascade: every output at the next level derived from this token.
+        if let Some(kids) = self.levels[next].children.get(&tok.key) {
+            let victims: Vec<TokKey> = kids.iter().cloned().collect();
+            for v in victims {
+                self.remove_output(next, &v, cs);
+            }
+        }
+    }
+
+    /// The input token of level `k` with `key`, if still live.
+    fn input_token(&self, k: usize, key: &TokKey) -> Option<Token> {
+        if k == 0 {
+            (key.is_empty()).then(|| self.root.clone())
+        } else {
+            self.levels[k - 1].tokens.get(key).cloned()
+        }
+    }
+
+    fn add_wme(&mut self, wme: &Wme, cs: &mut ConflictSet) {
+        for k in 0..self.depth() {
+            if !self.levels[k].ce.passes_alpha(wme) {
+                continue;
+            }
+            let kv = self.levels[k].wme_keyvals(wme);
+            self.levels[k].alpha.insert(wme.id, wme.clone());
+            self.levels[k]
+                .alpha_index
+                .entry(kv.clone())
+                .or_default()
+                .insert(wme.id);
+            let left: Vec<TokKey> = self.levels[k]
+                .left_index
+                .get(&kv)
+                .map(|b| b.iter().cloned().collect())
+                .unwrap_or_default();
+            if self.levels[k].is_negative() {
+                for tkey in left {
+                    let Some(tok) = self.input_token(k, &tkey) else {
+                        continue;
+                    };
+                    if self.levels[k].beta_matches(&tok, wme) {
+                        let count = self.levels[k]
+                            .neg_counts
+                            .get_mut(&tkey)
+                            .expect("input token without a negative count");
+                        *count += 1;
+                        if *count == 1 {
+                            self.remove_output(k, &tkey, cs);
+                        }
+                    }
+                }
+            } else {
+                for tkey in left {
+                    let Some(tok) = self.input_token(k, &tkey) else {
+                        continue;
+                    };
+                    if let Some(t2) = self.extend(k, &tok, wme) {
+                        self.insert_token(k, t2, cs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_wme(&mut self, wme: &Wme, cs: &mut ConflictSet) {
+        // 1. Drop the WME from every alpha memory it sits in, remembering
+        //    the negative levels for the re-activation pass — together
+        //    with a snapshot of the input tokens whose counts *included*
+        //    this WME. Re-activation at a shallower level can re-insert
+        //    tokens here with fresh counts (computed from the already-
+        //    shrunk alpha memory); those must not be decremented again.
+        let mut negs: Vec<(usize, FxHashSet<TokKey>)> = Vec::new();
+        for k in 0..self.depth() {
+            if self.levels[k].alpha.remove(&wme.id).is_some() {
+                let kv = self.levels[k].wme_keyvals(wme);
+                let emptied = match self.levels[k].alpha_index.get_mut(&kv) {
+                    Some(bucket) => {
+                        bucket.remove(&wme.id);
+                        bucket.is_empty()
+                    }
+                    None => false,
+                };
+                if emptied {
+                    self.levels[k].alpha_index.remove(&kv);
+                }
+                if self.levels[k].is_negative() {
+                    negs.push((k, self.levels[k].neg_counts.keys().cloned().collect()));
+                }
+            }
+        }
+        // 2. Retract every token that positively matched the WME, straight
+        //    from the per-WME index; scanning shallow-to-deep lets the
+        //    cascade do most of the work (deeper entries are usually gone
+        //    by the time their level is reached).
+        for k in 0..self.depth() {
+            let victims: Vec<TokKey> = self.levels[k]
+                .by_wme
+                .get(&wme.id)
+                .map(|set| set.iter().cloned().collect())
+                .unwrap_or_default();
+            for v in victims {
+                self.remove_output(k, &v, cs);
+            }
+        }
+        // 3. Negative re-activation: live input tokens that were blocked
+        //    only by this WME start passing. Only tokens from the phase-1
+        //    snapshot are decremented — entries created since then (by
+        //    re-activation cascades at shallower levels) never counted the
+        //    removed WME.
+        for (k, counted) in negs {
+            let kv = self.levels[k].wme_keyvals(wme);
+            let left: Vec<TokKey> = self.levels[k]
+                .left_index
+                .get(&kv)
+                .map(|b| b.iter().cloned().collect())
+                .unwrap_or_default();
+            for tkey in left {
+                if !counted.contains(&tkey) {
+                    continue;
+                }
+                let Some(tok) = self.input_token(k, &tkey) else {
+                    continue;
+                };
+                if self.levels[k].beta_matches(&tok, wme) {
+                    let count = self.levels[k]
+                        .neg_counts
+                        .get_mut(&tkey)
+                        .expect("input token without a negative count");
+                    *count -= 1;
+                    if *count == 0 && self.neg_pass_tests(k, &tok) {
+                        self.insert_token(k, tok, cs);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Matcher for Rete {
+    fn add_wme(&mut self, wme: &Wme) {
+        for net in &mut self.nets {
+            net.add_wme(wme, &mut self.cs);
+        }
+    }
+
+    fn remove_wme(&mut self, wme: &Wme) {
+        for net in &mut self.nets {
+            net.remove_wme(wme, &mut self.cs);
+        }
+    }
+
+    fn conflict_set(&mut self) -> &ConflictSet {
+        &self.cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parulel_core::WorkingMemory;
+    use parulel_lang::compile;
+
+    fn prog(src: &str) -> Arc<Program> {
+        Arc::new(compile(src).unwrap())
+    }
+
+    #[test]
+    fn join_add_and_remove() {
+        let p = prog(
+            "(literalize edge from to)
+             (p hop (edge ^from <a> ^to <b>) (edge ^from <b> ^to <c>) --> (halt))",
+        );
+        let mut wm = WorkingMemory::new(&p.classes);
+        let edge = p.classes.id_of(p.interner.intern("edge")).unwrap();
+        let mut m = Rete::new(p.clone());
+        let e1 = wm.insert(edge, vec![Value::Int(1), Value::Int(2)]);
+        let e2 = wm.insert(edge, vec![Value::Int(2), Value::Int(3)]);
+        m.add_wme(&e1);
+        assert_eq!(m.conflict_set().len(), 0);
+        m.add_wme(&e2);
+        assert_eq!(m.conflict_set().len(), 1);
+        let e3 = wm.insert(edge, vec![Value::Int(3), Value::Int(1)]);
+        m.add_wme(&e3);
+        assert_eq!(m.conflict_set().len(), 3); // 1-2-3, 2-3-1, 3-1-2
+        m.remove_wme(&e2);
+        assert_eq!(m.conflict_set().len(), 1); // only 3-1-2 survives
+        m.remove_wme(&e3);
+        assert_eq!(m.conflict_set().len(), 0);
+    }
+
+    #[test]
+    fn negative_node_blocks_and_reactivates() {
+        let p = prog(
+            "(literalize task id)
+             (literalize lock id)
+             (p free (task ^id <t>) -(lock ^id <t>) --> (halt))",
+        );
+        let mut wm = WorkingMemory::new(&p.classes);
+        let task = p.classes.id_of(p.interner.intern("task")).unwrap();
+        let lock = p.classes.id_of(p.interner.intern("lock")).unwrap();
+        let mut m = Rete::new(p.clone());
+        let t = wm.insert(task, vec![Value::Int(7)]);
+        m.add_wme(&t);
+        assert_eq!(m.conflict_set().len(), 1);
+        let l = wm.insert(lock, vec![Value::Int(7)]);
+        m.add_wme(&l);
+        assert_eq!(m.conflict_set().len(), 0);
+        let l2 = wm.insert(lock, vec![Value::Int(7)]);
+        m.add_wme(&l2);
+        m.remove_wme(&l);
+        assert_eq!(m.conflict_set().len(), 0, "second lock still blocks");
+        m.remove_wme(&l2);
+        assert_eq!(m.conflict_set().len(), 1, "last blocker gone");
+    }
+
+    #[test]
+    fn leading_negative_ce() {
+        let p = prog(
+            "(literalize flag)
+             (literalize item id)
+             (p quiet -(flag) (item ^id <i>) --> (halt))",
+        );
+        let mut wm = WorkingMemory::new(&p.classes);
+        let flag = p.classes.id_of(p.interner.intern("flag")).unwrap();
+        let item = p.classes.id_of(p.interner.intern("item")).unwrap();
+        let mut m = Rete::new(p.clone());
+        let it = wm.insert(item, vec![Value::Int(1)]);
+        m.add_wme(&it);
+        assert_eq!(m.conflict_set().len(), 1);
+        let f = wm.insert(flag, vec![]);
+        m.add_wme(&f);
+        assert_eq!(m.conflict_set().len(), 0);
+        m.remove_wme(&f);
+        assert_eq!(m.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn anchored_tests_filter_joins() {
+        let p = prog(
+            "(literalize n v)
+             (p asc (n ^v <a>) (n ^v <b>) (test (< <a> <b>)) --> (halt))",
+        );
+        let mut wm = WorkingMemory::new(&p.classes);
+        let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+        let mut m = Rete::new(p.clone());
+        for v in [3, 1, 2] {
+            let w = wm.insert(n, vec![Value::Int(v)]);
+            m.add_wme(&w);
+        }
+        // ascending pairs of distinct values: (1,2) (1,3) (2,3)
+        assert_eq!(m.conflict_set().len(), 3);
+    }
+
+    #[test]
+    fn seed_order_does_not_matter() {
+        let p = prog(
+            "(literalize e a b)
+             (p r (e ^a <x> ^b <y>) (e ^a <y> ^b <x>) -(e ^a <x> ^b <x>) --> (halt))",
+        );
+        let e = p.classes.id_of(p.interner.intern("e")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let wmes: Vec<Wme> = vec![
+            wm.insert(e, vec![Value::Int(1), Value::Int(2)]),
+            wm.insert(e, vec![Value::Int(2), Value::Int(1)]),
+            wm.insert(e, vec![Value::Int(1), Value::Int(1)]),
+            wm.insert(e, vec![Value::Int(3), Value::Int(3)]),
+        ];
+        // All 4! insertion orders must agree.
+        let mut reference: Option<Vec<InstKey>> = None;
+        let orders = permutations(&[0, 1, 2, 3]);
+        for order in orders {
+            let mut m = Rete::new(p.clone());
+            for &i in &order {
+                m.add_wme(&wmes[i]);
+            }
+            let keys = m.conflict_set().sorted_keys();
+            match &reference {
+                None => reference = Some(keys),
+                Some(r) => assert_eq!(&keys, r, "order {order:?} diverged"),
+            }
+        }
+    }
+
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reactivation_cascade_into_fresh_negative_counts() {
+        // Regression: removing one WME that blocks at TWO negative levels.
+        // Re-activation at the shallow level cascades a *fresh* input
+        // token into the deep level, whose count (computed after the
+        // removal) must not be decremented again when the deep level's
+        // own re-activation pass runs.
+        let p = prog(
+            "(literalize a x)
+             (literalize b x)
+             (literalize c x)
+             (p r (a ^x <v>) -(b ^x <v>) (c ^x <v>) -(b ^x <v>) --> (halt))",
+        );
+        let a = p.classes.id_of(p.interner.intern("a")).unwrap();
+        let b = p.classes.id_of(p.interner.intern("b")).unwrap();
+        let c = p.classes.id_of(p.interner.intern("c")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Rete::new(p.clone());
+        let wa = wm.insert(a, vec![Value::Int(1)]);
+        let wc = wm.insert(c, vec![Value::Int(1)]);
+        let wb = wm.insert(b, vec![Value::Int(1)]);
+        for w in [&wa, &wc, &wb] {
+            m.add_wme(w);
+        }
+        assert_eq!(m.conflict_set().len(), 0, "blocked by b");
+        // Removing the blocker must re-activate through BOTH negative
+        // levels without panicking or double-decrementing.
+        m.remove_wme(&wb);
+        assert_eq!(m.conflict_set().len(), 1);
+        // And re-adding it must retract again.
+        m.add_wme(&wb);
+        assert_eq!(m.conflict_set().len(), 0);
+    }
+
+    #[test]
+    fn join_across_int_and_float_values() {
+        // Int(2) and Float(2.0) are matches_eq-equal; the hash join must
+        // not lose the pair to differing key hashes.
+        let p = prog(
+            "(literalize a x)
+             (literalize b y)
+             (p r (a ^x <v>) (b ^y <v>) --> (halt))",
+        );
+        let a = p.classes.id_of(p.interner.intern("a")).unwrap();
+        let b = p.classes.id_of(p.interner.intern("b")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Rete::new(p.clone());
+        let w1 = wm.insert(a, vec![Value::Int(2)]);
+        let w2 = wm.insert(b, vec![Value::Float(2.0)]);
+        m.add_wme(&w1);
+        m.add_wme(&w2);
+        assert_eq!(m.conflict_set().len(), 1);
+        m.remove_wme(&w2);
+        assert_eq!(m.conflict_set().len(), 0);
+    }
+
+    #[test]
+    fn add_then_remove_returns_to_empty_state() {
+        let p = prog(
+            "(literalize a x)
+             (literalize b y)
+             (p r (a ^x <v>) -(b ^y <v>) (a ^x { > 0 }) --> (halt))",
+        );
+        let a = p.classes.id_of(p.interner.intern("a")).unwrap();
+        let b = p.classes.id_of(p.interner.intern("b")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Rete::new(p.clone());
+        let w1 = wm.insert(a, vec![Value::Int(5)]);
+        let w2 = wm.insert(a, vec![Value::Int(-1)]);
+        let w3 = wm.insert(b, vec![Value::Int(5)]);
+        for w in [&w1, &w2, &w3] {
+            m.add_wme(w);
+        }
+        for w in [&w1, &w2, &w3] {
+            m.remove_wme(w);
+        }
+        assert_eq!(m.conflict_set().len(), 0);
+        for net in &m.nets {
+            for (k, level) in net.levels.iter().enumerate() {
+                assert!(level.alpha.is_empty(), "level {k} alpha not empty");
+                assert!(level.tokens.is_empty(), "level {k} tokens not empty");
+                assert!(level.alpha_index.is_empty());
+                assert!(level.by_wme.is_empty(), "level {k} wme index leaked");
+                assert!(level.children.is_empty(), "level {k} child index leaked");
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The TREAT matcher (Miranker 1987): alpha memories only, no beta state.
+//!
+//! TREAT keeps one alpha memory per (rule, CE) and maintains the conflict
+//! set *directly*:
+//!
+//! * **Add** — the WME enters every alpha memory whose constant tests it
+//!   passes; then, for each *positive* CE position it entered, the rule is
+//!   enumerated with that position pinned to the new WME (so only matches
+//!   involving it are computed). If it entered a *negative* CE's alpha,
+//!   existing instantiations of that rule consistent with the new blocker
+//!   are deleted.
+//! * **Remove** — the WME leaves its alpha memories; every conflict-set
+//!   entry that positively matched it is deleted (an O(conflict set)
+//!   sweep, which is exactly TREAT's bet: conflict sets are small).
+//!   If it left a negative CE's alpha, the rule is re-enumerated (some
+//!   matches it was blocking may now exist).
+//!
+//! Compared to RETE, TREAT trades join *recomputation* on adds for zero
+//! beta-memory maintenance — historically a good trade for remove-heavy
+//! OPS5 programs. Figure 2 of the reproduction measures this trade.
+
+use crate::enumerate::enumerate_rule;
+use crate::Matcher;
+use parulel_core::{ConflictSet, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WmeId};
+use std::sync::Arc;
+
+/// Per-rule alpha memories.
+struct RuleAlphas {
+    rule: RuleId,
+    /// One memory per CE, in join order.
+    mems: Vec<FxHashMap<WmeId, Wme>>,
+}
+
+/// The TREAT matcher.
+pub struct Treat {
+    program: Arc<Program>,
+    rules: Vec<RuleAlphas>,
+    cs: ConflictSet,
+}
+
+impl Treat {
+    /// A TREAT matcher over every rule of `program`.
+    pub fn new(program: Arc<Program>) -> Self {
+        let rules = (0..program.rules().len() as u32).map(RuleId).collect();
+        Self::with_rules(program, rules)
+    }
+
+    /// A TREAT matcher over a subset of rules.
+    pub fn with_rules(program: Arc<Program>, rules: Vec<RuleId>) -> Self {
+        let alphas = rules
+            .into_iter()
+            .map(|rid| RuleAlphas {
+                rule: rid,
+                mems: vec![FxHashMap::default(); program.rule(rid).ces.len()],
+            })
+            .collect();
+        Treat {
+            program,
+            rules: alphas,
+            cs: ConflictSet::new(),
+        }
+    }
+
+    /// Re-derives every instantiation of one rule from its alpha memories
+    /// (used after a negative blocker disappears).
+    fn reenumerate_rule(&mut self, rule_idx: usize) {
+        let ra = &self.rules[rule_idx];
+        let rule = self.program.rule(ra.rule);
+        // Drop existing entries for this rule…
+        let stale: Vec<InstKey> = self
+            .cs
+            .iter()
+            .filter(|i| i.rule == ra.rule)
+            .map(|i| i.key())
+            .collect();
+        for k in stale {
+            self.cs.remove(&k);
+        }
+        // …and rebuild from scratch.
+        let mut found = Vec::new();
+        enumerate_rule(
+            rule,
+            &|ce| ra.mems[ce].values().cloned().collect(),
+            None,
+            &mut found,
+        );
+        for inst in found {
+            self.cs.insert(inst);
+        }
+    }
+}
+
+impl Matcher for Treat {
+    fn add_wme(&mut self, wme: &Wme) {
+        // Phase 1: alpha insertion (all rules see the WME before any
+        // enumeration, so intra-rule self-joins find it).
+        let mut entered: Vec<(usize, Vec<usize>, bool)> = Vec::new(); // (rule idx, pos CE idxs, hit neg)
+        for (ri, ra) in self.rules.iter_mut().enumerate() {
+            let rule = self.program.rule(ra.rule);
+            let mut pos_hits = Vec::new();
+            let mut neg_hit = false;
+            for (ci, ce) in rule.ces.iter().enumerate() {
+                if ce.passes_alpha(wme) {
+                    ra.mems[ci].insert(wme.id, wme.clone());
+                    match ce.polarity {
+                        Polarity::Positive => pos_hits.push(ci),
+                        Polarity::Negative => neg_hit = true,
+                    }
+                }
+            }
+            if !pos_hits.is_empty() || neg_hit {
+                entered.push((ri, pos_hits, neg_hit));
+            }
+        }
+        // Phase 2: seeded enumeration + negative sweeps.
+        for (ri, pos_hits, neg_hit) in entered {
+            let ra = &self.rules[ri];
+            let rule = self.program.rule(ra.rule);
+            let mut found = Vec::new();
+            for &p in &pos_hits {
+                enumerate_rule(
+                    rule,
+                    &|ce| ra.mems[ce].values().cloned().collect(),
+                    Some((p, wme)),
+                    &mut found,
+                );
+            }
+            for inst in found {
+                self.cs.insert(inst);
+            }
+            if neg_hit {
+                // The new WME may block existing instantiations: an
+                // instantiation dies if the blocker is consistent with its
+                // bindings at some negative CE the WME alpha-passes.
+                let victims: Vec<InstKey> = self
+                    .cs
+                    .iter()
+                    .filter(|inst| inst.rule == ra.rule)
+                    .filter(|inst| {
+                        rule.ces
+                            .iter()
+                            .filter(|ce| ce.polarity == Polarity::Negative && ce.passes_alpha(wme))
+                            .any(|ce| {
+                                let mut scratch = inst.env.to_vec();
+                                ce.run_beta(wme, &mut scratch)
+                            })
+                    })
+                    .map(|inst| inst.key())
+                    .collect();
+                for k in victims {
+                    self.cs.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn remove_wme(&mut self, wme: &Wme) {
+        let mut neg_rules: Vec<usize> = Vec::new();
+        for (ri, ra) in self.rules.iter_mut().enumerate() {
+            let rule = self.program.rule(ra.rule);
+            let mut left_neg = false;
+            for (ci, ce) in rule.ces.iter().enumerate() {
+                if ra.mems[ci].remove(&wme.id).is_some() && ce.polarity == Polarity::Negative {
+                    left_neg = true;
+                }
+            }
+            if left_neg {
+                neg_rules.push(ri);
+            }
+        }
+        self.cs.retract_wme(wme.id);
+        for ri in neg_rules {
+            self.reenumerate_rule(ri);
+        }
+    }
+
+    fn conflict_set(&mut self) -> &ConflictSet {
+        &self.cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parulel_core::{Value, WorkingMemory};
+    use parulel_lang::compile;
+
+    fn prog(src: &str) -> Arc<Program> {
+        Arc::new(compile(src).unwrap())
+    }
+
+    #[test]
+    fn incremental_join() {
+        let p = prog(
+            "(literalize edge from to)
+             (p hop (edge ^from <a> ^to <b>) (edge ^from <b> ^to <c>) --> (halt))",
+        );
+        let edge = p.classes.id_of(p.interner.intern("edge")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Treat::new(p.clone());
+        let e1 = wm.insert(edge, vec![Value::Int(1), Value::Int(2)]);
+        let e2 = wm.insert(edge, vec![Value::Int(2), Value::Int(3)]);
+        m.add_wme(&e1);
+        m.add_wme(&e2);
+        assert_eq!(m.conflict_set().len(), 1);
+        m.remove_wme(&e1);
+        assert_eq!(m.conflict_set().len(), 0);
+    }
+
+    #[test]
+    fn self_loop_joins_itself() {
+        let p = prog(
+            "(literalize edge from to)
+             (p hop (edge ^from <a> ^to <b>) (edge ^from <b> ^to <c>) --> (halt))",
+        );
+        let edge = p.classes.id_of(p.interner.intern("edge")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Treat::new(p.clone());
+        let e = wm.insert(edge, vec![Value::Int(5), Value::Int(5)]);
+        m.add_wme(&e);
+        assert_eq!(m.conflict_set().len(), 1, "5->5->5 via the same WME");
+    }
+
+    #[test]
+    fn negative_blocker_add_and_remove() {
+        let p = prog(
+            "(literalize task id)
+             (literalize lock id)
+             (p free (task ^id <t>) -(lock ^id <t>) --> (halt))",
+        );
+        let task = p.classes.id_of(p.interner.intern("task")).unwrap();
+        let lock = p.classes.id_of(p.interner.intern("lock")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Treat::new(p.clone());
+        let t = wm.insert(task, vec![Value::Int(1)]);
+        m.add_wme(&t);
+        assert_eq!(m.conflict_set().len(), 1);
+        let l = wm.insert(lock, vec![Value::Int(1)]);
+        m.add_wme(&l);
+        assert_eq!(m.conflict_set().len(), 0);
+        m.remove_wme(&l);
+        assert_eq!(m.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn blocker_only_kills_consistent_matches() {
+        let p = prog(
+            "(literalize task id)
+             (literalize lock id)
+             (p free (task ^id <t>) -(lock ^id <t>) --> (halt))",
+        );
+        let task = p.classes.id_of(p.interner.intern("task")).unwrap();
+        let lock = p.classes.id_of(p.interner.intern("lock")).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let mut m = Treat::new(p.clone());
+        let t1 = wm.insert(task, vec![Value::Int(1)]);
+        let t2 = wm.insert(task, vec![Value::Int(2)]);
+        m.add_wme(&t1);
+        m.add_wme(&t2);
+        assert_eq!(m.conflict_set().len(), 2);
+        let l = wm.insert(lock, vec![Value::Int(1)]);
+        m.add_wme(&l);
+        let cs = m.conflict_set();
+        assert_eq!(cs.len(), 1);
+        assert!(cs.iter().all(|i| i.wmes[0].id == t2.id));
+    }
+}

@@ -1,0 +1,42 @@
+//! # parulel-sim
+//!
+//! An analytic simulator of the parallel hardware the PARULEL paper ran
+//! on and this reproduction does not have.
+//!
+//! The 1991 evaluation used a message-passing production-system machine
+//! (the DADO lineage): *P* processing elements each own a subset of the
+//! rule nets; every cycle the working-memory delta is broadcast, the PEs
+//! update their nets in parallel, instantiations are gathered at a control
+//! processor that runs redaction, and the surviving set is fired in
+//! parallel again. On a single-core container the real rayon-based engine
+//! cannot show that scaling — so, per the reproduction's substitution
+//! rule, this crate *models* it:
+//!
+//! 1. [`profile::profile_run`] executes a workload on the **real** engine
+//!    and extracts one [`CycleProfile`] per cycle: how much match work
+//!    each rule contributed, how wide the conflict set was, how much was
+//!    redacted, how many instantiations fired.
+//! 2. [`machine::simulate`] replays those profiles on a parameterized
+//!    [`CostModel`] of the machine — per-operation costs for match, fire,
+//!    redact, plus broadcast/gather latencies and a per-cycle barrier —
+//!    with rules assigned to PEs round-robin or by LPT (longest
+//!    processing time first, the load-balanced assignment
+//!    copy-and-constrain aims to enable).
+//! 3. [`machine::speedup_curve`] sweeps PE counts, yielding the Figure 1b
+//!    series: predicted speedup, its Amdahl ceiling (the serial
+//!    redact/apply fraction), and the per-cycle load imbalance.
+//!
+//! The model is deliberately simple — linear costs, perfect overlap
+//! inside a phase, no contention — i.e. an *upper-bound* machine. What it
+//! preserves from the paper's setting is the **shape**: speedup saturates
+//! at the hot rule's share of match work unless the rule is split
+//! (copy-and-constrain), and the serial redact phase bounds everything
+//! (Amdahl), which is why meta-rule evaluation must stay cheap.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod profile;
+
+pub use machine::{simulate, speedup_curve, Assignment, CostModel, SimOutcome};
+pub use profile::{profile_run, CycleProfile};

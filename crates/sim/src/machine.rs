@@ -1,0 +1,315 @@
+//! The machine model: replaying cycle profiles on P processing elements.
+
+use crate::profile::CycleProfile;
+
+/// Per-operation costs of the simulated machine, in nanoseconds.
+///
+/// Defaults are calibrated loosely from the reproduction's measured
+/// single-core phase times (Table 3): a match op is a hash probe plus a
+/// token touch (~100 ns), a fire op an RHS evaluation (~300 ns), a redact
+/// op one meta candidate check (~80 ns); message costs are modeled on a
+/// low-latency interconnect. Absolute values shift the curves, not their
+/// shape — the tests pin the shape.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One match operation (delta scan entry or join completion).
+    pub match_op_ns: u64,
+    /// One RHS evaluation.
+    pub fire_op_ns: u64,
+    /// One redact (meta candidate) operation — serial at the control PE.
+    pub redact_op_ns: u64,
+    /// Broadcasting one WM change to all PEs (pipelined: per change).
+    pub broadcast_ns_per_wme: u64,
+    /// Shipping one instantiation to / decision from the control PE.
+    pub gather_ns_per_inst: u64,
+    /// Fixed per-cycle synchronization cost (two barriers per cycle).
+    pub barrier_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            match_op_ns: 100,
+            fire_op_ns: 300,
+            redact_op_ns: 80,
+            broadcast_ns_per_wme: 50,
+            gather_ns_per_inst: 120,
+            barrier_ns: 2_000,
+        }
+    }
+}
+
+/// How rules are placed on PEs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assignment {
+    /// Rule *i* on PE *i mod P* (what the real partitioned matcher does).
+    RoundRobin,
+    /// Longest-processing-time-first over total per-rule work — the
+    /// balanced placement that copy-and-constrain tries to make possible
+    /// by splitting outsized rules.
+    Lpt,
+}
+
+/// Result of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// PEs simulated.
+    pub workers: usize,
+    /// Predicted total time.
+    pub total_ns: u64,
+    /// Time in perfectly-parallel phases (match + fire makespans).
+    pub parallel_ns: u64,
+    /// Time in serial phases (broadcast, gather, redact, barriers).
+    pub serial_ns: u64,
+    /// Mean ratio of busiest-PE work to average work in the match phase
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+/// Assigns rules to PEs, returning `pe_of[rule]`.
+fn assign(total_work: &[u64], workers: usize, how: Assignment) -> Vec<usize> {
+    let n = total_work.len();
+    let workers = workers.max(1);
+    match how {
+        Assignment::RoundRobin => (0..n).map(|i| i % workers).collect(),
+        Assignment::Lpt => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(total_work[i]));
+            let mut load = vec![0u64; workers];
+            let mut pe_of = vec![0usize; n];
+            for i in order {
+                let (pe, _) = load
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, l)| *l)
+                    .expect("workers >= 1");
+                pe_of[i] = pe;
+                load[pe] += total_work[i];
+            }
+            pe_of
+        }
+    }
+}
+
+/// Replays `profiles` on a `workers`-PE machine under `cost`.
+pub fn simulate(
+    profiles: &[CycleProfile],
+    cost: &CostModel,
+    workers: usize,
+    how: Assignment,
+) -> SimOutcome {
+    let workers = workers.max(1);
+    let num_rules = profiles
+        .first()
+        .map(|p| p.match_ops_per_rule.len())
+        .unwrap_or(0);
+    // Placement is static for a run: use total per-rule work.
+    let mut total_per_rule = vec![0u64; num_rules];
+    for p in profiles {
+        for (r, ops) in p.match_ops_per_rule.iter().enumerate() {
+            total_per_rule[r] += ops + p.fire_ops_per_rule[r];
+        }
+    }
+    let pe_of = assign(&total_per_rule, workers, how);
+
+    let mut total_ns = 0u64;
+    let mut parallel_ns = 0u64;
+    let mut serial_ns = 0u64;
+    let mut imbalance_sum = 0f64;
+    let mut imbalance_cycles = 0u32;
+    for p in profiles {
+        // Phase 1 (serial): broadcast the delta.
+        let broadcast = p.delta * cost.broadcast_ns_per_wme;
+        // Phase 2 (parallel): match makespan over PEs.
+        let mut match_load = vec![0u64; workers];
+        for (r, ops) in p.match_ops_per_rule.iter().enumerate() {
+            match_load[pe_of[r]] += ops * cost.match_op_ns;
+        }
+        let match_makespan = match_load.iter().copied().max().unwrap_or(0);
+        let match_total: u64 = match_load.iter().sum();
+        if match_total > 0 {
+            let avg = match_total as f64 / workers as f64;
+            if avg > 0.0 {
+                imbalance_sum += match_makespan as f64 / avg;
+                imbalance_cycles += 1;
+            }
+        }
+        // Phase 3 (serial): gather + redact at the control PE.
+        let gather = p.gathered * cost.gather_ns_per_inst;
+        let redact = p.redact_ops * cost.redact_op_ns;
+        // Phase 4 (parallel): fire makespan.
+        let mut fire_load = vec![0u64; workers];
+        for (r, ops) in p.fire_ops_per_rule.iter().enumerate() {
+            fire_load[pe_of[r]] += ops * cost.fire_op_ns;
+        }
+        let fire_makespan = fire_load.iter().copied().max().unwrap_or(0);
+
+        let serial = broadcast + gather + redact + cost.barrier_ns;
+        let parallel = match_makespan + fire_makespan;
+        total_ns += serial + parallel;
+        serial_ns += serial;
+        parallel_ns += parallel;
+    }
+    SimOutcome {
+        workers,
+        total_ns,
+        parallel_ns,
+        serial_ns,
+        imbalance: if imbalance_cycles == 0 {
+            1.0
+        } else {
+            imbalance_sum / imbalance_cycles as f64
+        },
+    }
+}
+
+/// Predicted speedup (vs 1 PE) for each worker count.
+pub fn speedup_curve(
+    profiles: &[CycleProfile],
+    cost: &CostModel,
+    workers: &[usize],
+    how: Assignment,
+) -> Vec<(usize, f64, SimOutcome)> {
+    let base = simulate(profiles, cost, 1, how).total_ns.max(1);
+    workers
+        .iter()
+        .map(|&w| {
+            let out = simulate(profiles, cost, w, how);
+            (w, base as f64 / out.total_ns.max(1) as f64, out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic profile: `rules` equally-loaded rules, `cycles` cycles.
+    fn flat_profiles(rules: usize, cycles: usize, ops: u64) -> Vec<CycleProfile> {
+        (0..cycles)
+            .map(|_| CycleProfile {
+                delta: 4,
+                match_ops_per_rule: vec![ops; rules],
+                gathered: rules as u64,
+                redact_ops: rules as u64,
+                fire_ops_per_rule: vec![1; rules],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_worker_is_the_sum() {
+        let p = flat_profiles(4, 3, 100);
+        let out = simulate(&p, &CostModel::default(), 1, Assignment::RoundRobin);
+        assert_eq!(out.parallel_ns + out.serial_ns, out.total_ns);
+        assert!((out.imbalance - 1.0).abs() < 1e-9, "{}", out.imbalance);
+    }
+
+    #[test]
+    fn speedup_is_monotone_and_bounded_by_rules() {
+        let p = flat_profiles(8, 5, 10_000);
+        let curve = speedup_curve(
+            &p,
+            &CostModel::default(),
+            &[1, 2, 4, 8, 16],
+            Assignment::RoundRobin,
+        );
+        let speedups: Vec<f64> = curve.iter().map(|(_, s, _)| *s).collect();
+        assert!((speedups[0] - 1.0).abs() < 1e-9);
+        for w in speedups.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{speedups:?}");
+        }
+        // 8 equal rules: 8 and 16 PEs give the same parallel time
+        assert!((speedups[4] - speedups[3]).abs() / speedups[3] < 0.01, "{speedups:?}");
+        // real speedup was achieved
+        assert!(speedups[3] > 4.0, "{speedups:?}");
+    }
+
+    #[test]
+    fn hot_rule_caps_speedup_until_lpt_helps_the_rest() {
+        // one rule carries 90% of the work
+        let mut p = flat_profiles(8, 4, 100);
+        for prof in &mut p {
+            prof.match_ops_per_rule[0] = 50_000;
+        }
+        let rr = speedup_curve(&p, &CostModel::default(), &[8], Assignment::RoundRobin);
+        // the hot rule's PE dominates: speedup well under 2
+        assert!(rr[0].1 < 2.0, "{:?}", rr[0].1);
+        assert!(rr[0].2.imbalance > 3.0, "{}", rr[0].2.imbalance);
+        // LPT can't split the hot rule either (that's copy-and-constrain's
+        // job), but it must not be worse than round-robin
+        let lpt = speedup_curve(&p, &CostModel::default(), &[8], Assignment::Lpt);
+        assert!(lpt[0].1 >= rr[0].1 - 1e-9);
+    }
+
+    #[test]
+    fn splitting_the_hot_rule_restores_scaling() {
+        // model copy-and-constrain k=8: the 50k-op rule becomes 8 rules of
+        // 6250 ops
+        let mut hot = flat_profiles(8, 4, 100);
+        for prof in &mut hot {
+            prof.match_ops_per_rule[0] = 50_000;
+        }
+        let mut split = flat_profiles(15, 4, 100);
+        for prof in &mut split {
+            for r in 0..8 {
+                prof.match_ops_per_rule[r] = 6_250;
+            }
+        }
+        let cost = CostModel::default();
+        let before = simulate(&hot, &cost, 8, Assignment::Lpt);
+        let after = simulate(&split, &cost, 8, Assignment::Lpt);
+        assert!(
+            after.total_ns * 2 < before.total_ns,
+            "split {} vs hot {}",
+            after.total_ns,
+            before.total_ns
+        );
+    }
+
+    #[test]
+    fn amdahl_serial_fraction_bounds_speedup() {
+        // huge serial redact load, tiny parallel work
+        let p = vec![CycleProfile {
+            delta: 0,
+            match_ops_per_rule: vec![10; 4],
+            gathered: 0,
+            redact_ops: 1_000_000,
+            fire_ops_per_rule: vec![0; 4],
+        }];
+        let curve = speedup_curve(
+            &p,
+            &CostModel::default(),
+            &[1, 64],
+            Assignment::RoundRobin,
+        );
+        assert!(curve[1].1 < 1.01, "redact is serial: {:?}", curve[1].1);
+    }
+
+    #[test]
+    fn lpt_balances_unequal_rules_better_than_round_robin() {
+        // rule works 8,1,1,1,1,1,1,1 on 2 PEs: RR puts 8+1+1+1 on PE0 (11)
+        // vs 4 on PE1; LPT gives 8 vs 7.
+        let profiles = vec![CycleProfile {
+            delta: 0,
+            match_ops_per_rule: vec![8_000, 1_000, 1_000, 1_000, 1_000, 1_000, 1_000, 1_000],
+            gathered: 0,
+            redact_ops: 0,
+            fire_ops_per_rule: vec![0; 8],
+        }];
+        let cost = CostModel {
+            barrier_ns: 0,
+            ..CostModel::default()
+        };
+        let rr = simulate(&profiles, &cost, 2, Assignment::RoundRobin);
+        let lpt = simulate(&profiles, &cost, 2, Assignment::Lpt);
+        assert!(lpt.total_ns < rr.total_ns, "{} vs {}", lpt.total_ns, rr.total_ns);
+    }
+
+    #[test]
+    fn empty_profiles_are_fine() {
+        let out = simulate(&[], &CostModel::default(), 4, Assignment::Lpt);
+        assert_eq!(out.total_ns, 0);
+        assert_eq!(out.imbalance, 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! # parulel-workloads
+//!
+//! Benchmark rule programs for the PARULEL reproduction — the standard
+//! repertoire of parallel-production-system evaluation, parameterized by
+//! size and RNG seed, each with a Rust reference validator for its final
+//! working memory.
+//!
+//! | Scenario | Flavor | Stresses |
+//! |---|---|---|
+//! | [`closure::Closure`] | transitive closure over a random digraph | pure make rules, wide confluent parallelism, negation for dedup |
+//! | [`labelprop::LabelProp`] | connected components by min-label propagation | modify conflicts resolved *entirely* by meta-rules |
+//! | [`seating::Seating`] | Miss-Manners-style alternating seating at many tables | one-choice-per-seat meta redaction, inter-table parallelism |
+//! | [`market::Market`] | order matching (OLTP flavor) | double-fill prevention via mutual-best meta-rules, remove-heavy |
+//! | [`waltz::Waltz`] | Waltz-style constraint label pruning on a ring | negation-based support checks, deletion waves |
+//! | [`waltzdb::WaltzDb`] | grid WaltzDB: degree-2/3/4 junction dictionaries | deeper join chains, per-degree rule variety |
+//!
+//! All programs are generated as PARULEL *source text* and compiled with
+//! `parulel-lang`, so the whole pipeline is exercised; call
+//! [`Scenario::source`] to read the generated program.
+
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod labelprop;
+pub mod market;
+pub mod seating;
+pub mod waltz;
+pub mod waltzdb;
+
+pub use closure::Closure;
+pub use labelprop::LabelProp;
+pub use market::Market;
+pub use seating::Seating;
+pub use waltz::Waltz;
+pub use waltzdb::WaltzDb;
+
+use parulel_core::{Program, WorkingMemory};
+
+/// A benchmark scenario: a compiled program, an initial working memory,
+/// and a validator for the final state.
+pub trait Scenario: Send + Sync {
+    /// Scenario name (used in bench tables).
+    fn name(&self) -> &str;
+
+    /// The generated PARULEL source.
+    fn source(&self) -> &str;
+
+    /// The compiled program.
+    fn program(&self) -> &Program;
+
+    /// A fresh copy of the initial working memory.
+    fn initial_wm(&self) -> WorkingMemory;
+
+    /// Checks the final working memory against a Rust reference
+    /// implementation of the scenario's specification.
+    fn validate(&self, wm: &WorkingMemory) -> Result<(), String>;
+}
+
+/// The default-size instance of every scenario (used by integration tests
+/// and Table 1).
+pub fn all_default() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(Closure::new(24, 40, 7)),
+        Box::new(LabelProp::new(40, 48, 11)),
+        Box::new(Seating::new(4, 8, 3)),
+        Box::new(Market::new(40, 8, 5)),
+        Box::new(Waltz::new(24, 5, 13)),
+        Box::new(WaltzDb::new(4, 4, 4, 17)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_distinct_scenarios() {
+        let all = all_default();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn every_scenario_compiles_and_has_facts() {
+        for s in all_default() {
+            assert!(!s.program().rules().is_empty(), "{}", s.name());
+            assert!(!s.initial_wm().is_empty(), "{}", s.name());
+            assert!(!s.source().is_empty(), "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Determinism guarantees: a PARULEL run is a pure function of
+//! (program, initial WM, options) — independent of thread scheduling,
+//! hash iteration order, and whether RHS evaluation ran in parallel.
+
+use parulel::prelude::*;
+use parulel::workloads::{self, Scenario};
+
+fn scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(workloads::Closure::new(12, 20, 1)),
+        Box::new(workloads::LabelProp::new(16, 20, 2)),
+        Box::new(workloads::Seating::new(2, 6, 3)),
+        Box::new(workloads::Market::new(12, 3, 4)),
+        Box::new(workloads::Waltz::new(8, 4, 5)),
+        Box::new(workloads::WaltzDb::new(3, 3, 3, 6)),
+    ]
+}
+
+#[test]
+fn identical_runs_are_byte_identical() {
+    for s in scenarios() {
+        let run = || {
+            let mut e = ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+            let out = e.run().unwrap();
+            (
+                out.cycles,
+                out.firings,
+                e.log().to_vec(),
+                e.wm().sorted_snapshot(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "{} cycles differ", s.name());
+        assert_eq!(a.1, b.1, "{} firings differ", s.name());
+        assert_eq!(a.2, b.2, "{} logs differ", s.name());
+        assert_eq!(a.3, b.3, "{} final WMs differ", s.name());
+    }
+}
+
+#[test]
+fn parallel_and_sequential_fire_agree() {
+    for s in scenarios() {
+        let run = |parallel_fire: bool| {
+            let mut e = ParallelEngine::new(
+                s.program(),
+                s.initial_wm(),
+                EngineOptions {
+                    parallel_fire,
+                    ..Default::default()
+                },
+            );
+            e.run().unwrap();
+            (e.log().to_vec(), e.wm().sorted_snapshot())
+        };
+        assert_eq!(run(true), run(false), "{}", s.name());
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    for s in scenarios() {
+        let run = |n: usize| {
+            let mut e = ParallelEngine::new(
+                s.program(),
+                s.initial_wm(),
+                EngineOptions {
+                    matcher: MatcherKind::PartitionedRete(n),
+                    ..Default::default()
+                },
+            );
+            e.run().unwrap();
+            e.wm().sorted_snapshot()
+        };
+        let one = run(1);
+        for n in [2, 5, 16] {
+            assert_eq!(run(n), one, "{} with {n} workers", s.name());
+        }
+    }
+}
+
+#[test]
+fn stepping_equals_running() {
+    for s in scenarios() {
+        let mut stepped =
+            ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+        let mut steps = 0u64;
+        while stepped.step().unwrap() {
+            steps += 1;
+        }
+        let mut ran = ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+        let out = ran.run().unwrap();
+        assert_eq!(steps, out.cycles, "{}", s.name());
+        assert_eq!(
+            stepped.wm().sorted_snapshot(),
+            ran.wm().sorted_snapshot(),
+            "{}",
+            s.name()
+        );
+    }
+}
