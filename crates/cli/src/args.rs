@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing for the `parulel` binary.
 
-use parulel_engine::{GuardMode, MatcherKind, Strategy};
+use parulel_engine::{Budgets, GuardMode, MatcherKind, Strategy};
+use std::time::Duration;
 
 /// Usage text shown by `--help` and on argument errors.
 pub const USAGE: &str = "\
@@ -20,7 +21,16 @@ RUN OPTIONS:
   --trace                       print one line per cycle
   --stats                       print phase times and counters
   --dump-wm                     print the final working memory
-  --no-log                      suppress (write ...) output";
+  --no-log                      suppress (write ...) output
+
+ROBUSTNESS OPTIONS (parallel engine only):
+  --timeout SECS                wall-clock budget for the run
+  --max-wm N                    abort if working memory exceeds N WMEs
+  --max-cs N                    abort if the conflict set exceeds N
+  --max-delta N                 abort if one cycle changes > N WMEs
+  --checkpoint-every N          keep a checkpoint every N cycles
+  --checkpoint FILE             write the last checkpoint to FILE on exit
+  --resume FILE                 resume from a checkpoint file";
 
 /// Which execution engine `run` uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +62,15 @@ pub struct RunOpts {
     pub dump_wm: bool,
     /// Suppress `(write …)` output.
     pub no_log: bool,
+    /// Resource budgets (parallel engine only).
+    pub budgets: Budgets,
+    /// Keep an in-engine checkpoint every N cycles.
+    pub checkpoint_every: Option<u64>,
+    /// Write the last checkpoint to this file on exit.
+    pub checkpoint: Option<String>,
+    /// Resume from this checkpoint file instead of the program's `(wm …)`
+    /// facts.
+    pub resume: Option<String>,
 }
 
 /// A parsed command line.
@@ -104,6 +123,10 @@ impl Command {
                     stats: false,
                     dump_wm: false,
                     no_log: false,
+                    budgets: Budgets::unlimited(),
+                    checkpoint_every: None,
+                    checkpoint: None,
+                    resume: None,
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -133,7 +156,39 @@ impl Command {
                         "--stats" => opts.stats = true,
                         "--dump-wm" => opts.dump_wm = true,
                         "--no-log" => opts.no_log = true,
+                        "--timeout" => {
+                            let secs: f64 = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--timeout needs a number of seconds".to_string())?;
+                            if !secs.is_finite() || secs < 0.0 {
+                                return Err("--timeout needs a non-negative number".into());
+                            }
+                            opts.budgets.timeout = Some(Duration::from_secs_f64(secs));
+                        }
+                        "--max-wm" => opts.budgets.max_wm = Some(parse_count(&mut it, flag)?),
+                        "--max-cs" => {
+                            opts.budgets.max_conflict_set = Some(parse_count(&mut it, flag)?)
+                        }
+                        "--max-delta" => {
+                            opts.budgets.max_delta = Some(parse_count(&mut it, flag)?)
+                        }
+                        "--checkpoint-every" => {
+                            opts.checkpoint_every = Some(parse_count(&mut it, flag)? as u64)
+                        }
+                        "--checkpoint" => opts.checkpoint = Some(next_val(&mut it, flag)?),
+                        "--resume" => opts.resume = Some(next_val(&mut it, flag)?),
                         other => return Err(format!("unknown option '{other}'")),
+                    }
+                }
+                if matches!(opts.engine, EngineChoice::Serial(_)) {
+                    let robust = !opts.budgets.is_unlimited()
+                        || opts.checkpoint_every.is_some()
+                        || opts.checkpoint.is_some()
+                        || opts.resume.is_some();
+                    if robust {
+                        return Err(
+                            "budget/checkpoint/resume options require --engine parallel".into()
+                        );
                     }
                 }
                 Ok(Command::Run(opts))
@@ -154,6 +209,12 @@ fn next_val(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String,
     it.next()
         .cloned()
         .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_count(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    next_val(it, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} needs an integer"))
 }
 
 fn parse_matcher(s: &str) -> Result<MatcherKind, String> {
@@ -246,6 +307,57 @@ mod tests {
             panic!()
         };
         assert_eq!(o.matcher, MatcherKind::PartitionedTreat(1));
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let Ok(Command::Run(o)) = parse(&[
+            "run",
+            "x.pll",
+            "--timeout",
+            "2.5",
+            "--max-wm",
+            "1000",
+            "--max-cs",
+            "500",
+            "--max-delta",
+            "200",
+            "--checkpoint-every",
+            "10",
+            "--checkpoint",
+            "state.snap",
+            "--resume",
+            "old.snap",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(
+            o.budgets.timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+        assert_eq!(o.budgets.max_wm, Some(1000));
+        assert_eq!(o.budgets.max_conflict_set, Some(500));
+        assert_eq!(o.budgets.max_delta, Some(200));
+        assert_eq!(o.checkpoint_every, Some(10));
+        assert_eq!(o.checkpoint.as_deref(), Some("state.snap"));
+        assert_eq!(o.resume.as_deref(), Some("old.snap"));
+        // Defaults are all off.
+        let Ok(Command::Run(o)) = parse(&["run", "x.pll"]) else {
+            panic!()
+        };
+        assert!(o.budgets.is_unlimited());
+        assert!(o.checkpoint_every.is_none() && o.checkpoint.is_none() && o.resume.is_none());
+    }
+
+    #[test]
+    fn robustness_flags_reject_serial_engines_and_bad_values() {
+        assert!(parse(&["run", "x", "--engine", "lex", "--max-wm", "5"]).is_err());
+        assert!(parse(&["run", "x", "--resume", "s.snap", "--engine", "mea"]).is_err());
+        assert!(parse(&["run", "x", "--timeout", "-1"]).is_err());
+        assert!(parse(&["run", "x", "--timeout", "inf"]).is_err());
+        assert!(parse(&["run", "x", "--timeout", "soon"]).is_err());
+        assert!(parse(&["run", "x", "--max-wm", "many"]).is_err());
+        assert!(parse(&["run", "x", "--checkpoint"]).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::args::{EngineChoice, RunOpts};
 use parulel_core::WorkingMemory;
-use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine};
+use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Snapshot};
 use std::io::Write;
 
 fn read_file(path: &str, out: &mut dyn Write) -> Option<String> {
@@ -74,31 +74,82 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
         max_cycles: opts.max_cycles,
         collect_log: !opts.no_log,
         trace: opts.trace,
+        budgets: opts.budgets.clone(),
+        checkpoint_every: opts.checkpoint_every,
         ..Default::default()
     };
 
-    let result = match opts.engine {
+    match opts.engine {
         EngineChoice::Parallel => {
-            let mut e = ParallelEngine::new(&program, wm, engine_opts);
-            let outcome = e.run();
-            outcome.map(|o| {
-                for line in e.traces() {
-                    let _ = writeln!(out, "{line}");
+            // `--resume FILE` replaces the program's `(wm …)` facts with
+            // the checkpointed state.
+            let mut e = if let Some(path) = &opts.resume {
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(err) => {
+                        let _ = writeln!(out, "error: cannot read {path}: {err}");
+                        return 1;
+                    }
+                };
+                let snap = match Snapshot::from_bytes(&bytes) {
+                    Ok(s) => s,
+                    Err(err) => {
+                        let _ = writeln!(out, "error: {path}: {err}");
+                        return 1;
+                    }
+                };
+                match ParallelEngine::resume(&program, &snap, engine_opts) {
+                    Ok(e) => e,
+                    Err(err) => {
+                        let _ = writeln!(out, "error: cannot resume from {path}: {err}");
+                        return 1;
+                    }
                 }
-                finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program())
-            })
+            } else {
+                ParallelEngine::new(&program, wm, engine_opts)
+            };
+            let code = match e.run() {
+                Ok(o) => {
+                    for line in e.traces() {
+                        let _ = writeln!(out, "{line}");
+                    }
+                    finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program())
+                }
+                Err(err) => {
+                    let _ = writeln!(out, "runtime error: {err}");
+                    1
+                }
+            };
+            // `--checkpoint FILE`: persist the last captured checkpoint
+            // (a budget trip always captures one; a clean exit falls back
+            // to the final state), whatever the exit code.
+            if let Some(path) = &opts.checkpoint {
+                let snap = e
+                    .latest_checkpoint()
+                    .cloned()
+                    .unwrap_or_else(|| e.checkpoint());
+                match std::fs::write(path, snap.to_bytes()) {
+                    Ok(()) => {
+                        let _ =
+                            writeln!(out, "checkpoint written to {path} (cycle {})", snap.cycle);
+                    }
+                    Err(err) => {
+                        let _ = writeln!(out, "error: cannot write {path}: {err}");
+                        return 1;
+                    }
+                }
+            }
+            code
         }
         EngineChoice::Serial(strategy) => {
             let mut e = SerialEngine::new(&program, wm, strategy, engine_opts);
-            let outcome = e.run();
-            outcome.map(|o| finish(out, opts, o, e.log(), e.stats(), e.wm(), &program))
-        }
-    };
-    match result {
-        Ok(code) => code,
-        Err(e) => {
-            let _ = writeln!(out, "runtime error: {e}");
-            1
+            match e.run() {
+                Ok(o) => finish(out, opts, o, e.log(), e.stats(), e.wm(), &program),
+                Err(err) => {
+                    let _ = writeln!(out, "runtime error: {err}");
+                    1
+                }
+            }
         }
     }
 }
@@ -282,6 +333,81 @@ mod tests {
         assert!(output.contains("USAGE"), "{output}");
         let (code, _) = cli(&["--help"]);
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn budget_trip_reports_structured_error() {
+        let f = temp_file(
+            "(literalize n v)
+             (wm (n ^v 0))
+             (p grow (n ^v <x>) --> (make n ^v (+ <x> 1)))",
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--max-wm", "4"]);
+        assert_eq!(code, 1, "{output}");
+        assert!(
+            output.contains("working memory budget exceeded at cycle"),
+            "{output}"
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--max-cs", "0"]);
+        assert_eq!(code, 1, "{output}");
+        assert!(
+            output.contains("conflict-set budget exceeded at cycle 1") && output.contains("grow"),
+            "{output}"
+        );
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_resume_roundtrip_through_files() {
+        let f = temp_file(
+            "(literalize count n)
+             (wm (count ^n 0))
+             (p step (count ^n <n>) (test (< <n> 6)) --> (modify 1 ^n (+ <n> 1)))",
+        );
+        let mut snap_path = std::env::temp_dir();
+        snap_path.push(format!("parulel-cli-test-{}.snap", std::process::id()));
+        let snap = snap_path.to_str().unwrap();
+
+        // Run the first 2 cycles only, writing a checkpoint.
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--max-cycles",
+            "2",
+            "--checkpoint",
+            snap,
+        ]);
+        assert_eq!(code, 3, "{output}"); // cycle limit
+        assert!(output.contains("checkpoint written"), "{output}");
+        assert!(output.contains("(cycle 2)"), "{output}");
+
+        // Resume and finish: 4 more firings, same final WM as a full run.
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--resume", snap, "--dump-wm"]);
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("4 firings in 4 cycles"), "{output}");
+        assert!(output.contains("(count ^n 6)"), "{output}");
+
+        // A corrupt snapshot is rejected cleanly.
+        std::fs::write(&snap_path, b"garbage").unwrap();
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--resume", snap]);
+        assert_eq!(code, 1);
+        assert!(output.contains("not a snapshot"), "{output}");
+
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn timeout_flag_aborts_with_structured_error() {
+        let f = temp_file(
+            "(literalize n v)
+             (wm (n ^v 0))
+             (p forever (n ^v <x>) --> (modify 1 ^v (+ <x> 1)))",
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--timeout", "0"]);
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("timeout at cycle 1"), "{output}");
+        std::fs::remove_file(f).ok();
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use ir::{
 };
 pub use symbol::{Interner, Symbol};
 pub use value::Value;
-pub use wm::{Delta, WorkingMemory};
+pub use wm::{Delta, WmRestoreError, WorkingMemory};
 pub use wme::{Wme, WmeId};

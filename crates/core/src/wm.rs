@@ -9,7 +9,51 @@ use crate::classes::{ClassId, ClassRegistry};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::value::Value;
 use crate::wme::{Wme, WmeId};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why [`WorkingMemory::from_parts`] rejected a restore.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WmRestoreError {
+    /// A WME referenced a class id outside the registry.
+    ClassOutOfRange {
+        /// The offending WME.
+        id: WmeId,
+        /// Its (out-of-range) class id.
+        class: ClassId,
+        /// Number of declared classes.
+        classes: usize,
+    },
+    /// Two WMEs carried the same id.
+    DuplicateId(WmeId),
+    /// `next_id` was not strictly greater than every live id (future
+    /// inserts would collide with restored WMEs).
+    NextIdNotPastMax {
+        /// The proposed id counter.
+        next_id: u64,
+        /// The largest live WME id.
+        max_id: u64,
+    },
+}
+
+impl fmt::Display for WmRestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WmRestoreError::ClassOutOfRange { id, class, classes } => write!(
+                f,
+                "wme {} has class {} but only {classes} classes are declared",
+                id.0, class.0
+            ),
+            WmRestoreError::DuplicateId(id) => write!(f, "duplicate wme id {}", id.0),
+            WmRestoreError::NextIdNotPastMax { next_id, max_id } => write!(
+                f,
+                "next_id {next_id} is not past the largest live wme id {max_id}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WmRestoreError {}
 
 /// An atomic batch of working-memory changes, produced by one fire phase.
 ///
@@ -75,6 +119,45 @@ impl WorkingMemory {
             by_class: vec![FxHashSet::default(); classes.len()],
             next_id: 1,
         }
+    }
+
+    /// Rebuilds a working memory from previously captured WMEs (a
+    /// checkpoint restore). The WMEs keep their original ids; `next_id`
+    /// must be strictly greater than every live id so future inserts
+    /// cannot collide — an engine resumed from a snapshot then assigns
+    /// exactly the ids the uninterrupted run would have.
+    pub fn from_parts(
+        classes: &ClassRegistry,
+        wmes: impl IntoIterator<Item = Wme>,
+        next_id: u64,
+    ) -> Result<Self, WmRestoreError> {
+        let mut wm = WorkingMemory::new(classes);
+        let mut max_id = 0u64;
+        for wme in wmes {
+            if wme.class.index() >= classes.len() {
+                return Err(WmRestoreError::ClassOutOfRange {
+                    id: wme.id,
+                    class: wme.class,
+                    classes: classes.len(),
+                });
+            }
+            max_id = max_id.max(wme.id.0);
+            wm.by_class[wme.class.index()].insert(wme.id);
+            if wm.wmes.insert(wme.id, wme.clone()).is_some() {
+                return Err(WmRestoreError::DuplicateId(wme.id));
+            }
+        }
+        if next_id <= max_id {
+            return Err(WmRestoreError::NextIdNotPastMax { next_id, max_id });
+        }
+        wm.next_id = next_id;
+        Ok(wm)
+    }
+
+    /// The id the next inserted WME will receive.
+    #[inline]
+    pub fn next_id(&self) -> u64 {
+        self.next_id
     }
 
     /// Asserts a new WME and returns it.
@@ -267,6 +350,57 @@ mod tests {
             wm1.sorted_snapshot()[0].fields,
             wm2.sorted_snapshot()[0].fields
         );
+    }
+
+    #[test]
+    fn from_parts_restores_ids_and_continues_numbering() {
+        let i = Interner::new();
+        let reg = reg2(&i);
+        let mut wm = WorkingMemory::new(&reg);
+        wm.insert(ClassId(0), vec![Value::Int(1)]);
+        wm.insert(ClassId(1), vec![Value::Int(2), Value::Int(3)]);
+        let snapshot = wm.sorted_snapshot();
+        let next = wm.next_id();
+
+        let restored = WorkingMemory::from_parts(&reg, snapshot, next).unwrap();
+        assert_eq!(restored.sorted_snapshot(), wm.sorted_snapshot());
+        assert_eq!(restored.iter_class(ClassId(1)).count(), 1);
+        // Inserting into both produces the same id.
+        let mut wm = wm;
+        let mut restored = restored;
+        let a = wm.insert(ClassId(0), vec![Value::Int(9)]);
+        let b = restored.insert(ClassId(0), vec![Value::Int(9)]);
+        assert_eq!(a.id, b.id);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        let i = Interner::new();
+        let reg = reg2(&i);
+        let w = |id: u64, class: u32| Wme::new(WmeId(id), ClassId(class), vec![Value::Int(0)]);
+        assert_eq!(
+            WorkingMemory::from_parts(&reg, vec![w(1, 7)], 2).unwrap_err(),
+            WmRestoreError::ClassOutOfRange {
+                id: WmeId(1),
+                class: ClassId(7),
+                classes: 2
+            }
+        );
+        assert_eq!(
+            WorkingMemory::from_parts(&reg, vec![w(1, 0), w(1, 0)], 2).unwrap_err(),
+            WmRestoreError::DuplicateId(WmeId(1))
+        );
+        assert_eq!(
+            WorkingMemory::from_parts(&reg, vec![w(5, 0)], 5).unwrap_err(),
+            WmRestoreError::NextIdNotPastMax {
+                next_id: 5,
+                max_id: 5
+            }
+        );
+        // Errors render.
+        assert!(WmRestoreError::DuplicateId(WmeId(1))
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]

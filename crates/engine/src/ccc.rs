@@ -27,6 +27,9 @@ pub enum CccError {
     /// The rule's first positive CE has no field to constrain on
     /// (zero-arity class).
     NoSplitField(String),
+    /// Rebuilding the transformed program failed — an invariant of the
+    /// transform was violated, surfaced as an error instead of a panic.
+    Internal(String),
 }
 
 impl fmt::Display for CccError {
@@ -36,6 +39,9 @@ impl fmt::Display for CccError {
             CccError::BadFactor => write!(f, "copy-and-constrain: factor must be >= 1"),
             CccError::NoSplitField(r) => {
                 write!(f, "copy-and-constrain: rule '{r}' has no field to split on")
+            }
+            CccError::Internal(msg) => {
+                write!(f, "copy-and-constrain: internal error: {msg}")
             }
         }
     }
@@ -51,12 +57,11 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
     if k == 0 {
         return Err(CccError::BadFactor);
     }
-    let target_sym = program
+    let target_id = program
         .interner
         .get(rule_name)
-        .and_then(|s| program.rule_by_name(s).map(|_| s))
+        .and_then(|s| program.rule_by_name(s))
         .ok_or_else(|| CccError::UnknownRule(rule_name.to_string()))?;
-    let target_id = program.rule_by_name(target_sym).expect("checked above");
 
     let mut out = Program::new(program.interner.clone(), program.classes.clone());
     // Map original RuleId -> copies' names (for meta expansion).
@@ -69,7 +74,7 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
             let first_pos = rule
                 .positive_ce_indices()
                 .next()
-                .expect("rules have a positive CE");
+                .ok_or_else(|| CccError::NoSplitField(rule_name.to_string()))?;
             let mut names = Vec::with_capacity(k as usize);
             for residue in 0..k {
                 let mut copy = rule.clone();
@@ -82,14 +87,15 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
                         residue,
                     },
                 });
-                out.add_rule(copy).expect("copy of a valid rule is valid");
+                out.add_rule(copy)
+                    .map_err(|e| CccError::Internal(e.to_string()))?;
                 names.push(name);
             }
             copies_of.push(names);
         } else {
             copies_of.push(vec![rule.name]);
             out.add_rule(rule.clone())
-                .expect("clone of a valid rule is valid");
+                .map_err(|e| CccError::Internal(e.to_string()))?;
         }
     }
 
@@ -106,11 +112,19 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
                 .ces
                 .iter()
                 .zip(&combo)
-                .map(|(ce, name)| MetaCe {
-                    rule: out.rule_by_name(**name).expect("copies were added"),
-                    pats: ce.pats.clone(),
+                .map(|(ce, name)| {
+                    let rule = out.rule_by_name(**name).ok_or_else(|| {
+                        CccError::Internal(format!(
+                            "copy '{}' missing from rebuilt program",
+                            out.interner.resolve(**name)
+                        ))
+                    })?;
+                    Ok(MetaCe {
+                        rule,
+                        pats: ce.pats.clone(),
+                    })
                 })
-                .collect();
+                .collect::<Result<_, CccError>>()?;
             let name = if combo.len() == meta.ces.len() && choice_lists.iter().all(|l| l.len() == 1)
             {
                 meta.name
@@ -128,7 +142,8 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
                 actions: meta.actions.clone(),
                 num_vars: meta.num_vars,
             };
-            out.add_meta(expanded).expect("expansion of a valid meta");
+            out.add_meta(expanded)
+                .map_err(|e| CccError::Internal(e.to_string()))?;
         }
     }
     Ok(out)

@@ -13,8 +13,14 @@ use parulel_core::expr::EvalError;
 use parulel_core::{Action, Delta, Instantiation, Interner, Program, Value};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors that abort a run.
+///
+/// Every variant is structured: budget trips carry the 1-based cycle
+/// number they fired on and (where one exists) the offending rules, so an
+/// embedding application can react programmatically instead of parsing a
+/// message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EngineError {
     /// An RHS expression failed to evaluate (arithmetic on a symbol,
@@ -25,6 +31,68 @@ pub enum EngineError {
         /// The underlying evaluation error.
         error: EvalError,
     },
+    /// An RHS panicked during parallel evaluation. The panic was caught at
+    /// the firing boundary — sibling firings complete and the process
+    /// survives; only the run is aborted.
+    RhsPanic {
+        /// The rule whose RHS panicked.
+        rule: String,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The wall-clock budget ([`Budgets::timeout`](crate::guard::Budgets))
+    /// expired at a cycle boundary.
+    Timeout {
+        /// Cycle the run was about to start (1-based).
+        cycle: u64,
+        /// Time spent when the budget tripped.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// Working memory grew past
+    /// [`Budgets::max_wm`](crate::guard::Budgets).
+    WmBudget {
+        /// Cycle that produced the oversized working memory (1-based).
+        cycle: u64,
+        /// Live WME count when the budget tripped.
+        size: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The conflict set grew wider than
+    /// [`Budgets::max_conflict_set`](crate::guard::Budgets).
+    ConflictSetBudget {
+        /// Cycle whose conflict set tripped the budget (1-based).
+        cycle: u64,
+        /// Conflict-set width at the trip.
+        width: usize,
+        /// The configured budget.
+        budget: usize,
+        /// The rules with the most instantiations (worst offenders first).
+        rules: Vec<String>,
+    },
+    /// One cycle's merged delta exceeded
+    /// [`Budgets::max_delta`](crate::guard::Budgets).
+    DeltaBudget {
+        /// Cycle whose delta tripped the budget (1-based).
+        cycle: u64,
+        /// Total changes (adds + removes) in the cycle's delta.
+        size: usize,
+        /// The configured budget.
+        budget: usize,
+        /// The rules contributing the most changes (worst first).
+        rules: Vec<String>,
+    },
+    /// The incremental matcher's conflict set diverged from the naive
+    /// recompute-from-scratch oracle (detected by the fault-injection
+    /// audit).
+    MatcherCorrupt {
+        /// Cycle the divergence was detected on (1-based).
+        cycle: u64,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -33,11 +101,91 @@ impl fmt::Display for EngineError {
             EngineError::RhsEval { rule, error } => {
                 write!(f, "RHS of rule '{rule}' failed to evaluate: {error}")
             }
+            EngineError::RhsPanic { rule, payload } => {
+                write!(f, "RHS of rule '{rule}' panicked: {payload}")
+            }
+            EngineError::Timeout {
+                cycle,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "timeout at cycle {cycle}: {elapsed:?} elapsed (budget {budget:?})"
+            ),
+            EngineError::WmBudget {
+                cycle,
+                size,
+                budget,
+            } => write!(
+                f,
+                "working memory budget exceeded at cycle {cycle}: {size} WMEs (budget {budget})"
+            ),
+            EngineError::ConflictSetBudget {
+                cycle,
+                width,
+                budget,
+                rules,
+            } => write!(
+                f,
+                "conflict-set budget exceeded at cycle {cycle}: width {width} (budget {budget}); \
+                 top rules: {}",
+                rules.join(", ")
+            ),
+            EngineError::DeltaBudget {
+                cycle,
+                size,
+                budget,
+                rules,
+            } => write!(
+                f,
+                "delta budget exceeded at cycle {cycle}: {size} changes (budget {budget}); \
+                 top rules: {}",
+                rules.join(", ")
+            ),
+            EngineError::MatcherCorrupt { cycle, detail } => {
+                write!(f, "matcher corruption detected at cycle {cycle}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Runs `f` with panic isolation: a panic unwinding out of `f` is caught
+/// and converted to [`EngineError::RhsPanic`] naming the rule, instead of
+/// tearing down the worker thread (and with it the process).
+///
+/// The engine wraps every RHS evaluation in this, so one buggy rule aborts
+/// the *run* with a structured error while sibling firings, the engine,
+/// and the embedding application survive. `rule` is lazy so the happy path
+/// never allocates a name.
+pub fn isolate<N, F>(rule: N, f: F) -> Result<FireResult, EngineError>
+where
+    N: FnOnce() -> String,
+    F: FnOnce() -> Result<FireResult, EngineError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::RhsPanic {
+            rule: rule(),
+            // `&*payload`, not `&payload`: a `&Box<dyn Any>` would unsize
+            // to `&dyn Any` *as the Box*, and every downcast would miss.
+            payload: panic_payload_to_string(&*payload),
+        }),
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// The isolated effect of firing one instantiation.
 #[derive(Clone, Debug, Default)]
@@ -202,7 +350,27 @@ mod tests {
                 assert_eq!(rule, "crash");
                 assert_eq!(error, EvalError::DivideByZero);
             }
+            other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn isolate_catches_panics_and_names_the_rule() {
+        let ok = isolate(|| unreachable!(), || Ok(FireResult::default()));
+        assert!(ok.is_ok(), "no panic, no name resolution");
+
+        let err = isolate(|| "boom".to_string(), || panic!("kaboom {}", 7)).unwrap_err();
+        match err {
+            EngineError::RhsPanic { rule, payload } => {
+                assert_eq!(rule, "boom");
+                assert!(payload.contains("kaboom 7"), "{payload}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // &'static str payloads render too.
+        let err = isolate(|| "b".to_string(), || panic!("static")).unwrap_err();
+        assert!(err.to_string().contains("static"));
     }
 
     #[test]

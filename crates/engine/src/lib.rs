@@ -39,19 +39,25 @@
 #![warn(missing_docs)]
 
 pub mod ccc;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod fire;
+pub mod guard;
 pub mod interference;
 pub mod meta;
 pub mod parallel;
 pub mod refraction;
 pub mod serial;
+pub mod snapshot;
 pub mod stats;
 
 pub use ccc::copy_and_constrain;
 pub use fire::{EngineError, FireResult};
+pub use guard::Budgets;
 pub use interference::GuardMode;
 pub use parallel::ParallelEngine;
 pub use serial::{SerialEngine, Strategy};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{CycleStats, CycleTrace, Outcome, RunStats};
 
 use parulel_core::Program;
@@ -104,6 +110,19 @@ pub struct EngineOptions {
     /// Record a [`CycleTrace`] per cycle (costs a name resolution per
     /// fired rule; off by default).
     pub trace: bool,
+    /// Resource budgets checked at cycle boundaries (parallel engine
+    /// only). Default: unlimited.
+    pub budgets: Budgets,
+    /// Capture a [`Snapshot`] into the engine's
+    /// [`latest_checkpoint`](ParallelEngine::latest_checkpoint) every
+    /// this-many cycles during [`run`](ParallelEngine::run). `None`
+    /// disables periodic checkpoints (one is still captured when a
+    /// budget trips).
+    pub checkpoint_every: Option<u64>,
+    /// The deterministic fault schedule (tests only; compiled under the
+    /// `fault-inject` feature).
+    #[cfg(feature = "fault-inject")]
+    pub faults: faults::FaultPlan,
 }
 
 impl Default for EngineOptions {
@@ -115,6 +134,10 @@ impl Default for EngineOptions {
             max_cycles: 1_000_000,
             collect_log: true,
             trace: false,
+            budgets: Budgets::unlimited(),
+            checkpoint_every: None,
+            #[cfg(feature = "fault-inject")]
+            faults: faults::FaultPlan::none(),
         }
     }
 }

@@ -4,9 +4,10 @@ use crate::fire::{self, EngineError, FireResult};
 use crate::interference;
 use crate::meta;
 use crate::refraction::Refraction;
+use crate::snapshot::{SnapKey, SnapValue, SnapWme, Snapshot, SnapshotError};
 use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
 use crate::EngineOptions;
-use parulel_core::{Program, WorkingMemory};
+use parulel_core::{InstKey, Instantiation, Program, Value, Wme, WmeId, WorkingMemory};
 use parulel_match::Matcher;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -34,6 +35,7 @@ pub struct ParallelEngine {
     log: Vec<String>,
     traces: Vec<CycleTrace>,
     halted: bool,
+    latest_checkpoint: Option<Snapshot>,
 }
 
 impl ParallelEngine {
@@ -53,7 +55,138 @@ impl ParallelEngine {
             log: Vec::new(),
             traces: Vec::new(),
             halted: false,
+            latest_checkpoint: None,
         }
+    }
+
+    /// Rebuilds an engine from a [`Snapshot`], continuing the captured
+    /// run exactly: working memory keeps its WME ids and id counter, the
+    /// refraction table is restored, and statistics/log/traces continue
+    /// from the captured values. The matcher is *reseeded* from the
+    /// restored working memory (a snapshot never stores matcher state —
+    /// the conflict set is a pure function of working memory), so any
+    /// [`MatcherKind`](crate::MatcherKind) may be chosen for the
+    /// continuation.
+    ///
+    /// Fails with a structured error if the snapshot references classes
+    /// or rules `program` does not define, or if its working memory does
+    /// not validate.
+    pub fn resume(
+        program: &Program,
+        snapshot: &Snapshot,
+        opts: EngineOptions,
+    ) -> Result<Self, SnapshotError> {
+        let program = Arc::new(program.clone());
+        let interner = &program.interner;
+        let mut wmes = Vec::with_capacity(snapshot.wmes.len());
+        for sw in &snapshot.wmes {
+            let class = program
+                .classes
+                .id_of(interner.intern(&sw.class))
+                .ok_or_else(|| SnapshotError::UnknownClass(sw.class.clone()))?;
+            if program.classes.decl(class).arity() != sw.fields.len() {
+                return Err(SnapshotError::Malformed("wme arity mismatch"));
+            }
+            let fields: Vec<Value> = sw
+                .fields
+                .iter()
+                .map(|v| match v {
+                    SnapValue::Sym(s) => Value::Sym(interner.intern(s)),
+                    SnapValue::Int(i) => Value::Int(*i),
+                    SnapValue::Float(x) => Value::Float(*x),
+                })
+                .collect();
+            wmes.push(Wme::new(WmeId(sw.id), class, fields));
+        }
+        let wm = WorkingMemory::from_parts(&program.classes, wmes, snapshot.next_wme_id)
+            .map_err(|e| SnapshotError::BadWm(e.to_string()))?;
+        let mut keys = Vec::with_capacity(snapshot.refraction.len());
+        for sk in &snapshot.refraction {
+            let rule = program
+                .rule_by_name(interner.intern(&sk.rule))
+                .ok_or_else(|| SnapshotError::UnknownRule(sk.rule.clone()))?;
+            keys.push(InstKey {
+                rule,
+                wmes: sk.wmes.iter().map(|&id| WmeId(id)).collect(),
+            });
+        }
+        let mut matcher = opts.matcher.build(program.clone());
+        matcher.seed(&wm);
+        Ok(ParallelEngine {
+            program,
+            wm,
+            matcher,
+            refraction: Refraction::from_keys(keys),
+            opts,
+            stats: snapshot.stats.clone(),
+            log: snapshot.log.clone(),
+            traces: snapshot.traces.clone(),
+            halted: snapshot.halted,
+            latest_checkpoint: None,
+        })
+    }
+
+    /// Captures the engine's state as a portable [`Snapshot`]. Valid at
+    /// any cycle boundary (between [`step`](Self::step) calls); symbols
+    /// and rule names are stored resolved so the snapshot survives
+    /// program recompilation.
+    pub fn checkpoint(&self) -> Snapshot {
+        let interner = &self.program.interner;
+        let mut wmes: Vec<SnapWme> = self
+            .wm
+            .iter()
+            .map(|w| SnapWme {
+                id: w.id.0,
+                class: interner
+                    .resolve(self.program.classes.decl(w.class).name)
+                    .to_string(),
+                fields: w
+                    .fields
+                    .iter()
+                    .map(|v| match v {
+                        Value::Sym(s) => SnapValue::Sym(interner.resolve(*s).to_string()),
+                        Value::Int(i) => SnapValue::Int(*i),
+                        Value::Float(x) => SnapValue::Float(*x),
+                    })
+                    .collect(),
+            })
+            .collect();
+        wmes.sort_by_key(|w| w.id);
+        let mut refraction: Vec<SnapKey> = self
+            .refraction
+            .keys()
+            .map(|k| SnapKey {
+                rule: self.program.rule_name(k.rule),
+                wmes: k.wmes.iter().map(|id| id.0).collect(),
+            })
+            .collect();
+        refraction.sort();
+        Snapshot {
+            cycle: self.stats.cycles,
+            halted: self.halted,
+            next_wme_id: self.wm.next_id(),
+            wmes,
+            refraction,
+            stats: self.stats.clone(),
+            log: self.log.clone(),
+            traces: self.traces.clone(),
+        }
+    }
+
+    /// The most recent automatic checkpoint: captured every
+    /// `checkpoint_every` cycles during [`run`](Self::run), and
+    /// unconditionally when a budget (or injected-fault audit) aborts the
+    /// run — the last consistent state before/at the failure.
+    pub fn latest_checkpoint(&self) -> Option<&Snapshot> {
+        self.latest_checkpoint.as_ref()
+    }
+
+    /// Records a checkpoint at the failure boundary and passes the error
+    /// through (engine state is always boundary-consistent when a check
+    /// trips, so the capture is safe).
+    fn trip(&mut self, err: EngineError) -> EngineError {
+        self.latest_checkpoint = Some(self.checkpoint());
+        err
     }
 
     /// The current working memory.
@@ -108,13 +241,36 @@ impl ParallelEngine {
 
     /// Executes one cycle. Returns `Ok(true)` if at least one
     /// instantiation fired, `Ok(false)` on quiescence.
+    ///
+    /// Budget checks ([`crate::guard::Budgets`]) run at points where
+    /// engine state is consistent: conflict-set width before anything
+    /// fires, delta size after RHS evaluation but before the delta is
+    /// recorded or applied, and working-memory size after the cycle
+    /// commits. A trip therefore never leaves working memory, the
+    /// matcher, and the refraction table out of sync — and every trip
+    /// stores a [`Snapshot`] in
+    /// [`latest_checkpoint`](Self::latest_checkpoint).
     pub fn step(&mut self) -> Result<bool, EngineError> {
+        let cycle_no = self.stats.cycles + 1;
+        #[cfg(feature = "fault-inject")]
+        self.opts
+            .faults
+            .maybe_corrupt_matcher(cycle_no, &self.wm, self.matcher.as_mut());
         let mut cycle = CycleStats::default();
 
         let t = Instant::now();
         let cs = self.matcher.conflict_set();
         cycle.conflict_set = cs.len();
+        #[cfg(feature = "fault-inject")]
+        let audit = self.opts.faults.audit(cycle_no, &self.program, &self.wm, cs);
+        let cs_budget = self
+            .opts
+            .budgets
+            .check_conflict_set(cycle_no, cs, &self.program);
         let eligible = self.refraction.eligible(cs);
+        #[cfg(feature = "fault-inject")]
+        audit.map_err(|e| self.trip(e))?;
+        cs_budget.map_err(|e| self.trip(e))?;
         cycle.eligible = eligible.len();
         cycle.match_time = t.elapsed();
         if eligible.is_empty() {
@@ -139,18 +295,32 @@ impl ParallelEngine {
         let t = Instant::now();
         let program = &self.program;
         let collect_log = self.opts.collect_log;
-        let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
-            surviving
-                .par_iter()
-                .map(|inst| fire::fire(program, inst, collect_log))
-                .collect()
-        } else {
-            surviving
-                .iter()
-                .map(|inst| fire::fire(program, inst, collect_log))
-                .collect()
+        #[cfg(feature = "fault-inject")]
+        let faults = &self.opts.faults;
+        // Each RHS runs behind `fire::isolate`: a panicking rule becomes
+        // `Err(RhsPanic)` for this run instead of tearing down the
+        // process (sibling firings on other workers complete first).
+        let fire_one = |inst: &Instantiation| -> Result<FireResult, EngineError> {
+            fire::isolate(
+                || program.rule_name(inst.rule),
+                || {
+                    #[cfg(feature = "fault-inject")]
+                    faults.maybe_fail_rhs(cycle_no, &program.rule_name(inst.rule))?;
+                    fire::fire(program, inst, collect_log)
+                },
+            )
         };
-        let (delta, log, halt) = fire::merge(results?);
+        let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
+            surviving.par_iter().map(fire_one).collect()
+        } else {
+            surviving.iter().map(fire_one).collect()
+        };
+        let results = results.map_err(|e| self.trip(e))?;
+        self.opts
+            .budgets
+            .check_delta(cycle_no, &results, &surviving, &self.program)
+            .map_err(|e| self.trip(e))?;
+        let (delta, log, halt) = fire::merge(results);
         cycle.fired = surviving.len();
         cycle.adds = delta.adds.len();
         cycle.removes = delta.removes.len();
@@ -194,10 +364,18 @@ impl ParallelEngine {
             });
         }
         self.stats.absorb(&cycle);
+        self.opts
+            .budgets
+            .check_wm(cycle_no, self.wm.len())
+            .map_err(|e| self.trip(e))?;
         Ok(true)
     }
 
     /// Runs to quiescence, halt, or the cycle limit.
+    ///
+    /// The wall-clock budget is checked before each cycle; periodic
+    /// checkpoints (`EngineOptions::checkpoint_every`) are captured after
+    /// each completed cycle.
     pub fn run(&mut self) -> Result<Outcome, EngineError> {
         let start = Instant::now();
         let mut quiescent = false;
@@ -212,9 +390,21 @@ impl ParallelEngine {
                 hit_cycle_limit = true;
                 break;
             }
+            if let Err(e) = self
+                .opts
+                .budgets
+                .check_deadline(self.stats.cycles + 1, start)
+            {
+                return Err(self.trip(e));
+            }
             if !self.step()? {
                 quiescent = true;
                 break;
+            }
+            if let Some(every) = self.opts.checkpoint_every {
+                if every > 0 && self.stats.cycles.is_multiple_of(every) {
+                    self.latest_checkpoint = Some(self.checkpoint());
+                }
             }
         }
         // Per-call numbers: a caller that injects facts and runs again
@@ -444,6 +634,253 @@ mod tests {
         );
         quiet.run().unwrap();
         assert!(quiet.traces().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let src = "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 8)) --> (modify 1 ^n (+ <n> 1)) (write at <n>))";
+        let facts = [("count", vec![Value::Int(0)])];
+        let mut full = engine(src, &facts, EngineOptions::default());
+        full.run().unwrap();
+
+        let mut part = engine(src, &facts, EngineOptions::default());
+        for _ in 0..3 {
+            part.step().unwrap();
+        }
+        // Roundtrip through the wire format, then resume on a freshly
+        // compiled program (interner ids re-derived from strings).
+        let snap = Snapshot::from_bytes(&part.checkpoint().to_bytes()).unwrap();
+        assert_eq!(snap.cycle, 3);
+        let p = compile(src).unwrap();
+        let mut resumed = ParallelEngine::resume(&p, &snap, EngineOptions::default()).unwrap();
+        let out = resumed.run().unwrap();
+        assert!(out.quiescent);
+
+        assert_eq!(resumed.wm().sorted_snapshot(), full.wm().sorted_snapshot());
+        let counters = |s: &RunStats| {
+            (
+                s.cycles,
+                s.firings,
+                s.adds,
+                s.removes,
+                s.peak_eligible,
+                s.total_eligible,
+            )
+        };
+        // Counters are bit-identical; phase times are wall-clock and are
+        // deliberately not compared.
+        assert_eq!(counters(resumed.stats()), counters(full.stats()));
+        assert_eq!(resumed.log(), full.log());
+    }
+
+    #[test]
+    fn resume_can_switch_matchers() {
+        let src = "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 6)) --> (modify 1 ^n (+ <n> 1)))";
+        let facts = [("count", vec![Value::Int(0)])];
+        let mut full = engine(src, &facts, EngineOptions::default());
+        full.run().unwrap();
+
+        let mut part = engine(src, &facts, EngineOptions::default());
+        part.step().unwrap();
+        let snap = part.checkpoint();
+        let p = compile(src).unwrap();
+        let opts = EngineOptions {
+            matcher: MatcherKind::Treat,
+            ..Default::default()
+        };
+        let mut resumed = ParallelEngine::resume(&p, &snap, opts).unwrap();
+        resumed.run().unwrap();
+        assert_eq!(resumed.wm().sorted_snapshot(), full.wm().sorted_snapshot());
+    }
+
+    #[test]
+    fn resume_rejects_foreign_programs() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 3)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions::default(),
+        );
+        e.step().unwrap();
+        let snap = e.checkpoint();
+        let other = compile("(literalize other x)").unwrap();
+        assert_eq!(
+            ParallelEngine::resume(&other, &snap, EngineOptions::default()).err().unwrap(),
+            crate::snapshot::SnapshotError::UnknownClass("count".into())
+        );
+        // A rule whose firing keeps its own support leaves a live
+        // refraction entry; resuming on a program without that rule
+        // fails on the refraction keys.
+        let src = "(literalize count n)
+             (literalize out v)
+             (p mk (count ^n <n>) --> (make out ^v <n>))";
+        let mut e = engine(src, &[("count", vec![Value::Int(0)])], EngineOptions::default());
+        e.step().unwrap();
+        let snap = e.checkpoint();
+        assert!(!snap.refraction.is_empty());
+        let no_rule = compile("(literalize count n) (literalize out v)").unwrap();
+        assert_eq!(
+            ParallelEngine::resume(&no_rule, &snap, EngineOptions::default()).err().unwrap(),
+            crate::snapshot::SnapshotError::UnknownRule("mk".into())
+        );
+    }
+
+    #[test]
+    fn wm_budget_trips_with_cycle_number_and_checkpoint() {
+        let mut e = engine(
+            "(literalize n v)
+             (p grow (n ^v <x>) --> (make n ^v (+ <x> 1)))",
+            &[("n", vec![Value::Int(0)])],
+            EngineOptions {
+                budgets: crate::Budgets {
+                    max_wm: Some(5),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Refraction keeps old instantiations from refiring, so only the
+        // newest WME spawns a firing: WM grows by one per cycle
+        // (2, 3, 4, 5, 6) and trips after cycle 5.
+        let err = e.run().unwrap_err();
+        match err {
+            EngineError::WmBudget { cycle, size, budget } => {
+                assert_eq!((cycle, size, budget), (5, 6, 5));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let snap = e.latest_checkpoint().expect("trip stores a checkpoint");
+        assert_eq!(snap.cycle, 5);
+        assert_eq!(snap.wmes.len(), 6, "checkpoint captures the committed state");
+    }
+
+    #[test]
+    fn conflict_set_and_delta_budgets_trip_before_any_mutation() {
+        let src = "(literalize cell id v)
+             (p bump (cell ^id <i> ^v 0) --> (modify 1 ^v 1))";
+        let facts = [
+            ("cell", vec![Value::Int(1), Value::Int(0)]),
+            ("cell", vec![Value::Int(2), Value::Int(0)]),
+            ("cell", vec![Value::Int(3), Value::Int(0)]),
+        ];
+        let mut e = engine(
+            src,
+            &facts,
+            EngineOptions {
+                budgets: crate::Budgets {
+                    max_conflict_set: Some(2),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        match e.run().unwrap_err() {
+            EngineError::ConflictSetBudget { cycle, width, budget, rules } => {
+                assert_eq!((cycle, width, budget), (1, 3, 2));
+                assert_eq!(rules, vec!["bump"]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(e.wm().iter().all(|w| w.field(1) == Value::Int(0)), "nothing fired");
+
+        let mut e = engine(
+            src,
+            &facts,
+            EngineOptions {
+                budgets: crate::Budgets {
+                    max_delta: Some(5),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        match e.run().unwrap_err() {
+            // 3 modifies = 3 removes + 3 adds = 6 changes > 5.
+            EngineError::DeltaBudget { cycle, size, budget, rules } => {
+                assert_eq!((cycle, size, budget), (1, 6, 5));
+                assert_eq!(rules, vec!["bump"]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(e.wm().iter().all(|w| w.field(1) == Value::Int(0)), "delta not applied");
+        // The stored checkpoint is the pre-cycle state and can resume.
+        let snap = e.latest_checkpoint().unwrap().clone();
+        assert_eq!(snap.cycle, 0);
+        let p = compile(src).unwrap();
+        let mut resumed = ParallelEngine::resume(&p, &snap, EngineOptions::default()).unwrap();
+        resumed.run().unwrap();
+        assert!(resumed.wm().iter().all(|w| w.field(1) == Value::Int(1)));
+    }
+
+    #[test]
+    fn timeout_trips_at_a_cycle_boundary() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions {
+                budgets: crate::Budgets {
+                    timeout: Some(std::time::Duration::ZERO),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        match e.run().unwrap_err() {
+            EngineError::Timeout { cycle, budget, .. } => {
+                assert_eq!(cycle, 1);
+                assert_eq!(budget, std::time::Duration::ZERO);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(e.latest_checkpoint().unwrap().cycle, 0);
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_captured_during_run() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 7)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions {
+                checkpoint_every: Some(3),
+                ..Default::default()
+            },
+        );
+        e.run().unwrap();
+        // 7 cycles run; the last multiple of 3 is cycle 6.
+        assert_eq!(e.latest_checkpoint().unwrap().cycle, 6);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_rhs_panic_yields_structured_error_not_abort() {
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 9)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions {
+                faults: crate::faults::FaultPlan {
+                    rhs_panic: Some(crate::faults::FaultPoint::new(3, "step")),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        match e.run().unwrap_err() {
+            EngineError::RhsPanic { rule, payload } => {
+                assert_eq!(rule, "step");
+                assert!(payload.contains("cycle 3"), "{payload}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The engine survives at the last consistent boundary: cycles 1–2
+        // committed, cycle 3 did not.
+        assert_eq!(e.stats().cycles, 2);
+        assert_eq!(e.wm().iter().next().unwrap().field(0), Value::Int(2));
+        assert_eq!(e.latest_checkpoint().unwrap().cycle, 2);
     }
 
     #[test]

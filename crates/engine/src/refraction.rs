@@ -48,6 +48,20 @@ impl Refraction {
         self.fired.retain(|k| cs.contains(k));
     }
 
+    /// Iterates the live refraction keys (arbitrary order). Used by
+    /// checkpointing to capture the table.
+    pub fn keys(&self) -> impl Iterator<Item = &InstKey> {
+        self.fired.iter()
+    }
+
+    /// Rebuilds a table from previously captured keys (checkpoint
+    /// restore).
+    pub fn from_keys(keys: impl IntoIterator<Item = InstKey>) -> Self {
+        Refraction {
+            fired: keys.into_iter().collect(),
+        }
+    }
+
     /// Number of live refraction entries.
     pub fn len(&self) -> usize {
         self.fired.len()
@@ -99,6 +113,18 @@ mod tests {
         // Re-entering the conflict set makes it eligible again.
         cs.insert(inst(0, &[1]));
         assert_eq!(r.eligible(&cs).len(), 1);
+    }
+
+    #[test]
+    fn keys_roundtrip_through_from_keys() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[1]));
+        cs.insert(inst(1, &[2]));
+        let mut r = Refraction::new();
+        r.record(r.eligible(&cs).iter());
+        let restored = Refraction::from_keys(r.keys().cloned());
+        assert_eq!(restored.len(), 2);
+        assert!(restored.eligible(&cs).is_empty());
     }
 
     #[test]

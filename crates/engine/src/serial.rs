@@ -133,7 +133,10 @@ impl SerialEngine {
         cycle.redact_time = t.elapsed();
 
         let t = Instant::now();
-        let result = fire::fire(&self.program, &winner, self.opts.collect_log)?;
+        let result = fire::isolate(
+            || self.program.rule_name(winner.rule),
+            || fire::fire(&self.program, &winner, self.opts.collect_log),
+        )?;
         let (delta, log, halt) = fire::merge(vec![result]);
         self.refraction.record(std::iter::once(&winner));
         cycle.fired = 1;

@@ -1,0 +1,512 @@
+//! Checkpoint/resume: a versioned, self-contained capture of engine
+//! state.
+//!
+//! A [`Snapshot`] holds everything [`crate::ParallelEngine`] needs to
+//! continue a run exactly where it stopped: the working memory (with the
+//! original WME ids and the id counter), the refraction table, the cycle
+//! counter and aggregate statistics, and the collected log/traces. The
+//! matcher is deliberately *not* captured — every matcher's conflict set
+//! is a pure function of working memory, so resume reseeds a fresh
+//! matcher from the restored WM. That keeps snapshots small, matcher-
+//! agnostic (checkpoint under RETE, resume under TREAT), and immune to
+//! matcher-internal representation changes.
+//!
+//! Symbols, class names, and rule names are stored as *resolved strings*,
+//! not interner ids, so a snapshot survives recompiling the program (ids
+//! are assigned in parse order and are not stable across edits). Resume
+//! re-binds the strings against the target program and fails with a
+//! structured [`SnapshotError`] if a class or rule no longer exists.
+//!
+//! The byte format is a little-endian tagged binary with a magic header
+//! and an explicit version ([`SNAPSHOT_VERSION`]); decoding rejects
+//! foreign or future files instead of misreading them.
+
+use crate::stats::{CycleTrace, RunStats};
+use std::fmt;
+use std::time::Duration;
+
+/// Current snapshot wire-format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The 4-byte magic prefix of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PLSN";
+
+/// A field value with symbols resolved to strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapValue {
+    /// A symbolic atom, resolved.
+    Sym(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+}
+
+/// One captured WME.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapWme {
+    /// The original WME id (ids must survive resume so refraction keys
+    /// and future id assignment stay identical).
+    pub id: u64,
+    /// Class name, resolved.
+    pub class: String,
+    /// Field values.
+    pub fields: Vec<SnapValue>,
+}
+
+/// One captured refraction entry.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapKey {
+    /// Rule name, resolved.
+    pub rule: String,
+    /// Ids of the matched WMEs, in condition order.
+    pub wmes: Vec<u64>,
+}
+
+/// A complete, self-contained capture of engine state at a cycle
+/// boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Cycles executed when the snapshot was taken.
+    pub cycle: u64,
+    /// A `halt` action had fired.
+    pub halted: bool,
+    /// The working memory's id counter.
+    pub next_wme_id: u64,
+    /// All live WMEs, sorted by id.
+    pub wmes: Vec<SnapWme>,
+    /// The refraction table, sorted.
+    pub refraction: Vec<SnapKey>,
+    /// Aggregate run statistics.
+    pub stats: RunStats,
+    /// Collected `write` output.
+    pub log: Vec<String>,
+    /// Collected cycle traces.
+    pub traces: Vec<CycleTrace>,
+}
+
+/// Why a snapshot failed to decode or re-bind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The version field names a format this build cannot read.
+    UnsupportedVersion(u32),
+    /// The data ended mid-field.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Structurally invalid data (bad tag, trailing bytes, arity
+    /// mismatch…).
+    Malformed(&'static str),
+    /// Resume target program has no class with this name.
+    UnknownClass(String),
+    /// Resume target program has no rule with this name.
+    UnknownRule(String),
+    /// The captured working memory failed validation on restore.
+    BadWm(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::UnknownClass(c) => {
+                write!(f, "snapshot references unknown class '{c}'")
+            }
+            SnapshotError::UnknownRule(r) => write!(f, "snapshot references unknown rule '{r}'"),
+            SnapshotError::BadWm(why) => write!(f, "snapshot working memory invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Serializes to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        e.u32(SNAPSHOT_VERSION);
+        e.u64(self.cycle);
+        e.bool(self.halted);
+        e.u64(self.next_wme_id);
+        e.u64(self.wmes.len() as u64);
+        for w in &self.wmes {
+            e.u64(w.id);
+            e.str(&w.class);
+            e.u32(w.fields.len() as u32);
+            for v in &w.fields {
+                match v {
+                    SnapValue::Sym(s) => {
+                        e.u8(0);
+                        e.str(s);
+                    }
+                    SnapValue::Int(i) => {
+                        e.u8(1);
+                        e.u64(*i as u64);
+                    }
+                    SnapValue::Float(x) => {
+                        e.u8(2);
+                        e.u64(x.to_bits());
+                    }
+                }
+            }
+        }
+        e.u64(self.refraction.len() as u64);
+        for k in &self.refraction {
+            e.str(&k.rule);
+            e.u32(k.wmes.len() as u32);
+            for id in &k.wmes {
+                e.u64(*id);
+            }
+        }
+        let s = &self.stats;
+        for n in [
+            s.cycles,
+            s.firings,
+            s.redacted_meta,
+            s.redacted_guard,
+            s.meta_rounds,
+            s.peak_eligible as u64,
+            s.total_eligible,
+            s.adds,
+            s.removes,
+        ] {
+            e.u64(n);
+        }
+        for d in [s.match_time, s.redact_time, s.fire_time, s.apply_time] {
+            e.duration(d);
+        }
+        e.u64(self.log.len() as u64);
+        for line in &self.log {
+            e.str(line);
+        }
+        e.u64(self.traces.len() as u64);
+        for t in &self.traces {
+            e.u64(t.cycle);
+            for n in [t.eligible, t.redacted_meta, t.redacted_guard, t.adds, t.removes] {
+                e.u64(n as u64);
+            }
+            e.u32(t.fired_rules.len() as u32);
+            for (rule, count) in &t.fired_rules {
+                e.str(rule);
+                e.u64(*count as u64);
+            }
+        }
+        e.buf
+    }
+
+    /// Decodes the versioned binary format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut d = Dec::new(bytes);
+        if d.take(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = d.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let cycle = d.u64()?;
+        let halted = d.bool()?;
+        let next_wme_id = d.u64()?;
+        let n_wmes = d.len()?;
+        let mut wmes = Vec::with_capacity(n_wmes);
+        for _ in 0..n_wmes {
+            let id = d.u64()?;
+            let class = d.str()?;
+            let n_fields = d.u32()? as usize;
+            let mut fields = Vec::with_capacity(n_fields);
+            for _ in 0..n_fields {
+                fields.push(match d.u8()? {
+                    0 => SnapValue::Sym(d.str()?),
+                    1 => SnapValue::Int(d.u64()? as i64),
+                    2 => SnapValue::Float(f64::from_bits(d.u64()?)),
+                    _ => return Err(SnapshotError::Malformed("unknown value tag")),
+                });
+            }
+            wmes.push(SnapWme { id, class, fields });
+        }
+        let n_keys = d.len()?;
+        let mut refraction = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            let rule = d.str()?;
+            let n = d.u32()? as usize;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(d.u64()?);
+            }
+            refraction.push(SnapKey { rule, wmes: ids });
+        }
+        let stats = RunStats {
+            cycles: d.u64()?,
+            firings: d.u64()?,
+            redacted_meta: d.u64()?,
+            redacted_guard: d.u64()?,
+            meta_rounds: d.u64()?,
+            peak_eligible: d.u64()? as usize,
+            total_eligible: d.u64()?,
+            adds: d.u64()?,
+            removes: d.u64()?,
+            match_time: d.duration()?,
+            redact_time: d.duration()?,
+            fire_time: d.duration()?,
+            apply_time: d.duration()?,
+        };
+        let n_log = d.len()?;
+        let mut log = Vec::with_capacity(n_log);
+        for _ in 0..n_log {
+            log.push(d.str()?);
+        }
+        let n_traces = d.len()?;
+        let mut traces = Vec::with_capacity(n_traces);
+        for _ in 0..n_traces {
+            let cycle = d.u64()?;
+            let eligible = d.u64()? as usize;
+            let redacted_meta = d.u64()? as usize;
+            let redacted_guard = d.u64()? as usize;
+            let adds = d.u64()? as usize;
+            let removes = d.u64()? as usize;
+            let n_fired = d.u32()? as usize;
+            let mut fired_rules = Vec::with_capacity(n_fired);
+            for _ in 0..n_fired {
+                let rule = d.str()?;
+                fired_rules.push((rule, d.u64()? as usize));
+            }
+            traces.push(CycleTrace {
+                cycle,
+                eligible,
+                redacted_meta,
+                redacted_guard,
+                fired_rules,
+                adds,
+                removes,
+            });
+        }
+        if !d.done() {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(Snapshot {
+            cycle,
+            halted,
+            next_wme_id,
+            wmes,
+            refraction,
+            stats,
+            log,
+            traces,
+        })
+    }
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn duration(&mut self, d: Duration) {
+        self.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Malformed("bad bool")),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn duration(&mut self) -> Result<Duration, SnapshotError> {
+        Ok(Duration::from_nanos(self.u64()?))
+    }
+    /// A u64 count, sanity-capped against the remaining input so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        if n > (self.bytes.len() - self.pos) as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            cycle: 42,
+            halted: false,
+            next_wme_id: 17,
+            wmes: vec![
+                SnapWme {
+                    id: 3,
+                    class: "cell".into(),
+                    fields: vec![
+                        SnapValue::Int(-5),
+                        SnapValue::Sym("red".into()),
+                        SnapValue::Float(2.5),
+                    ],
+                },
+                SnapWme {
+                    id: 16,
+                    class: "cell".into(),
+                    fields: vec![SnapValue::Int(9)],
+                },
+            ],
+            refraction: vec![SnapKey {
+                rule: "bump".into(),
+                wmes: vec![3, 16],
+            }],
+            stats: RunStats {
+                cycles: 42,
+                firings: 99,
+                peak_eligible: 7,
+                match_time: Duration::from_micros(1234),
+                ..Default::default()
+            },
+            log: vec!["saw 10".into(), "unicode: héllo".into()],
+            traces: vec![CycleTrace {
+                cycle: 1,
+                eligible: 4,
+                redacted_meta: 1,
+                redacted_guard: 0,
+                fired_rules: vec![("bump".into(), 3)],
+                adds: 3,
+                removes: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // Encoding is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        assert_eq!(
+            Snapshot::from_bytes(b"nope").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        bytes[4] = 0xFF; // version field
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            Snapshot::from_bytes(&padded).unwrap_err(),
+            SnapshotError::Malformed("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn corrupt_length_cannot_demand_huge_allocation() {
+        // A snapshot with the WME count field patched to u64::MAX must
+        // fail cleanly, not try to reserve 2^64 entries.
+        let mut bytes = sample().to_bytes();
+        let count_at = 4 + 4 + 8 + 1 + 8; // magic, version, cycle, halted, next_id
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        for (err, needle) in [
+            (SnapshotError::BadMagic, "magic"),
+            (SnapshotError::UnsupportedVersion(9), "version 9"),
+            (SnapshotError::UnknownClass("goal".into()), "goal"),
+            (SnapshotError::UnknownRule("r1".into()), "r1"),
+            (SnapshotError::BadWm("dup".into()), "dup"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 /// Statistics for one match–redact–fire cycle.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Conflict-set size before refraction.
     pub conflict_set: usize,
@@ -33,7 +33,7 @@ pub struct CycleStats {
 }
 
 /// Aggregated statistics for a run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Cycles executed.
     pub cycles: u64,
@@ -100,7 +100,7 @@ impl RunStats {
 /// A human-readable record of one cycle, collected when
 /// `EngineOptions::trace` is on. Rule names are resolved strings so the
 /// trace survives the engine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CycleTrace {
     /// 1-based cycle number.
     pub cycle: u64,

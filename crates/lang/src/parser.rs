@@ -61,6 +61,16 @@ impl Parser {
         }
     }
 
+    fn attr(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Attr(a) => {
+                self.bump();
+                Ok(a)
+            }
+            other => Err(self.err(format!("expected ^attribute, found '{other}'"))),
+        }
+    }
+
     fn small_int(&mut self, what: &str) -> Result<u8, LangError> {
         match *self.peek() {
             Tok::Int(i) if (1..=255).contains(&i) => {
@@ -201,9 +211,7 @@ impl Parser {
         let class = self.sym("class name")?;
         let mut attrs = Vec::new();
         while let Tok::Attr(_) = self.peek() {
-            let Tok::Attr(attr) = self.bump() else {
-                unreachable!()
-            };
+            let attr = self.attr()?;
             attrs.push(AttrSpec {
                 attr,
                 restrictions: self.restrictions()?,
@@ -370,9 +378,7 @@ impl Parser {
     fn attr_exprs(&mut self) -> Result<Vec<(String, AstExpr)>, LangError> {
         let mut sets = Vec::new();
         while let Tok::Attr(_) = self.peek() {
-            let Tok::Attr(attr) = self.bump() else {
-                unreachable!()
-            };
+            let attr = self.attr()?;
             sets.push((attr, self.expr()?));
         }
         Ok(sets)

@@ -1,0 +1,216 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim keeps the `criterion_group!`/`criterion_main!`
+//! bench-harness API shape and reports a simple mean wall-clock time per
+//! iteration — enough to compare hot paths locally, with none of the
+//! statistical machinery (no outlier analysis, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Rough per-benchmark measurement budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_ITERS: u64 = 3;
+const MAX_ITERS: u64 = 100_000;
+
+/// Opaque-to-the-optimizer value sink (best-effort without std intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint; accepted for API compatibility, batches are size 1.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("rete", 64)` renders as `rete/64`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && (iters == 0 || start.elapsed() < MEASURE_BUDGET) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && (iters == 0 || spent < MEASURE_BUDGET) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let (value, unit) = if b.mean_ns >= 1_000_000.0 {
+        (b.mean_ns / 1_000_000.0, "ms")
+    } else if b.mean_ns >= 1_000.0 {
+        (b.mean_ns / 1_000.0, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+}
+
+/// The bench driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.full), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::new();
+        b.iter_batched(
+            || vec![1u64, 2, 3],
+            |v| v.into_iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_runs_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        for n in [4u64, 8] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.finish();
+    }
+}

@@ -79,6 +79,74 @@ fn worker_count_does_not_change_results() {
     }
 }
 
+/// Checkpointing at cycle `k` and resuming from the serialized snapshot
+/// must finish with exactly the WM, log, and cycle count of a run that
+/// was never interrupted — for every workload and every interruption
+/// point, including "before the first cycle" and "after quiescence".
+#[test]
+fn checkpoint_and_resume_match_uninterrupted_run() {
+    for s in scenarios() {
+        let mut full = ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+        let out = full.run().unwrap();
+        let reference = (out.cycles, full.log().to_vec(), full.wm().sorted_snapshot());
+
+        for k in 0..=out.cycles {
+            let mut head =
+                ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+            for _ in 0..k {
+                assert!(head.step().unwrap(), "{} stopped before cycle {k}", s.name());
+            }
+            // Round-trip through the wire format, then resume against a
+            // freshly compiled program (as a separate process would).
+            let bytes = head.checkpoint().to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).unwrap();
+            let mut tail =
+                ParallelEngine::resume(s.program(), &snap, EngineOptions::default()).unwrap();
+            let rest = tail.run().unwrap();
+            assert_eq!(
+                snap.cycle + rest.cycles,
+                reference.0,
+                "{} resumed at {k}: cycle counts differ",
+                s.name()
+            );
+            assert_eq!(
+                tail.log(),
+                &reference.1[..],
+                "{} resumed at {k}: logs differ",
+                s.name()
+            );
+            assert_eq!(
+                tail.wm().sorted_snapshot(),
+                reference.2,
+                "{} resumed at {k}: final WMs differ",
+                s.name()
+            );
+        }
+    }
+}
+
+/// A resumed engine is a full citizen: checkpointing *it* mid-flight and
+/// resuming again still converges on the uninterrupted result.
+#[test]
+fn chained_checkpoints_stay_deterministic() {
+    for s in scenarios() {
+        let mut full = ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+        full.run().unwrap();
+        let want = full.wm().sorted_snapshot();
+
+        let mut head =
+            ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+        head.step().unwrap();
+        let mut mid =
+            ParallelEngine::resume(s.program(), &head.checkpoint(), Default::default()).unwrap();
+        mid.step().unwrap();
+        let mut tail =
+            ParallelEngine::resume(s.program(), &mid.checkpoint(), Default::default()).unwrap();
+        tail.run().unwrap();
+        assert_eq!(tail.wm().sorted_snapshot(), want, "{}", s.name());
+    }
+}
+
 #[test]
 fn stepping_equals_running() {
     for s in scenarios() {

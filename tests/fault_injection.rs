@@ -1,0 +1,153 @@
+//! Fault-injection harness (feature `fault-inject`, enabled for this
+//! test build via the root crate's dev-dependencies): deliberately
+//! sabotage a run at a chosen cycle and check that the engine reports a
+//! structured [`EngineError`] — naming the rule and cycle — instead of
+//! aborting the process, and that the trip checkpoint it leaves behind
+//! describes a consistent pre-fault state.
+
+use parulel::engine::faults::{FaultPlan, FaultPoint};
+use parulel::prelude::*;
+
+/// A rule that counts to 10 and quiesces: one firing per cycle, so
+/// "cycle k" and "firing k" coincide and fault timing is easy to reason
+/// about, and every undisturbed run converges on the same final WM.
+const COUNTER: &str = "
+(literalize count n)
+(p step (count ^n <n>) (test (< <n> 10)) --> (modify 1 ^n (+ <n> 1)))
+";
+
+fn counter_engine(plan: FaultPlan) -> ParallelEngine {
+    let (p, wm) = parulel::lang::compile_with_wm(&format!("{COUNTER}\n(wm (count ^n 0))"))
+        .expect("counter program compiles");
+    ParallelEngine::new(
+        &p,
+        wm,
+        EngineOptions {
+            max_cycles: 50,
+            faults: plan,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn injected_rhs_panic_yields_structured_error_and_process_survives() {
+    let mut e = counter_engine(FaultPlan {
+        rhs_panic: Some(FaultPoint::new(3, "step")),
+        ..FaultPlan::none()
+    });
+    // The panic is caught at the firing boundary: run() returns Err, the
+    // test process (this one) is alive to inspect it.
+    let err = e.run().unwrap_err();
+    match &err {
+        EngineError::RhsPanic { rule, payload } => {
+            assert_eq!(rule, "step");
+            assert!(
+                payload.contains("cycle 3"),
+                "payload should carry the cycle: {payload}"
+            );
+        }
+        other => panic!("expected RhsPanic, got {other}"),
+    }
+    // Two clean cycles completed before the sabotaged third.
+    assert_eq!(e.stats().cycles, 2);
+    // The trip checkpoint captures the last consistent boundary, so the
+    // run can be restarted from just before the fault.
+    let snap = e.latest_checkpoint().expect("trip leaves a checkpoint");
+    assert_eq!(snap.cycle, 2);
+}
+
+#[test]
+fn resuming_past_an_injected_fault_completes_the_run() {
+    let mut sabotaged = counter_engine(FaultPlan {
+        rhs_panic: Some(FaultPoint::new(3, "step")),
+        ..FaultPlan::none()
+    });
+    sabotaged.run().unwrap_err();
+    let snap = sabotaged.latest_checkpoint().unwrap().clone();
+
+    // Resume with the fault cleared: the run finishes as if the fault
+    // had never fired, and matches an undisturbed run.
+    let (p, wm) = parulel::lang::compile_with_wm(&format!("{COUNTER}\n(wm (count ^n 0))")).unwrap();
+    let opts = EngineOptions {
+        max_cycles: 50,
+        ..Default::default()
+    };
+    let mut resumed = ParallelEngine::resume(&p, &snap, opts.clone()).unwrap();
+    resumed.run().unwrap();
+    let mut undisturbed = ParallelEngine::new(&p, wm, opts);
+    undisturbed.run().unwrap();
+    assert_eq!(
+        resumed.wm().sorted_snapshot(),
+        undisturbed.wm().sorted_snapshot()
+    );
+}
+
+#[test]
+fn injected_rhs_eval_error_names_the_rule_and_cycle() {
+    let mut e = counter_engine(FaultPlan {
+        rhs_error: Some(FaultPoint::new(2, "step")),
+        ..FaultPlan::none()
+    });
+    let err = e.run().unwrap_err();
+    match &err {
+        EngineError::RhsEval { rule, .. } => assert_eq!(rule, "step"),
+        other => panic!("expected RhsEval, got {other}"),
+    }
+    assert_eq!(e.stats().cycles, 1);
+}
+
+#[test]
+fn matcher_corruption_is_caught_by_the_audit_oracle() {
+    let mut e = counter_engine(FaultPlan {
+        corrupt_matcher_at: Some(2),
+        audit_matcher: true,
+        ..FaultPlan::none()
+    });
+    let err = e.run().unwrap_err();
+    match &err {
+        EngineError::MatcherCorrupt { cycle, detail } => {
+            assert_eq!(*cycle, 2);
+            assert!(
+                detail.contains("step"),
+                "detail should describe the spurious instantiation: {detail}"
+            );
+        }
+        other => panic!("expected MatcherCorrupt, got {other}"),
+    }
+    // The audit fires before redaction and firing: cycle 2 never ran.
+    assert_eq!(e.stats().cycles, 1);
+}
+
+#[test]
+fn corruption_goes_unnoticed_without_the_audit_but_state_stays_consistent() {
+    // Sanity check on the harness itself: the same corruption with the
+    // oracle disabled is only visible through its effects. The phantom
+    // WME duplicates a live one, and refraction has no entry for the
+    // phantom key, so the duplicate instantiation fires — the run still
+    // terminates and the process survives.
+    let mut e = counter_engine(FaultPlan {
+        corrupt_matcher_at: Some(2),
+        audit_matcher: false,
+        ..FaultPlan::none()
+    });
+    e.run().unwrap();
+    assert!(e.stats().cycles >= 2);
+}
+
+#[test]
+fn faults_against_other_rules_or_cycles_do_not_fire() {
+    // A plan naming a rule that never fires (or a cycle past quiescence)
+    // must leave the run untouched.
+    let mut clean = counter_engine(FaultPlan::none());
+    clean.run().unwrap();
+    let want = clean.wm().sorted_snapshot();
+
+    let mut miss = counter_engine(FaultPlan {
+        rhs_panic: Some(FaultPoint::new(3, "no-such-rule")),
+        rhs_error: Some(FaultPoint::new(9_999, "step")),
+        ..FaultPlan::none()
+    });
+    miss.run().unwrap();
+    assert_eq!(miss.wm().sorted_snapshot(), want);
+}
