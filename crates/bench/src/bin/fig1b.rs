@@ -16,10 +16,26 @@
 //!   redaction is their Amdahl bound;
 //! * waltzdb, with 3 rules and wide pruning waves, sits in between.
 
-use parulel_bench::{bench_scenarios, Table};
-use parulel_engine::{copy_and_constrain, EngineOptions};
+use parulel_bench::{bench_scenarios, BenchReport, Table};
+use parulel_engine::{copy_and_constrain, EngineOptions, Json};
 use parulel_sim::{profile_run, simulate, speedup_curve, Assignment, CostModel};
 use parulel_workloads::{Closure, Scenario};
+
+/// One simulated-machine JSON row (`"matcher": "simulated"` in the
+/// `parulel-bench/v1` schema carries model fields instead of measured
+/// engine columns).
+fn sim_row(workload: &str, pes: usize, speedup: f64, out: &parulel_sim::SimOutcome) -> Json {
+    Json::obj()
+        .set("workload", workload)
+        .set("matcher", "simulated")
+        .set("pes", pes)
+        .set("predicted_speedup", speedup)
+        .set("imbalance", out.imbalance)
+        .set(
+            "serial_share_pct",
+            100.0 * out.serial_ns as f64 / out.total_ns.max(1) as f64,
+        )
+}
 
 fn main() {
     let cost = CostModel::default();
@@ -27,6 +43,10 @@ fn main() {
     println!(
         "Figure 1b: predicted speedup on the simulated message-passing machine\n\
          (profiles measured on the real engine; LPT rule placement)\n"
+    );
+    let mut rep = BenchReport::new(
+        "fig1b",
+        "predicted speedup on the simulated message-passing machine",
     );
     for s in bench_scenarios() {
         let profiles = profile_run(s.program(), s.initial_wm(), EngineOptions::default())
@@ -42,6 +62,7 @@ fn main() {
                     100.0 * out.serial_ns as f64 / out.total_ns.max(1) as f64
                 ),
             ]);
+            rep.push(sim_row(s.name(), w, speedup, &out));
         }
         println!("## {}", s.name());
         t.print();
@@ -62,6 +83,7 @@ fn main() {
             format!("{speedup:.2}x"),
             format!("{:.2}", out.imbalance),
         ]);
+        rep.push(sim_row("closure+ccc-k8", w, speedup, &out));
     }
     t.print();
 
@@ -82,6 +104,7 @@ fn main() {
                 100.0 * out.serial_ns as f64 / out.total_ns.max(1) as f64
             ),
         ]);
+        rep.push(sim_row("labelprop+ccc-k8", w, speedup, &out));
     }
     t.print();
 
@@ -92,4 +115,5 @@ fn main() {
         100.0 * base.serial_ns as f64 / base.total_ns.max(1) as f64,
         base.total_ns as f64 / base.serial_ns.max(1) as f64
     );
+    rep.emit();
 }

@@ -7,12 +7,21 @@
 //! retracts two orders, and TREAT deletes conflict-set entries directly
 //! where RETE tears down beta tokens); RETE leads where partial joins are
 //! reused across cycles (closure).
+//!
+//! Timing bin: metrics stay OFF so the measured wall times are on the
+//! uninstrumented hot path (rows carry `"metrics_level": "off"`).
 
-use parulel_bench::{ms, run_parallel, Table};
-use parulel_engine::{EngineOptions, MatcherKind};
+use parulel_bench::{ms, run_parallel, BenchReport, Table};
+use parulel_engine::{EngineOptions, Json, MatcherKind};
 use parulel_workloads::{Closure, Market, Scenario};
 
-fn sweep(name: &str, make: &dyn Fn(usize) -> Box<dyn Scenario>, sizes: &[usize]) {
+fn sweep(
+    rep: &mut BenchReport,
+    name: &str,
+    workload: &str,
+    make: &dyn Fn(usize) -> Box<dyn Scenario>,
+    sizes: &[usize],
+) {
     let mut t = Table::new(&["size", "WM0", "naive ms", "rete ms", "treat ms"]);
     for &size in sizes {
         let s = make(size);
@@ -23,8 +32,14 @@ fn sweep(name: &str, make: &dyn Fn(usize) -> Box<dyn Scenario>, sizes: &[usize])
                 matcher: kind,
                 ..Default::default()
             };
-            let (out, _, _) = run_parallel(s.as_ref(), opts);
-            cells.push(ms(out.wall));
+            let r = run_parallel(s.as_ref(), opts);
+            cells.push(ms(r.outcome.wall));
+            rep.run_row(
+                workload,
+                s.program(),
+                &r,
+                vec![("size", Json::from(size)), ("initial_wm", Json::from(wm0))],
+            );
         }
         t.row(cells);
     }
@@ -35,14 +50,20 @@ fn sweep(name: &str, make: &dyn Fn(usize) -> Box<dyn Scenario>, sizes: &[usize])
 
 fn main() {
     println!("Figure 2: match-engine ablation (PARULEL engine, total run wall time)\n");
+    let mut rep = BenchReport::new("fig2", "match-engine ablation: naive vs RETE vs TREAT");
     sweep(
+        &mut rep,
         "closure (add-heavy, reuse-friendly joins)",
+        "closure",
         &|n| Box::new(Closure::new(n, n * 2, 7)),
         &[16, 32, 48, 64],
     );
     sweep(
+        &mut rep,
         "market (remove-heavy)",
+        "market",
         &|n| Box::new(Market::new(n, 8, 5)),
         &[40, 80, 120, 160],
     );
+    rep.emit();
 }

@@ -6,9 +6,12 @@
 //! Shape: match time per net shrinks with k (each copy sees ~1/k of the
 //! `reach` alpha memory at its constrained CE) at the price of k× alpha
 //! duplication; on multicore hosts wall-clock follows match time.
+//!
+//! Timing bin: metrics stay OFF so the measured wall times are on the
+//! uninstrumented hot path (rows carry `"metrics_level": "off"`).
 
-use parulel_bench::{ms, run_parallel, Table};
-use parulel_engine::{copy_and_constrain, EngineOptions, MatcherKind};
+use parulel_bench::{ms, run_parallel, BenchReport, Table};
+use parulel_engine::{copy_and_constrain, EngineOptions, Json, MatcherKind};
 use parulel_workloads::{Closure, Scenario};
 
 /// Wraps a pre-split program while reusing the original scenario's WM and
@@ -45,6 +48,7 @@ fn main() {
          (PartitionedRete({workers}); k = copies of the hot rule)\n"
     );
     let mut t = Table::new(&["k", "rules", "wall ms", "match ms", "cycles", "speedup"]);
+    let mut rep = BenchReport::new("fig3", "copy-and-constrain on closure's `close` rule");
     let mut base: Option<f64> = None;
     for k in [1u32, 2, 4, 8] {
         let inner = Closure::new(48, 96, 7);
@@ -58,17 +62,29 @@ fn main() {
             matcher: MatcherKind::PartitionedRete(workers),
             ..Default::default()
         };
-        let (out, stats, _) = run_parallel(&s, opts);
-        let wall = out.wall.as_secs_f64();
+        let r = run_parallel(&s, opts);
+        let wall = r.outcome.wall.as_secs_f64();
         let b = *base.get_or_insert(wall);
+        let speedup = b / wall.max(1e-9);
         t.row(vec![
             k.to_string(),
             s.program.rules().len().to_string(),
-            ms(out.wall),
-            ms(stats.match_time),
-            out.cycles.to_string(),
-            format!("{:.2}x", b / wall.max(1e-9)),
+            ms(r.outcome.wall),
+            ms(r.stats.match_time),
+            r.outcome.cycles.to_string(),
+            format!("{speedup:.2}x"),
         ]);
+        rep.run_row(
+            "closure",
+            &s.program,
+            &r,
+            vec![
+                ("k", Json::from(k as usize)),
+                ("rules", Json::from(s.program.rules().len())),
+                ("speedup", Json::from(speedup)),
+            ],
+        );
     }
     t.print();
+    rep.emit();
 }

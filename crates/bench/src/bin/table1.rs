@@ -1,8 +1,8 @@
 //! Table 1 — benchmark characteristics: program sizes and PARULEL
 //! convergence behaviour for every workload at bench scale.
 
-use parulel_bench::{bench_scenarios, run_parallel, Table};
-use parulel_engine::EngineOptions;
+use parulel_bench::{bench_scenarios, run_parallel, BenchReport, Table};
+use parulel_engine::{EngineOptions, Json, MetricsLevel};
 
 fn main() {
     let mut t = Table::new(&[
@@ -17,23 +17,40 @@ fn main() {
         "peak eligible",
         "valid",
     ]);
+    let mut rep = BenchReport::new("table1", "benchmark characteristics (PARULEL engine, RETE)");
     for s in bench_scenarios() {
         let p = s.program();
         let wm0 = s.initial_wm().len();
-        let (out, stats, _) = run_parallel(s.as_ref(), EngineOptions::default());
+        let opts = EngineOptions {
+            metrics: MetricsLevel::Rules,
+            ..Default::default()
+        };
+        let r = run_parallel(s.as_ref(), opts);
         t.row(vec![
             s.name().to_string(),
             p.rules().len().to_string(),
             p.metas().len().to_string(),
             p.classes.len().to_string(),
             wm0.to_string(),
-            out.cycles.to_string(),
-            out.firings.to_string(),
-            format!("{:.1}", stats.firings_per_cycle()),
-            stats.peak_eligible.to_string(),
+            r.outcome.cycles.to_string(),
+            r.outcome.firings.to_string(),
+            format!("{:.1}", r.stats.firings_per_cycle()),
+            r.stats.peak_eligible.to_string(),
             "yes".to_string(), // run_parallel panics otherwise
         ]);
+        rep.run_row(
+            s.name(),
+            p,
+            &r,
+            vec![
+                ("rules", Json::from(p.rules().len())),
+                ("metas", Json::from(p.metas().len())),
+                ("classes", Json::from(p.classes.len())),
+                ("initial_wm", Json::from(wm0)),
+            ],
+        );
     }
     println!("Table 1: benchmark characteristics (PARULEL engine, RETE matcher)\n");
     t.print();
+    rep.emit();
 }

@@ -6,8 +6,8 @@
 //! drops because each cycle pays match/apply bookkeeping once per *batch*
 //! rather than once per firing.
 
-use parulel_bench::{bench_scenarios, ms, run_parallel, run_serial, Table};
-use parulel_engine::{EngineOptions, Strategy};
+use parulel_bench::{bench_scenarios, ms, run_parallel, run_serial, BenchReport, Table};
+use parulel_engine::{EngineOptions, Json, MetricsLevel, Strategy};
 
 fn main() {
     let mut t = Table::new(&[
@@ -21,28 +21,44 @@ fn main() {
         "cycle ratio",
         "speedup vs LEX",
     ]);
+    let mut rep = BenchReport::new(
+        "table2",
+        "many-firing (PARULEL) vs one-firing (OPS5 LEX/MEA) semantics",
+    );
+    let opts = || EngineOptions {
+        metrics: MetricsLevel::Rules,
+        ..Default::default()
+    };
     for s in bench_scenarios() {
-        let (lex, _) = run_serial(s.as_ref(), Strategy::Lex, EngineOptions::default());
-        let (mea, _) = run_serial(s.as_ref(), Strategy::Mea, EngineOptions::default());
-        let (par, _, _) = run_parallel(s.as_ref(), EngineOptions::default());
+        let lex = run_serial(s.as_ref(), Strategy::Lex, opts());
+        let mea = run_serial(s.as_ref(), Strategy::Mea, opts());
+        let par = run_parallel(s.as_ref(), opts());
         t.row(vec![
             s.name().to_string(),
-            lex.cycles.to_string(),
-            ms(lex.wall),
-            mea.cycles.to_string(),
-            ms(mea.wall),
-            par.cycles.to_string(),
-            ms(par.wall),
-            format!("{:.1}x", lex.cycles as f64 / par.cycles.max(1) as f64),
+            lex.outcome.cycles.to_string(),
+            ms(lex.outcome.wall),
+            mea.outcome.cycles.to_string(),
+            ms(mea.outcome.wall),
+            par.outcome.cycles.to_string(),
+            ms(par.outcome.wall),
+            format!(
+                "{:.1}x",
+                lex.outcome.cycles as f64 / par.outcome.cycles.max(1) as f64
+            ),
             format!(
                 "{:.2}x",
-                lex.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9)
+                lex.outcome.wall.as_secs_f64() / par.outcome.wall.as_secs_f64().max(1e-9)
             ),
         ]);
+        // One row per engine arm, tagged so the JSON stays self-describing.
+        for (engine, r) in [("ops5-lex", &lex), ("ops5-mea", &mea), ("parulel", &par)] {
+            rep.run_row(s.name(), s.program(), r, vec![("engine", Json::from(engine))]);
+        }
     }
     println!(
         "Table 2: many-firing (PARULEL) vs one-firing (OPS5 LEX/MEA) semantics\n\
          (serial engines ignore meta-rules: conflict resolution is the hard-wired strategy)\n"
     );
     t.print();
+    rep.emit();
 }

@@ -3,8 +3,8 @@
 //! programmable conflict resolution (the redact phase) costs a small
 //! share of the cycle.
 
-use parulel_bench::{bench_scenarios, ms, run_parallel, Table};
-use parulel_engine::EngineOptions;
+use parulel_bench::{bench_scenarios, ms, run_parallel, BenchReport, Table};
+use parulel_engine::{EngineOptions, Json, MetricsLevel};
 
 fn main() {
     let mut t = Table::new(&[
@@ -17,20 +17,38 @@ fn main() {
         "meta redactions",
         "meta rounds",
     ]);
+    let mut rep = BenchReport::new("table3", "cycle phase breakdown and meta-rule redaction cost");
     for s in bench_scenarios() {
-        let (_, stats, _) = run_parallel(s.as_ref(), EngineOptions::default());
+        let opts = EngineOptions {
+            metrics: MetricsLevel::Rules,
+            ..Default::default()
+        };
+        let r = run_parallel(s.as_ref(), opts);
+        let stats = &r.stats;
         let total = stats.total_time().as_secs_f64().max(1e-9);
+        let redact_share = 100.0 * stats.redact_time.as_secs_f64() / total;
         t.row(vec![
             s.name().to_string(),
             ms(stats.match_time),
             ms(stats.redact_time),
             ms(stats.fire_time),
             ms(stats.apply_time),
-            format!("{:.1}%", 100.0 * stats.redact_time.as_secs_f64() / total),
+            format!("{redact_share:.1}%"),
             stats.redacted_meta.to_string(),
             stats.meta_rounds.to_string(),
         ]);
+        rep.run_row(
+            s.name(),
+            s.program(),
+            &r,
+            vec![
+                ("redact_share_pct", Json::from(redact_share)),
+                ("meta_redactions", Json::from(r.stats.redacted_meta)),
+                ("meta_rounds", Json::from(r.stats.meta_rounds)),
+            ],
+        );
     }
     println!("Table 3: cycle phase breakdown and meta-rule redaction cost\n");
     t.print();
+    rep.emit();
 }

@@ -14,8 +14,8 @@
 //!   This row runs on a deliberately tiny instance with a hard cycle cap,
 //!   because the blowup is exponential — which is itself the measurement.
 
-use parulel_bench::{ms, Table};
-use parulel_engine::{EngineOptions, GuardMode, ParallelEngine};
+use parulel_bench::{ms, BenchReport, RunResult, Table};
+use parulel_engine::{EngineOptions, GuardMode, Json, MetricsLevel, ParallelEngine};
 use parulel_workloads::{LabelProp, Scenario};
 
 struct Config {
@@ -72,6 +72,10 @@ fn main() {
         "wall ms",
         "valid",
     ]);
+    let mut rep = BenchReport::new(
+        "table4",
+        "interference resolution on label propagation (modify-modify conflicts)",
+    );
     for c in configs {
         let s = LabelProp::new(c.nodes, c.edges, 11);
         let program = if c.with_metas {
@@ -82,6 +86,7 @@ fn main() {
         let opts = EngineOptions {
             guard: c.guard,
             max_cycles: c.max_cycles,
+            metrics: MetricsLevel::Rules,
             ..Default::default()
         };
         let mut e = ParallelEngine::new(&program, s.initial_wm(), opts);
@@ -90,17 +95,39 @@ fn main() {
             Ok(()) => "yes".to_string(),
             Err(msg) => format!("NO ({})", msg.split(" —").next().unwrap_or("error")),
         };
+        // This bin drives the engine directly (the unsafe row fails
+        // validation on purpose), so assemble the RunResult by hand.
+        let r = RunResult {
+            outcome: out,
+            stats: e.stats().clone(),
+            metrics: e.metrics().clone(),
+            matcher: e.matcher_metrics(),
+            wm: e.into_wm(),
+        };
         t.row(vec![
             c.name.to_string(),
-            out.cycles.to_string(),
-            out.firings.to_string(),
-            e.stats().redacted_meta.to_string(),
-            e.stats().redacted_guard.to_string(),
-            e.wm().len().to_string(),
-            ms(out.wall),
-            valid,
+            r.outcome.cycles.to_string(),
+            r.outcome.firings.to_string(),
+            r.stats.redacted_meta.to_string(),
+            r.stats.redacted_guard.to_string(),
+            r.wm.len().to_string(),
+            ms(r.outcome.wall),
+            valid.clone(),
         ]);
+        rep.run_row(
+            "labelprop",
+            &program,
+            &r,
+            vec![
+                ("config", Json::from(c.name)),
+                ("guard", Json::from(format!("{:?}", c.guard).to_lowercase())),
+                ("with_metas", Json::from(c.with_metas)),
+                ("final_wm", Json::from(r.wm.len())),
+                ("valid", Json::from(valid == "yes")),
+            ],
+        );
     }
     println!("Table 4: interference resolution on label propagation (modify-modify conflicts)\n");
     t.print();
+    rep.emit();
 }

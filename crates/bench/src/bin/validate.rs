@@ -1,0 +1,29 @@
+//! `validate FILE...` — check `BENCH_*.json` files against the
+//! `parulel-bench/v1` schema. Exit 0 when every file passes, 1 otherwise
+//! (used by the CI bench-smoke job).
+
+use parulel_bench::validate_bench_json;
+use parulel_engine::Json;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate BENCH_FILE.json...");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for f in &files {
+        let verdict = std::fs::read_to_string(f)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|src| Json::parse(&src).map_err(|e| format!("not JSON: {e}")))
+            .and_then(|doc| validate_bench_json(&doc));
+        match verdict {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                println!("{f}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -18,33 +18,63 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use parulel_core::WorkingMemory;
-use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Strategy};
+use parulel_engine::{
+    EngineMetrics, EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Strategy,
+};
+use parulel_match::MatcherMetrics;
 use parulel_workloads::Scenario;
 use std::time::Duration;
 
+pub use report::{results_dir, validate_bench_json, BenchReport, BENCH_SCHEMA};
+
+/// Everything one measured engine run produces, bundled so the harness
+/// binaries can feed both the text tables and the JSON report from a
+/// single run.
+pub struct RunResult {
+    /// Run outcome (cycles, firings, wall time, how it ended).
+    pub outcome: Outcome,
+    /// Phase timings and engine counters.
+    pub stats: RunStats,
+    /// Observability counters (populated per `EngineOptions::metrics`).
+    pub metrics: EngineMetrics,
+    /// Matcher internals sample taken after the run.
+    pub matcher: MatcherMetrics,
+    /// Final working memory.
+    pub wm: WorkingMemory,
+}
+
 /// One full PARULEL run of a scenario; panics if validation fails so a
 /// bench can never silently report numbers for a wrong answer.
-pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> (Outcome, RunStats, WorkingMemory) {
+pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> RunResult {
     let mut e = ParallelEngine::new(s.program(), s.initial_wm(), opts);
-    let out = e.run().expect("engine run failed");
+    let outcome = e.run().expect("engine run failed");
     s.validate(e.wm())
         .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
-    let stats = e.stats().clone();
-    (out, stats, e.into_wm())
+    RunResult {
+        outcome,
+        stats: e.stats().clone(),
+        metrics: e.metrics().clone(),
+        matcher: e.matcher_metrics(),
+        wm: e.into_wm(),
+    }
 }
 
 /// One serial OPS5 run of a scenario (also validated).
-pub fn run_serial(
-    s: &dyn Scenario,
-    strategy: Strategy,
-    opts: EngineOptions,
-) -> (Outcome, RunStats) {
+pub fn run_serial(s: &dyn Scenario, strategy: Strategy, opts: EngineOptions) -> RunResult {
     let mut e = SerialEngine::new(s.program(), s.initial_wm(), strategy, opts);
-    let out = e.run().expect("engine run failed");
+    let outcome = e.run().expect("engine run failed");
     s.validate(e.wm())
         .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
-    (out, e.stats().clone())
+    RunResult {
+        outcome,
+        stats: e.stats().clone(),
+        metrics: e.metrics().clone(),
+        matcher: e.matcher_metrics(),
+        wm: e.wm().clone(),
+    }
 }
 
 /// Milliseconds with two decimals.
@@ -152,10 +182,10 @@ mod tests {
     #[test]
     fn runners_validate() {
         let s = parulel_workloads::Closure::new(10, 14, 3);
-        let (out, stats, _) = run_parallel(&s, EngineOptions::default());
-        assert!(out.quiescent);
-        assert!(stats.firings > 0);
-        let (out, _) = run_serial(&s, Strategy::Lex, EngineOptions::default());
-        assert!(out.quiescent);
+        let r = run_parallel(&s, EngineOptions::default());
+        assert!(r.outcome.quiescent);
+        assert!(r.stats.firings > 0);
+        let r = run_serial(&s, Strategy::Lex, EngineOptions::default());
+        assert!(r.outcome.quiescent);
     }
 }

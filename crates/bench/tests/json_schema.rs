@@ -1,0 +1,91 @@
+//! Schema-stability tests for the machine-readable bench output.
+//!
+//! `tests/golden/BENCH_golden.json` is the checked-in exemplar of
+//! `parulel-bench/v1`. If the emitter's column set drifts from the golden
+//! file, these tests fail — the fix is either to restore the column or to
+//! bump the schema version *and* the golden file together.
+
+use parulel_bench::{run_parallel, validate_bench_json, BenchReport};
+use parulel_engine::{EngineOptions, Json, MetricsLevel};
+use parulel_workloads::Scenario;
+
+fn golden() -> Json {
+    let src = include_str!("golden/BENCH_golden.json");
+    Json::parse(src).expect("golden file parses")
+}
+
+fn fresh_report() -> Json {
+    let s = parulel_workloads::Closure::new(10, 14, 3);
+    let r = run_parallel(
+        &s,
+        EngineOptions {
+            metrics: MetricsLevel::Rules,
+            ..Default::default()
+        },
+    );
+    let mut rep = BenchReport::new("golden", "schema test");
+    rep.run_row(s.name(), s.program(), &r, vec![]);
+    // round-trip through the wire format, exactly as a consumer sees it
+    Json::parse(&rep.to_json().pretty()).expect("emitted report parses")
+}
+
+fn keys(j: &Json) -> Vec<String> {
+    let mut k: Vec<String> = j.keys().into_iter().map(|s| s.to_string()).collect();
+    k.sort();
+    k
+}
+
+#[test]
+fn golden_file_validates() {
+    validate_bench_json(&golden()).unwrap();
+}
+
+#[test]
+fn emitted_reports_validate() {
+    validate_bench_json(&fresh_report()).unwrap();
+}
+
+#[test]
+fn emitted_columns_match_the_golden_schema() {
+    let golden_doc = golden();
+    let fresh_doc = fresh_report();
+    assert_eq!(
+        keys(&golden_doc),
+        keys(&fresh_doc),
+        "top-level report fields drifted from the golden schema"
+    );
+
+    let golden_row = &golden_doc.get("rows").unwrap().as_arr().unwrap()[0];
+    let fresh_row = &fresh_doc.get("rows").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        keys(golden_row),
+        keys(fresh_row),
+        "measured-row columns drifted from the golden schema"
+    );
+
+    let golden_rule = &golden_row.get("top_rules").unwrap().as_arr().unwrap()[0];
+    let fresh_rule = &fresh_row.get("top_rules").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        keys(golden_rule),
+        keys(fresh_rule),
+        "top_rules columns drifted from the golden schema"
+    );
+}
+
+#[test]
+fn off_level_rows_still_validate() {
+    // Timing bins (fig1/fig2/fig3) emit rows with metrics off: peaks fall
+    // back to always-on counters and top_rules is empty — still valid.
+    let s = parulel_workloads::Closure::new(10, 14, 3);
+    let r = run_parallel(&s, EngineOptions::default());
+    let mut rep = BenchReport::new("golden", "off-level row");
+    rep.run_row(s.name(), s.program(), &r, vec![]);
+    let doc = Json::parse(&rep.to_json().pretty()).unwrap();
+    validate_bench_json(&doc).unwrap();
+    let row = &doc.get("rows").unwrap().as_arr().unwrap()[0];
+    assert_eq!(row.get("metrics_level").unwrap().as_str(), Some("off"));
+    assert!(row.get("top_rules").unwrap().as_arr().unwrap().is_empty());
+    // the always-on fallbacks keep the peak columns meaningful
+    assert!(row.get("peak_wm").unwrap().as_f64().unwrap() > 0.0);
+    assert!(row.get("peak_conflict_set").unwrap().as_f64().unwrap() > 0.0);
+}

@@ -15,11 +15,13 @@ USAGE:
 
 RUN OPTIONS:
   --engine parallel|lex|mea     execution semantics        [parallel]
-  --matcher rete|treat|naive|prete:N|ptreat:N              [rete]
+  --matcher rete|treat|naive|prete:N|ptreat:N  (N >= 1)    [rete]
   --guard off|ww|serializable   interference guard         [off]
   --max-cycles N                safety cycle limit         [1000000]
-  --trace                       print one line per cycle
+  --trace [FILE]                print one line per cycle; with FILE,
+                                write a structured JSONL trace instead
   --stats                       print phase times and counters
+  --metrics-out FILE            write per-rule + matcher metrics JSON
   --dump-wm                     print the final working memory
   --no-log                      suppress (write ...) output
 
@@ -56,8 +58,13 @@ pub struct RunOpts {
     pub max_cycles: u64,
     /// Print per-cycle traces.
     pub trace: bool,
+    /// Write a structured JSONL trace to this file (`--trace FILE`).
+    pub trace_out: Option<String>,
     /// Print run statistics.
     pub stats: bool,
+    /// Write the metrics report (per-rule counters, peaks, matcher
+    /// internals) as JSON to this file.
+    pub metrics_out: Option<String>,
     /// Print the final working memory.
     pub dump_wm: bool,
     /// Suppress `(write …)` output.
@@ -79,7 +86,7 @@ pub enum Command {
     /// `--help` (or no arguments).
     Help,
     /// `run FILE …`
-    Run(RunOpts),
+    Run(Box<RunOpts>),
     /// `check FILE`
     Check {
         /// Program file path.
@@ -120,7 +127,9 @@ impl Command {
                     guard: GuardMode::Off,
                     max_cycles: 1_000_000,
                     trace: false,
+                    trace_out: None,
                     stats: false,
+                    metrics_out: None,
                     dump_wm: false,
                     no_log: false,
                     budgets: Budgets::unlimited(),
@@ -152,8 +161,17 @@ impl Command {
                                 .parse()
                                 .map_err(|_| "--max-cycles needs an integer".to_string())?
                         }
-                        "--trace" => opts.trace = true,
+                        // `--trace` keeps its original bare-flag meaning
+                        // (human-readable per-cycle lines); an optional
+                        // non-flag value names a JSONL sink instead.
+                        "--trace" => match it.clone().next() {
+                            Some(next) if !next.starts_with('-') => {
+                                opts.trace_out = Some(next_val(&mut it, flag)?);
+                            }
+                            _ => opts.trace = true,
+                        },
                         "--stats" => opts.stats = true,
+                        "--metrics-out" => opts.metrics_out = Some(next_val(&mut it, flag)?),
                         "--dump-wm" => opts.dump_wm = true,
                         "--no-log" => opts.no_log = true,
                         "--timeout" => {
@@ -191,7 +209,7 @@ impl Command {
                         );
                     }
                 }
-                Ok(Command::Run(opts))
+                Ok(Command::Run(Box::new(opts)))
             }
             other => Err(format!("unknown command '{other}'")),
         }
@@ -224,20 +242,29 @@ fn parse_matcher(s: &str) -> Result<MatcherKind, String> {
         "naive" => Ok(MatcherKind::Naive),
         _ => {
             if let Some(n) = s.strip_prefix("prete:") {
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| format!("bad worker count in '{s}'"))?;
-                Ok(MatcherKind::PartitionedRete(n.max(1)))
+                Ok(MatcherKind::PartitionedRete(parse_workers(s, n)?))
             } else if let Some(n) = s.strip_prefix("ptreat:") {
-                let n: usize = n
-                    .parse()
-                    .map_err(|_| format!("bad worker count in '{s}'"))?;
-                Ok(MatcherKind::PartitionedTreat(n.max(1)))
+                Ok(MatcherKind::PartitionedTreat(parse_workers(s, n)?))
             } else {
                 Err(format!("unknown matcher '{s}'"))
             }
         }
     }
+}
+
+fn parse_workers(matcher: &str, n: &str) -> Result<usize, String> {
+    let n: usize = n
+        .parse()
+        .map_err(|_| format!("bad worker count in '{matcher}'"))?;
+    if n == 0 {
+        // A zero-shard matcher cannot exist; silently running with one
+        // shard would let stats and bench labels lie about parallelism.
+        return Err(format!(
+            "'{matcher}': worker count must be at least 1 \
+             (use 'rete' or 'treat' for a single unpartitioned matcher)"
+        ));
+    }
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -302,11 +329,47 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_clamped_to_one() {
-        let Ok(Command::Run(o)) = parse(&["run", "x", "--matcher", "ptreat:0"]) else {
+    fn zero_workers_rejected_with_clear_error() {
+        for m in ["ptreat:0", "prete:0"] {
+            let err = parse(&["run", "x", "--matcher", m]).unwrap_err();
+            assert!(err.contains("worker count must be at least 1"), "{err}");
+            assert!(err.contains(m), "{err}");
+        }
+        // 1 remains valid (a degenerate but honest partition).
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--matcher", "ptreat:1"]) else {
             panic!()
         };
         assert_eq!(o.matcher, MatcherKind::PartitionedTreat(1));
+    }
+
+    #[test]
+    fn trace_flag_is_bare_or_takes_a_sink_path() {
+        // Bare: human-readable per-cycle lines.
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--trace", "--stats"]) else {
+            panic!()
+        };
+        assert!(o.trace && o.stats);
+        assert!(o.trace_out.is_none());
+        // Trailing bare flag.
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--trace"]) else {
+            panic!()
+        };
+        assert!(o.trace && o.trace_out.is_none());
+        // With a path: JSONL sink, no human trace.
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--trace", "t.jsonl"]) else {
+            panic!()
+        };
+        assert!(!o.trace);
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+    }
+
+    #[test]
+    fn metrics_out_takes_a_path() {
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--metrics-out", "m.json"]) else {
+            panic!()
+        };
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(parse(&["run", "x", "--metrics-out"]).is_err());
     }
 
     #[test]

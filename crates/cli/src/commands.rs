@@ -2,8 +2,16 @@
 
 use crate::args::{EngineChoice, RunOpts};
 use parulel_core::WorkingMemory;
-use parulel_engine::{EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Snapshot};
+use parulel_engine::{
+    EngineMetrics, EngineOptions, MetricsLevel, Outcome, ParallelEngine, RunStats, SerialEngine,
+    Snapshot, TraceBuffer,
+};
+use parulel_match::MatcherMetrics;
 use std::io::Write;
+
+/// Ring capacity for `--trace FILE`: big enough to keep every event of a
+/// realistic run, bounded so a runaway keeps only its tail.
+const TRACE_RING: usize = 65_536;
 
 fn read_file(path: &str, out: &mut dyn Write) -> Option<String> {
     match std::fs::read_to_string(path) {
@@ -76,6 +84,12 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
         trace: opts.trace,
         budgets: opts.budgets.clone(),
         checkpoint_every: opts.checkpoint_every,
+        metrics: if opts.metrics_out.is_some() {
+            MetricsLevel::Full
+        } else {
+            MetricsLevel::Off
+        },
+        trace_events: opts.trace_out.as_ref().map(|_| TRACE_RING),
         ..Default::default()
     };
 
@@ -108,18 +122,33 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
             } else {
                 ParallelEngine::new(&program, wm, engine_opts)
             };
-            let code = match e.run() {
+            let mm = e.matcher_metrics();
+            let mut code = match e.run() {
                 Ok(o) => {
                     for line in e.traces() {
                         let _ = writeln!(out, "{line}");
                     }
-                    finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program())
+                    finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program(), &mm)
                 }
                 Err(err) => {
                     let _ = writeln!(out, "runtime error: {err}");
                     1
                 }
             };
+            // The sinks are written even when the run failed: a trace that
+            // ends in a budget trip is exactly the one worth keeping.
+            if !write_sinks(
+                out,
+                opts,
+                e.metrics(),
+                e.program(),
+                &e.matcher_metrics(),
+                e.stats(),
+                e.trace_events(),
+            ) && code == 0
+            {
+                code = 1;
+            }
             // `--checkpoint FILE`: persist the last captured checkpoint
             // (a budget trip always captures one; a clean exit falls back
             // to the final state), whatever the exit code.
@@ -143,17 +172,71 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
         }
         EngineChoice::Serial(strategy) => {
             let mut e = SerialEngine::new(&program, wm, strategy, engine_opts);
-            match e.run() {
-                Ok(o) => finish(out, opts, o, e.log(), e.stats(), e.wm(), &program),
+            let mm = e.matcher_metrics();
+            let mut code = match e.run() {
+                Ok(o) => finish(out, opts, o, e.log(), e.stats(), e.wm(), &program, &mm),
                 Err(err) => {
                     let _ = writeln!(out, "runtime error: {err}");
                     1
                 }
+            };
+            if !write_sinks(
+                out,
+                opts,
+                e.metrics(),
+                &program,
+                &e.matcher_metrics(),
+                e.stats(),
+                e.trace_events(),
+            ) && code == 0
+            {
+                code = 1;
             }
+            code
         }
     }
 }
 
+/// Write the `--metrics-out` and `--trace FILE` sinks, if requested.
+/// Returns `false` if any requested sink could not be written.
+fn write_sinks(
+    out: &mut dyn Write,
+    opts: &RunOpts,
+    metrics: &EngineMetrics,
+    program: &parulel_core::Program,
+    matcher: &MatcherMetrics,
+    stats: &RunStats,
+    trace: Option<&TraceBuffer>,
+) -> bool {
+    let mut ok = true;
+    if let Some(path) = &opts.metrics_out {
+        let doc = metrics.to_json(program, matcher, stats);
+        match std::fs::write(path, doc.pretty()) {
+            Ok(()) => {
+                let _ = writeln!(out, "metrics written to {path}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot write {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        let body = trace.map(TraceBuffer::to_jsonl).unwrap_or_default();
+        match std::fs::write(path, body) {
+            Ok(()) => {
+                let _ = writeln!(out, "trace written to {path}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot write {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+#[allow(clippy::too_many_arguments)]
 fn finish(
     out: &mut dyn Write,
     opts: &RunOpts,
@@ -162,6 +245,7 @@ fn finish(
     stats: &RunStats,
     wm: &WorkingMemory,
     program: &parulel_core::Program,
+    matcher: &MatcherMetrics,
 ) -> i32 {
     for line in log {
         let _ = writeln!(out, "{line}");
@@ -191,6 +275,14 @@ fn finish(
             out,
             "   match {:?} | redact {:?} | fire {:?} | apply {:?}",
             stats.match_time, stats.redact_time, stats.fire_time, stats.apply_time
+        );
+        // Report the shard count actually in effect, which may differ
+        // from the requested one (a partitioned matcher never runs with
+        // fewer than one shard).
+        let _ = writeln!(
+            out,
+            "   matcher {} | shards {}",
+            matcher.kind, matcher.shards
         );
     }
     if opts.dump_wm {
@@ -420,6 +512,85 @@ mod tests {
         let (code, output) = cli(&["run", f.to_str().unwrap()]);
         assert_eq!(code, 1);
         assert!(output.contains("division by zero"), "{output}");
+        std::fs::remove_file(f).ok();
+    }
+
+    fn temp_out(suffix: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("parulel-cli-test-{}-{suffix}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn metrics_out_writes_parseable_json() {
+        let f = temp_file(PROGRAM);
+        let mpath = temp_out("metrics.json");
+        let m = mpath.to_str().unwrap();
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--metrics-out", m, "--stats"]);
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("metrics written to"), "{output}");
+        assert!(output.contains("matcher rete | shards 1"), "{output}");
+        let doc =
+            parulel_engine::Json::parse(&std::fs::read_to_string(&mpath).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|j| j.as_str()),
+            Some("parulel-metrics/v1")
+        );
+        assert_eq!(doc.get("cycles").and_then(|j| j.as_f64()), Some(3.0));
+        let rules = doc.get("rules").and_then(|j| j.as_arr()).unwrap();
+        assert_eq!(rules.len(), 1, "{doc:?}");
+        assert_eq!(rules[0].get("rule").and_then(|j| j.as_str()), Some("step"));
+        assert_eq!(rules[0].get("fired").and_then(|j| j.as_f64()), Some(3.0));
+        std::fs::remove_file(&mpath).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn trace_file_writes_jsonl_even_on_budget_trip() {
+        let f = temp_file(
+            "(literalize n v)
+             (wm (n ^v 0))
+             (p grow (n ^v <x>) --> (make n ^v (+ <x> 1)))",
+        );
+        let tpath = temp_out("trace.jsonl");
+        let t = tpath.to_str().unwrap();
+        let (code, output) =
+            cli(&["run", f.to_str().unwrap(), "--trace", t, "--max-wm", "4"]);
+        assert_eq!(code, 1, "{output}"); // budget trips, but the trace lands
+        assert!(output.contains("trace written to"), "{output}");
+        let body = std::fs::read_to_string(&tpath).unwrap();
+        let mut lines = body.lines();
+        let header = parulel_engine::Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(|j| j.as_str()),
+            Some("parulel-trace/v1")
+        );
+        let events: Vec<parulel_engine::Json> = lines
+            .map(|l| parulel_engine::Json::parse(l).unwrap())
+            .collect();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| {
+                e.get("ev").and_then(|j| j.as_str()) == Some("budget")
+                    && e.get("kind").and_then(|j| j.as_str()) == Some("wm")
+            }),
+            "{body}"
+        );
+        std::fs::remove_file(&tpath).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn unwritable_metrics_sink_fails_the_run() {
+        let f = temp_file(PROGRAM);
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--metrics-out",
+            "/no/such/dir/metrics.json",
+        ]);
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("cannot write"), "{output}");
         std::fs::remove_file(f).ok();
     }
 

@@ -14,10 +14,12 @@
 //!
 //! ```text
 //! --engine parallel|lex|mea    execution semantics   [parallel]
-//! --matcher rete|treat|naive|prete:N|ptreat:N        [rete]
+//! --matcher rete|treat|naive|prete:N|ptreat:N (N>=1) [rete]
 //! --guard off|ww|serializable  interference guard    [off]
 //! --max-cycles N               safety cycle limit    [1000000]
-//! --trace                      print one line per cycle
+//! --trace [FILE]               per-cycle trace; with FILE, write a
+//!                              structured JSONL trace there instead
+//! --metrics-out FILE           write a JSON metrics report after the run
 //! --stats                      print phase times and counters
 //! --dump-wm                    print the final working memory
 //! --no-log                     suppress (write …) output

@@ -95,6 +95,35 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// A short machine-readable tag for the error variant, used by the
+    /// structured trace (`budget` events) and metrics sinks.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::RhsEval { .. } => "rhs-eval",
+            EngineError::RhsPanic { .. } => "rhs-panic",
+            EngineError::Timeout { .. } => "timeout",
+            EngineError::WmBudget { .. } => "wm",
+            EngineError::ConflictSetBudget { .. } => "conflict-set",
+            EngineError::DeltaBudget { .. } => "delta",
+            EngineError::MatcherCorrupt { .. } => "matcher-corrupt",
+        }
+    }
+
+    /// The cycle the error is attributed to, when the variant carries one
+    /// (RHS failures identify a rule instead).
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            EngineError::Timeout { cycle, .. }
+            | EngineError::WmBudget { cycle, .. }
+            | EngineError::ConflictSetBudget { cycle, .. }
+            | EngineError::DeltaBudget { cycle, .. }
+            | EngineError::MatcherCorrupt { cycle, .. } => Some(*cycle),
+            EngineError::RhsEval { .. } | EngineError::RhsPanic { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -44,7 +44,9 @@ pub mod faults;
 pub mod fire;
 pub mod guard;
 pub mod interference;
+pub mod json;
 pub mod meta;
+pub mod metrics;
 pub mod parallel;
 pub mod refraction;
 pub mod serial;
@@ -55,6 +57,8 @@ pub use ccc::copy_and_constrain;
 pub use fire::{EngineError, FireResult};
 pub use guard::Budgets;
 pub use interference::GuardMode;
+pub use json::Json;
+pub use metrics::{EngineMetrics, MetricsLevel, RuleMetrics, TraceBuffer, TraceEvent};
 pub use parallel::ParallelEngine;
 pub use serial::{SerialEngine, Strategy};
 pub use snapshot::{Snapshot, SnapshotError};
@@ -110,6 +114,14 @@ pub struct EngineOptions {
     /// Record a [`CycleTrace`] per cycle (costs a name resolution per
     /// fired rule; off by default).
     pub trace: bool,
+    /// Observability collection level ([`MetricsLevel::Off`] by default:
+    /// the hot path is bit-identical to an uninstrumented run).
+    pub metrics: MetricsLevel,
+    /// Capacity of the structured [`TraceBuffer`] ring: `Some(cap)`
+    /// records typed cycle events (phase spans, budget trips, checkpoint
+    /// writes, injections) keeping the newest `cap`; `None` (default)
+    /// records nothing.
+    pub trace_events: Option<usize>,
     /// Resource budgets checked at cycle boundaries (parallel engine
     /// only). Default: unlimited.
     pub budgets: Budgets,
@@ -134,6 +146,8 @@ impl Default for EngineOptions {
             max_cycles: 1_000_000,
             collect_log: true,
             trace: false,
+            metrics: MetricsLevel::Off,
+            trace_events: None,
             budgets: Budgets::unlimited(),
             checkpoint_every: None,
             #[cfg(feature = "fault-inject")]

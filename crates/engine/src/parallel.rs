@@ -3,15 +3,25 @@
 use crate::fire::{self, EngineError, FireResult};
 use crate::interference;
 use crate::meta;
+use crate::metrics::{EngineMetrics, Phase, TraceBuffer, TraceEvent};
 use crate::refraction::Refraction;
 use crate::snapshot::{SnapKey, SnapValue, SnapWme, Snapshot, SnapshotError};
 use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
 use crate::EngineOptions;
 use parulel_core::{InstKey, Instantiation, Program, Value, Wme, WmeId, WorkingMemory};
-use parulel_match::Matcher;
+use parulel_match::{Matcher, MatcherMetrics};
 use rayon::prelude::*;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Instantiation counts per rule (metrics collection only).
+fn counts_by_rule(insts: &[Instantiation], num_rules: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_rules];
+    for inst in insts {
+        counts[inst.rule.0 as usize] += 1;
+    }
+    counts
+}
 
 /// The set-oriented parallel engine.
 ///
@@ -36,6 +46,8 @@ pub struct ParallelEngine {
     traces: Vec<CycleTrace>,
     halted: bool,
     latest_checkpoint: Option<Snapshot>,
+    metrics: EngineMetrics,
+    trace_buf: Option<TraceBuffer>,
 }
 
 impl ParallelEngine {
@@ -45,6 +57,8 @@ impl ParallelEngine {
         let program = Arc::new(program.clone());
         let mut matcher = opts.matcher.build(program.clone());
         matcher.seed(&wm);
+        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
+        let trace_buf = opts.trace_events.map(TraceBuffer::new);
         ParallelEngine {
             program,
             wm,
@@ -56,6 +70,8 @@ impl ParallelEngine {
             traces: Vec::new(),
             halted: false,
             latest_checkpoint: None,
+            metrics,
+            trace_buf,
         }
     }
 
@@ -112,6 +128,10 @@ impl ParallelEngine {
         }
         let mut matcher = opts.matcher.build(program.clone());
         matcher.seed(&wm);
+        // Observability state is not part of the snapshot wire format:
+        // a resumed engine starts fresh counters.
+        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
+        let trace_buf = opts.trace_events.map(TraceBuffer::new);
         Ok(ParallelEngine {
             program,
             wm,
@@ -123,6 +143,8 @@ impl ParallelEngine {
             traces: snapshot.traces.clone(),
             halted: snapshot.halted,
             latest_checkpoint: None,
+            metrics,
+            trace_buf,
         })
     }
 
@@ -186,6 +208,11 @@ impl ParallelEngine {
     /// trips, so the capture is safe).
     fn trip(&mut self, err: EngineError) -> EngineError {
         self.latest_checkpoint = Some(self.checkpoint());
+        if let Some(buf) = &mut self.trace_buf {
+            let cycle = err.cycle().unwrap_or(self.stats.cycles + 1);
+            buf.push(TraceEvent::BudgetTrip { cycle, kind: err.kind() });
+            buf.push(TraceEvent::Checkpoint { cycle: self.stats.cycles });
+        }
         err
     }
 
@@ -214,6 +241,24 @@ impl ParallelEngine {
         &self.traces
     }
 
+    /// Observability counters collected so far (all-zero when
+    /// `EngineOptions::metrics` is [`crate::MetricsLevel::Off`]).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// A live sample of the matcher's internal population — including the
+    /// shard count actually in effect for partitioned matchers.
+    pub fn matcher_metrics(&self) -> MatcherMetrics {
+        self.matcher.metrics()
+    }
+
+    /// The structured event ring (populated only when
+    /// `EngineOptions::trace_events` is set).
+    pub fn trace_events(&self) -> Option<&TraceBuffer> {
+        self.trace_buf.as_ref()
+    }
+
     /// The compiled program this engine runs.
     pub fn program(&self) -> &Program {
         &self.program
@@ -236,6 +281,12 @@ impl ParallelEngine {
         let (removed, added) = self.wm.apply(delta);
         self.matcher.apply(&removed, &added);
         self.refraction.prune(self.matcher.conflict_set());
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(TraceEvent::Inject {
+                adds: added.len(),
+                removes: removed.len(),
+            });
+        }
         (removed, added)
     }
 
@@ -273,18 +324,39 @@ impl ParallelEngine {
         cs_budget.map_err(|e| self.trip(e))?;
         cycle.eligible = eligible.len();
         cycle.match_time = t.elapsed();
+        let collect = self.opts.metrics.per_rule();
+        if collect {
+            self.metrics.peak_conflict_set =
+                self.metrics.peak_conflict_set.max(cycle.conflict_set);
+            for inst in &eligible {
+                self.metrics.per_rule[inst.rule.0 as usize].matched += 1;
+            }
+        }
         if eligible.is_empty() {
             return Ok(false);
         }
 
         let t = Instant::now();
+        let num_rules = self.metrics.per_rule.len();
+        let pre_meta = collect.then(|| counts_by_rule(&eligible, num_rules));
         let redact_out = meta::redact(&self.program, eligible);
         cycle.redacted_meta = redact_out.redacted;
         cycle.meta_rounds = redact_out.rounds;
+        let post_meta = collect.then(|| counts_by_rule(&redact_out.surviving, num_rules));
         let guard_out = interference::guard(&self.program, redact_out.surviving, self.opts.guard);
         cycle.redacted_guard = guard_out.redacted;
         let surviving = guard_out.surviving;
         cycle.redact_time = t.elapsed();
+        if let (Some(pre), Some(post)) = (pre_meta, post_meta) {
+            // Per-rule redaction attribution: eligible minus post-meta is
+            // what the meta-rules took; post-meta minus surviving is what
+            // the interference guard took.
+            let fin = counts_by_rule(&surviving, num_rules);
+            for r in 0..num_rules {
+                self.metrics.per_rule[r].redacted_meta += pre[r] - post[r];
+                self.metrics.per_rule[r].redacted_guard += post[r] - fin[r];
+            }
+        }
         if surviving.is_empty() {
             // Everything eligible was redacted: firing nothing would
             // repeat forever, so treat as quiescence.
@@ -310,12 +382,28 @@ impl ParallelEngine {
                 },
             )
         };
-        let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
-            surviving.par_iter().map(fire_one).collect()
+        // Per-firing RHS timing exists only when metrics are on; the Off
+        // arm is the seed's exact path (no `Instant::now` per firing).
+        let (results, rhs_times): (Vec<FireResult>, Vec<Duration>) = if collect {
+            let timed = |inst: &Instantiation| -> Result<(FireResult, Duration), EngineError> {
+                let t = Instant::now();
+                fire_one(inst).map(|r| (r, t.elapsed()))
+            };
+            let results: Result<Vec<(FireResult, Duration)>, EngineError> =
+                if self.opts.parallel_fire {
+                    surviving.par_iter().map(timed).collect()
+                } else {
+                    surviving.iter().map(timed).collect()
+                };
+            results.map_err(|e| self.trip(e))?.into_iter().unzip()
         } else {
-            surviving.iter().map(fire_one).collect()
+            let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
+                surviving.par_iter().map(fire_one).collect()
+            } else {
+                surviving.iter().map(fire_one).collect()
+            };
+            (results.map_err(|e| self.trip(e))?, Vec::new())
         };
-        let results = results.map_err(|e| self.trip(e))?;
         self.opts
             .budgets
             .check_delta(cycle_no, &results, &surviving, &self.program)
@@ -326,6 +414,13 @@ impl ParallelEngine {
         cycle.removes = delta.removes.len();
         self.refraction.record(surviving.iter());
         cycle.fire_time = t.elapsed();
+        if collect {
+            for (inst, dur) in surviving.iter().zip(&rhs_times) {
+                let rm = &mut self.metrics.per_rule[inst.rule.0 as usize];
+                rm.fired += 1;
+                rm.rhs_time += *dur;
+            }
+        }
 
         // Attribute the incremental network update to match time (it
         // *is* matching); apply time covers WM mutation and refraction
@@ -339,6 +434,13 @@ impl ParallelEngine {
         let t = Instant::now();
         self.refraction.prune(self.matcher.conflict_set());
         cycle.apply_time += t.elapsed();
+        if collect {
+            self.metrics.peak_wm = self.metrics.peak_wm.max(self.wm.len());
+        }
+        if self.opts.metrics.matcher() {
+            let sample = self.matcher.metrics();
+            self.metrics.sample_matcher(&sample);
+        }
 
         self.log.extend(log);
         self.halted |= halt;
@@ -364,6 +466,33 @@ impl ParallelEngine {
             });
         }
         self.stats.absorb(&cycle);
+        if let Some(buf) = &mut self.trace_buf {
+            let c = self.stats.cycles;
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Match,
+                dur: cycle.match_time,
+                items: cycle.eligible,
+            });
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Redact,
+                dur: cycle.redact_time,
+                items: cycle.redacted_meta + cycle.redacted_guard,
+            });
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Fire,
+                dur: cycle.fire_time,
+                items: cycle.fired,
+            });
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Apply,
+                dur: cycle.apply_time,
+                items: cycle.adds + cycle.removes,
+            });
+        }
         self.opts
             .budgets
             .check_wm(cycle_no, self.wm.len())
@@ -404,20 +533,37 @@ impl ParallelEngine {
             if let Some(every) = self.opts.checkpoint_every {
                 if every > 0 && self.stats.cycles.is_multiple_of(every) {
                     self.latest_checkpoint = Some(self.checkpoint());
+                    if let Some(buf) = &mut self.trace_buf {
+                        buf.push(TraceEvent::Checkpoint { cycle: self.stats.cycles });
+                    }
                 }
             }
         }
         // Per-call numbers: a caller that injects facts and runs again
         // gets this continuation's cycles, not the lifetime total (which
         // lives in `stats`).
-        Ok(Outcome {
+        let outcome = Outcome {
             cycles: self.stats.cycles - first_cycle,
             firings: self.stats.firings - first_firings,
             halted: self.halted,
             quiescent,
             hit_cycle_limit,
             wall: start.elapsed(),
-        })
+        };
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(TraceEvent::RunEnd {
+                cycles: outcome.cycles,
+                firings: outcome.firings,
+                status: if outcome.halted {
+                    "halted"
+                } else if outcome.hit_cycle_limit {
+                    "cycle-limit"
+                } else {
+                    "quiescent"
+                },
+            });
+        }
+        Ok(outcome)
     }
 }
 
@@ -602,6 +748,146 @@ mod tests {
             .id_of(e.program().interner.intern("done"))
             .unwrap();
         assert_eq!(e.wm().iter_class(done).count(), 3);
+    }
+
+    #[test]
+    fn metrics_collect_per_rule_counters_and_peaks() {
+        use crate::metrics::MetricsLevel;
+        // Reuse the redaction scenario: job 1 is redacted once, then fires.
+        let src = "
+            (literalize job id len done)
+            (literalize machine busy)
+            (p run (job ^id <j> ^len <l> ^done no) (machine ^busy no)
+             --> (modify 1 ^done yes))
+            (mp shortest-first
+              (inst run (job ^len <l1>) _)
+              (inst run (job ^len <l2>) _)
+              (test (> <l1> <l2>))
+             --> (redact 1))";
+        let p = compile(src).unwrap();
+        let mut wm = WorkingMemory::new(&p.classes);
+        let i = &p.interner;
+        let job = p.classes.id_of(i.intern("job")).unwrap();
+        let machine = p.classes.id_of(i.intern("machine")).unwrap();
+        let no = i.intern("no");
+        wm.insert(job, vec![Value::Int(1), Value::Int(9), Value::Sym(no)]);
+        wm.insert(job, vec![Value::Int(2), Value::Int(3), Value::Sym(no)]);
+        wm.insert(machine, vec![Value::Sym(no)]);
+        let mut e = ParallelEngine::new(
+            &p,
+            wm,
+            EngineOptions {
+                metrics: MetricsLevel::Full,
+                ..Default::default()
+            },
+        );
+        e.run().unwrap();
+        let run_rule = p.rule_by_name(p.interner.intern("run")).unwrap();
+        let m = e.metrics().rule(run_rule);
+        // Cycle 1: both instantiations eligible, one redacted, one fires.
+        // Cycle 2: job 1 eligible again and fires.
+        assert_eq!(m.matched, 3);
+        assert_eq!(m.fired, 2);
+        assert_eq!(m.redacted_meta, 1);
+        assert_eq!(m.redacted_guard, 0);
+        assert_eq!(e.metrics().peak_wm, 3);
+        assert_eq!(e.metrics().peak_conflict_set, 2);
+        assert!(e.metrics().peak_alpha_wmes > 0, "Full level samples the matcher");
+        // The lifetime totals agree with RunStats.
+        let fired_total: u64 = e.metrics().per_rule.iter().map(|r| r.fired).sum();
+        assert_eq!(fired_total, e.stats().firings);
+        // And a default-options engine collects nothing.
+        assert!(ParallelEngine::new(&p, WorkingMemory::new(&p.classes), Default::default())
+            .metrics()
+            .per_rule
+            .is_empty());
+    }
+
+    #[test]
+    fn trace_events_record_spans_and_run_end() {
+        use crate::metrics::TraceEvent;
+        let mut e = engine(
+            "(literalize count n)
+             (p step (count ^n <n>) (test (< <n> 3)) --> (modify 1 ^n (+ <n> 1)))",
+            &[("count", vec![Value::Int(0)])],
+            EngineOptions {
+                trace_events: Some(64),
+                ..Default::default()
+            },
+        );
+        e.run().unwrap();
+        let buf = e.trace_events().expect("ring enabled");
+        // 3 cycles x 4 spans + run-end.
+        assert_eq!(buf.len(), 13);
+        assert_eq!(buf.dropped(), 0);
+        let spans = buf
+            .events()
+            .filter(|ev| matches!(ev, TraceEvent::Span { .. }))
+            .count();
+        assert_eq!(spans, 12);
+        match buf.events().last().unwrap() {
+            TraceEvent::RunEnd { cycles, firings, status } => {
+                assert_eq!((*cycles, *firings), (3, 3));
+                assert_eq!(*status, "quiescent");
+            }
+            other => panic!("expected run-end, got {other:?}"),
+        }
+        let jsonl = buf.to_jsonl();
+        for line in jsonl.lines() {
+            crate::json::Json::parse(line).expect("every trace line parses");
+        }
+    }
+
+    #[test]
+    fn budget_trip_lands_in_the_trace_ring() {
+        use crate::metrics::TraceEvent;
+        let mut e = engine(
+            "(literalize n v)
+             (p grow (n ^v <x>) --> (make n ^v (+ <x> 1)))",
+            &[("n", vec![Value::Int(0)])],
+            EngineOptions {
+                trace_events: Some(8),
+                budgets: crate::Budgets {
+                    max_wm: Some(3),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        e.run().unwrap_err();
+        let buf = e.trace_events().unwrap();
+        assert!(
+            buf.events()
+                .any(|ev| matches!(ev, TraceEvent::BudgetTrip { kind: "wm", .. })),
+            "trip event recorded"
+        );
+    }
+
+    #[test]
+    fn shard_count_reported_is_the_one_in_effect() {
+        // API callers can still pass 0 workers; the matcher clamps to 1
+        // and *reports* 1 — labels never claim unused shards.
+        let p = compile("(literalize a x) (p r (a ^x <v>) --> (halt))").unwrap();
+        let e = ParallelEngine::new(
+            &p,
+            WorkingMemory::new(&p.classes),
+            EngineOptions {
+                matcher: MatcherKind::PartitionedRete(0),
+                ..Default::default()
+            },
+        );
+        let mm = e.matcher_metrics();
+        assert_eq!(mm.shards, 1);
+        assert_eq!(mm.kind, "partitioned-rete");
+        let e = ParallelEngine::new(
+            &p,
+            WorkingMemory::new(&p.classes),
+            EngineOptions {
+                matcher: MatcherKind::PartitionedTreat(4),
+                ..Default::default()
+            },
+        );
+        assert_eq!(e.matcher_metrics().shards, 4);
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! many-firing engine on identical programs.
 
 use crate::fire::{self, EngineError};
+use crate::metrics::{EngineMetrics, Phase, TraceBuffer, TraceEvent};
 use crate::refraction::Refraction;
 use crate::stats::{CycleStats, Outcome, RunStats};
 use crate::EngineOptions;
 use parulel_core::{Instantiation, Program, WorkingMemory};
-use parulel_match::Matcher;
+use parulel_match::{Matcher, MatcherMetrics};
 use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +36,8 @@ pub struct SerialEngine {
     stats: RunStats,
     log: Vec<String>,
     halted: bool,
+    metrics: EngineMetrics,
+    trace_buf: Option<TraceBuffer>,
 }
 
 impl SerialEngine {
@@ -51,6 +54,8 @@ impl SerialEngine {
         let program = Arc::new(program.clone());
         let mut matcher = opts.matcher.build(program.clone());
         matcher.seed(&wm);
+        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
+        let trace_buf = opts.trace_events.map(TraceBuffer::new);
         SerialEngine {
             program,
             wm,
@@ -61,6 +66,8 @@ impl SerialEngine {
             stats: RunStats::default(),
             log: Vec::new(),
             halted: false,
+            metrics,
+            trace_buf,
         }
     }
 
@@ -77,6 +84,45 @@ impl SerialEngine {
     /// Collected `write` output.
     pub fn log(&self) -> &[String] {
         &self.log
+    }
+
+    /// Observability counters collected so far (all-zero when
+    /// `EngineOptions::metrics` is [`crate::MetricsLevel::Off`]).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// A live sample of the matcher's internal population.
+    pub fn matcher_metrics(&self) -> MatcherMetrics {
+        self.matcher.metrics()
+    }
+
+    /// The structured event ring (populated only when
+    /// `EngineOptions::trace_events` is set).
+    pub fn trace_events(&self) -> Option<&TraceBuffer> {
+        self.trace_buf.as_ref()
+    }
+
+    /// Injects external working-memory changes between cycles — the
+    /// serial counterpart of [`ParallelEngine::inject`]
+    /// (`crate::ParallelEngine::inject`), with identical semantics: the
+    /// delta is applied to working memory and the incremental matcher,
+    /// and the next [`step`](Self::step) sees the updated conflict set.
+    /// Returns the concrete WMEs removed and added.
+    pub fn inject(
+        &mut self,
+        delta: &parulel_core::Delta,
+    ) -> (Vec<parulel_core::Wme>, Vec<parulel_core::Wme>) {
+        let (removed, added) = self.wm.apply(delta);
+        self.matcher.apply(&removed, &added);
+        self.refraction.prune(self.matcher.conflict_set());
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(TraceEvent::Inject {
+                adds: added.len(),
+                removes: removed.len(),
+            });
+        }
+        (removed, added)
     }
 
     /// Compares two instantiations under the strategy; `Greater` wins.
@@ -120,6 +166,14 @@ impl SerialEngine {
         let eligible = self.refraction.eligible(cs);
         cycle.eligible = eligible.len();
         cycle.match_time = t.elapsed();
+        let collect = self.opts.metrics.per_rule();
+        if collect {
+            self.metrics.peak_conflict_set =
+                self.metrics.peak_conflict_set.max(cycle.conflict_set);
+            for inst in &eligible {
+                self.metrics.per_rule[inst.rule.0 as usize].matched += 1;
+            }
+        }
         if eligible.is_empty() {
             return Ok(false);
         }
@@ -137,12 +191,18 @@ impl SerialEngine {
             || self.program.rule_name(winner.rule),
             || fire::fire(&self.program, &winner, self.opts.collect_log),
         )?;
+        let rhs_time = t.elapsed();
         let (delta, log, halt) = fire::merge(vec![result]);
         self.refraction.record(std::iter::once(&winner));
         cycle.fired = 1;
         cycle.adds = delta.adds.len();
         cycle.removes = delta.removes.len();
         cycle.fire_time = t.elapsed();
+        if collect {
+            let rm = &mut self.metrics.per_rule[winner.rule.0 as usize];
+            rm.fired += 1;
+            rm.rhs_time += rhs_time;
+        }
 
         // Attribute the incremental network update to match time (it
         // *is* matching); apply time covers WM mutation and refraction
@@ -156,10 +216,38 @@ impl SerialEngine {
         let t = Instant::now();
         self.refraction.prune(self.matcher.conflict_set());
         cycle.apply_time += t.elapsed();
+        if collect {
+            self.metrics.peak_wm = self.metrics.peak_wm.max(self.wm.len());
+        }
+        if self.opts.metrics.matcher() {
+            let sample = self.matcher.metrics();
+            self.metrics.sample_matcher(&sample);
+        }
 
         self.log.extend(log);
         self.halted |= halt;
         self.stats.absorb(&cycle);
+        if let Some(buf) = &mut self.trace_buf {
+            let c = self.stats.cycles;
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Match,
+                dur: cycle.match_time,
+                items: cycle.eligible,
+            });
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Fire,
+                dur: cycle.fire_time,
+                items: cycle.fired,
+            });
+            buf.push(TraceEvent::Span {
+                cycle: c,
+                phase: Phase::Apply,
+                dur: cycle.apply_time,
+                items: cycle.adds + cycle.removes,
+            });
+        }
         Ok(true)
     }
 
@@ -186,14 +274,28 @@ impl SerialEngine {
         // Per-call numbers: a caller that injects facts and runs again
         // gets this continuation's cycles, not the lifetime total (which
         // lives in `stats`).
-        Ok(Outcome {
+        let outcome = Outcome {
             cycles: self.stats.cycles - first_cycle,
             firings: self.stats.firings - first_firings,
             halted: self.halted,
             quiescent,
             hit_cycle_limit,
             wall: start.elapsed(),
-        })
+        };
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(TraceEvent::RunEnd {
+                cycles: outcome.cycles,
+                firings: outcome.firings,
+                status: if outcome.halted {
+                    "halted"
+                } else if outcome.hit_cycle_limit {
+                    "cycle-limit"
+                } else {
+                    "quiescent"
+                },
+            });
+        }
+        Ok(outcome)
     }
 }
 
@@ -264,6 +366,70 @@ mod tests {
         e.run().unwrap();
         // goal 2 was asserted later ⇒ fires first.
         assert_eq!(e.log(), &["acted 2".to_string(), "acted 1".to_string()]);
+    }
+
+    #[test]
+    fn inject_gives_continuation_outcomes_and_lifetime_stats() {
+        // Satellite regression: the serial engine mirrors
+        // ParallelEngine::inject — a second run() after injection reports
+        // continuation-only numbers while stats() keeps lifetime totals.
+        let p = compile(
+            "(literalize req id)
+             (literalize done id)
+             (p serve (req ^id <r>) --> (remove 1) (make done ^id <r>))",
+        )
+        .unwrap();
+        let wm = wm_with(&p, &[("req", vec![Value::Int(1)])]);
+        let mut e = SerialEngine::new(&p, wm, Strategy::Lex, EngineOptions::default());
+        let out = e.run().unwrap();
+        assert_eq!((out.cycles, out.firings), (1, 1));
+        let req = p.classes.id_of(p.interner.intern("req")).unwrap();
+        let mut delta = parulel_core::Delta::new();
+        delta.adds.push((req, vec![Value::Int(2)].into()));
+        delta.adds.push((req, vec![Value::Int(3)].into()));
+        let (removed, added) = e.inject(&delta);
+        assert!(removed.is_empty());
+        assert_eq!(added.len(), 2);
+        let out = e.run().unwrap();
+        assert_eq!((out.cycles, out.firings), (2, 2), "per-call outcome");
+        assert_eq!(e.stats().cycles, 3, "lifetime stats keep the total");
+        assert_eq!(e.stats().firings, 3);
+        let done = p.classes.id_of(p.interner.intern("done")).unwrap();
+        assert_eq!(e.wm().iter_class(done).count(), 3);
+    }
+
+    #[test]
+    fn metrics_count_winner_firings_only() {
+        use crate::metrics::MetricsLevel;
+        let p = compile(
+            "(literalize cell id v)
+             (p bump (cell ^id <i> ^v 0) --> (modify 1 ^v 1))",
+        )
+        .unwrap();
+        let wm = wm_with(
+            &p,
+            &[
+                ("cell", vec![Value::Int(1), Value::Int(0)]),
+                ("cell", vec![Value::Int(2), Value::Int(0)]),
+            ],
+        );
+        let mut e = SerialEngine::new(
+            &p,
+            wm,
+            Strategy::Lex,
+            EngineOptions {
+                metrics: MetricsLevel::Rules,
+                ..Default::default()
+            },
+        );
+        e.run().unwrap();
+        let bump = p.rule_by_name(p.interner.intern("bump")).unwrap();
+        let m = e.metrics().rule(bump);
+        assert_eq!(m.fired, 2, "one winner per cycle");
+        // Cycle 1 sees 2 eligible, cycle 2 sees 1: matched sums pressure.
+        assert_eq!(m.matched, 3);
+        assert_eq!(e.metrics().peak_conflict_set, 2);
+        assert_eq!(e.metrics().peak_wm, 2);
     }
 
     #[test]

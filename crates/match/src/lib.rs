@@ -42,6 +42,82 @@ pub use treat::Treat;
 
 use parulel_core::{ConflictSet, Wme, WorkingMemory};
 
+/// A point-in-time report of a matcher's internal population, for the
+/// engine's observability layer. Cheap to produce (a walk over the
+/// network, no allocation proportional to WM) but not free — engines
+/// sample it only when metrics collection is enabled.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatcherMetrics {
+    /// Engine kind: `"naive"`, `"rete"`, `"treat"`,
+    /// `"partitioned-rete"`, `"partitioned-treat"`.
+    pub kind: &'static str,
+    /// Workers actually in effect (1 for monolithic matchers). For
+    /// [`Partitioned`] this is the real worker count after clamping, not
+    /// the requested one.
+    pub shards: usize,
+    /// Rules this matcher covers.
+    pub rules: usize,
+    /// Current conflict-set size (for [`NaiveMatcher`] this reflects the
+    /// last recompute; it may lag working memory until the next
+    /// `conflict_set()` call).
+    pub conflict_set: usize,
+    /// WMEs held in alpha memories, summed across CEs (a WME passing
+    /// several CEs' constant tests counts once per memory).
+    pub alpha_wmes: usize,
+    /// Partial-match tokens held in beta memories (RETE only; zero for
+    /// TREAT/naive, which keep no beta state).
+    pub beta_tokens: usize,
+    /// Entries in counted-negative-node tables (RETE only).
+    pub negative_counts: usize,
+    /// Lifetime count of full per-rule re-enumerations (TREAT only:
+    /// the cost paid when a negative blocker disappears).
+    pub reenumerations: u64,
+    /// Lifetime count of full conflict-set recomputes (naive only).
+    pub recomputes: u64,
+    /// Per-worker reports (partitioned matchers only).
+    pub per_shard: Vec<MatcherMetrics>,
+}
+
+impl Default for MatcherMetrics {
+    fn default() -> Self {
+        MatcherMetrics {
+            kind: "unknown",
+            shards: 1,
+            rules: 0,
+            conflict_set: 0,
+            alpha_wmes: 0,
+            beta_tokens: 0,
+            negative_counts: 0,
+            reenumerations: 0,
+            recomputes: 0,
+            per_shard: Vec::new(),
+        }
+    }
+}
+
+impl MatcherMetrics {
+    /// A scalar proxy for how much match state this shard carries.
+    pub fn work(&self) -> usize {
+        self.alpha_wmes + self.beta_tokens + self.conflict_set
+    }
+
+    /// Max-over-mean of [`work`](Self::work) across shards: 1.0 is
+    /// perfectly balanced (or unpartitioned/idle); 2.0 means the hottest
+    /// shard carries twice the average — the skew copy-and-constrain
+    /// exists to fix.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_shard.len() < 2 {
+            return 1.0;
+        }
+        let works: Vec<f64> = self.per_shard.iter().map(|s| s.work() as f64).collect();
+        let mean = works.iter().sum::<f64>() / works.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        works.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+}
+
 /// A match engine: consumes working-memory changes, maintains the conflict
 /// set.
 pub trait Matcher: Send {
@@ -72,4 +148,10 @@ pub trait Matcher: Send {
 
     /// The current conflict set.
     fn conflict_set(&mut self) -> &ConflictSet;
+
+    /// A snapshot of the matcher's internal population. The default is an
+    /// empty report; the four shipped matchers all override it.
+    fn metrics(&self) -> MatcherMetrics {
+        MatcherMetrics::default()
+    }
 }

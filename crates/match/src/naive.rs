@@ -14,6 +14,8 @@ pub struct NaiveMatcher {
     by_class: Vec<FxHashMap<WmeId, Wme>>,
     cache: ConflictSet,
     dirty: bool,
+    /// Lifetime count of full conflict-set recomputes.
+    recomputes: u64,
 }
 
 impl NaiveMatcher {
@@ -33,6 +35,7 @@ impl NaiveMatcher {
             by_class: vec![FxHashMap::default(); classes],
             cache: ConflictSet::new(),
             dirty: true,
+            recomputes: 0,
         }
     }
 
@@ -41,6 +44,7 @@ impl NaiveMatcher {
     }
 
     fn recompute(&mut self) {
+        self.recomputes += 1;
         let mut out = Vec::new();
         for &rid in &self.rules {
             let rule = self.program.rule(rid);
@@ -72,6 +76,17 @@ impl Matcher for NaiveMatcher {
             self.recompute();
         }
         &self.cache
+    }
+
+    fn metrics(&self) -> crate::MatcherMetrics {
+        crate::MatcherMetrics {
+            kind: "naive",
+            rules: self.rules.len(),
+            conflict_set: self.cache.len(),
+            alpha_wmes: self.by_class.iter().map(|m| m.len()).sum(),
+            recomputes: self.recomputes,
+            ..Default::default()
+        }
     }
 }
 

@@ -38,6 +38,13 @@ pub fn round_robin(num_rules: usize, n: usize) -> Vec<Vec<RuleId>> {
 impl<M: Matcher> Partitioned<M> {
     /// Builds a partitioned matcher with `n` workers, constructing each
     /// worker with `make(program, rules)`.
+    ///
+    /// `n == 0` is clamped to one worker (a zero-worker matcher cannot
+    /// exist); callers that consider `0` an input error must reject it
+    /// themselves — the CLI does. The count actually in effect is always
+    /// visible via [`num_workers`](Self::num_workers) and
+    /// [`metrics`](Matcher::metrics), so reports never claim a shard
+    /// count that was never used.
     pub fn new_with(
         program: Arc<Program>,
         n: usize,
@@ -119,6 +126,32 @@ impl<M: Matcher> Matcher for Partitioned<M> {
             self.dirty = false;
         }
         &self.merged
+    }
+
+    fn metrics(&self) -> crate::MatcherMetrics {
+        let per_shard: Vec<crate::MatcherMetrics> =
+            self.workers.iter().map(|w| w.metrics()).collect();
+        let mut m = crate::MatcherMetrics {
+            kind: match per_shard.first().map(|s| s.kind) {
+                Some("rete") => "partitioned-rete",
+                Some("treat") => "partitioned-treat",
+                _ => "partitioned",
+            },
+            shards: self.workers.len(),
+            // Rule partitions are disjoint, so sums across shards are
+            // exact totals (and `conflict_set` stays correct even when
+            // the merged cache is stale).
+            rules: per_shard.iter().map(|s| s.rules).sum(),
+            conflict_set: per_shard.iter().map(|s| s.conflict_set).sum(),
+            alpha_wmes: per_shard.iter().map(|s| s.alpha_wmes).sum(),
+            beta_tokens: per_shard.iter().map(|s| s.beta_tokens).sum(),
+            negative_counts: per_shard.iter().map(|s| s.negative_counts).sum(),
+            reenumerations: per_shard.iter().map(|s| s.reenumerations).sum(),
+            recomputes: per_shard.iter().map(|s| s.recomputes).sum(),
+            per_shard: Vec::new(),
+        };
+        m.per_shard = per_shard;
+        m
     }
 }
 

@@ -500,6 +500,23 @@ impl Matcher for Rete {
     fn conflict_set(&mut self) -> &ConflictSet {
         &self.cs
     }
+
+    fn metrics(&self) -> crate::MatcherMetrics {
+        let mut m = crate::MatcherMetrics {
+            kind: "rete",
+            rules: self.nets.len(),
+            conflict_set: self.cs.len(),
+            ..Default::default()
+        };
+        for net in &self.nets {
+            for level in &net.levels {
+                m.alpha_wmes += level.alpha.len();
+                m.beta_tokens += level.tokens.len();
+                m.negative_counts += level.neg_counts.len();
+            }
+        }
+        m
+    }
 }
 
 #[cfg(test)]

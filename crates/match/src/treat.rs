@@ -36,6 +36,9 @@ pub struct Treat {
     program: Arc<Program>,
     rules: Vec<RuleAlphas>,
     cs: ConflictSet,
+    /// Lifetime count of full per-rule re-enumerations (the remove-side
+    /// cost TREAT pays when a negative blocker disappears).
+    reenumerations: u64,
 }
 
 impl Treat {
@@ -58,12 +61,14 @@ impl Treat {
             program,
             rules: alphas,
             cs: ConflictSet::new(),
+            reenumerations: 0,
         }
     }
 
     /// Re-derives every instantiation of one rule from its alpha memories
     /// (used after a negative blocker disappears).
     fn reenumerate_rule(&mut self, rule_idx: usize) {
+        self.reenumerations += 1;
         let ra = &self.rules[rule_idx];
         let rule = self.program.rule(ra.rule);
         // Drop existing entries for this rule…
@@ -176,6 +181,21 @@ impl Matcher for Treat {
 
     fn conflict_set(&mut self) -> &ConflictSet {
         &self.cs
+    }
+
+    fn metrics(&self) -> crate::MatcherMetrics {
+        crate::MatcherMetrics {
+            kind: "treat",
+            rules: self.rules.len(),
+            conflict_set: self.cs.len(),
+            alpha_wmes: self
+                .rules
+                .iter()
+                .map(|ra| ra.mems.iter().map(|m| m.len()).sum::<usize>())
+                .sum(),
+            reenumerations: self.reenumerations,
+            ..Default::default()
+        }
     }
 }
 

@@ -65,8 +65,8 @@ pub mod prelude {
         ClassId, ConflictSet, Delta, Instantiation, Program, RuleId, Symbol, Value, WorkingMemory,
     };
     pub use parulel_engine::{
-        Budgets, EngineError, EngineOptions, MatcherKind, Outcome, ParallelEngine, SerialEngine,
-        Snapshot, SnapshotError, Strategy,
+        Budgets, EngineError, EngineOptions, MatcherKind, MetricsLevel, Outcome, ParallelEngine,
+        SerialEngine, Snapshot, SnapshotError, Strategy,
     };
     pub use parulel_lang::compile;
     pub use parulel_match::{Matcher, NaiveMatcher, Rete, Treat};

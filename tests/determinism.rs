@@ -38,6 +38,67 @@ fn identical_runs_are_byte_identical() {
     }
 }
 
+/// Observability must be read-only: turning metrics collection on (at
+/// any level) cannot change a single bit of the run — same cycles, same
+/// firings, same log, same final working memory. Conversely, the default
+/// `MetricsLevel::Off` run is exactly the uninstrumented hot path.
+#[test]
+fn metrics_collection_does_not_perturb_the_run() {
+    for s in scenarios() {
+        let run = |level: MetricsLevel| {
+            let mut e = ParallelEngine::new(
+                s.program(),
+                s.initial_wm(),
+                EngineOptions {
+                    metrics: level,
+                    ..Default::default()
+                },
+            );
+            let out = e.run().unwrap();
+            (
+                out.cycles,
+                out.firings,
+                e.log().to_vec(),
+                e.wm().sorted_snapshot(),
+            )
+        };
+        let off = run(MetricsLevel::Off);
+        for level in [MetricsLevel::Rules, MetricsLevel::Full] {
+            let on = run(level);
+            assert_eq!(off, on, "{} at {level:?} diverged from Off", s.name());
+        }
+    }
+}
+
+/// The per-rule counters must agree with the run totals the engine
+/// already reports — firings sum to `Outcome::firings`, and every
+/// observed peak is at least the final state's size.
+#[test]
+fn metrics_counters_are_consistent_with_run_totals() {
+    for s in scenarios() {
+        let mut e = ParallelEngine::new(
+            s.program(),
+            s.initial_wm(),
+            EngineOptions {
+                metrics: MetricsLevel::Full,
+                ..Default::default()
+            },
+        );
+        let out = e.run().unwrap();
+        let m = e.metrics();
+        let fired: u64 = m.per_rule.iter().map(|r| r.fired).sum();
+        assert_eq!(fired, out.firings, "{}", s.name());
+        let redacted: u64 = m.per_rule.iter().map(|r| r.redacted_meta).sum();
+        assert_eq!(redacted, e.stats().redacted_meta, "{}", s.name());
+        assert!(m.peak_wm >= e.wm().len(), "{}", s.name());
+        assert!(
+            m.peak_conflict_set >= e.stats().peak_eligible,
+            "{}",
+            s.name()
+        );
+    }
+}
+
 #[test]
 fn parallel_and_sequential_fire_agree() {
     for s in scenarios() {
