@@ -15,7 +15,7 @@
 //!   because the blowup is exponential — which is itself the measurement.
 
 use parulel_bench::{ms, BenchReport, RunResult, Table};
-use parulel_engine::{EngineOptions, GuardMode, Json, MetricsLevel, ParallelEngine};
+use parulel_engine::{Engine, EngineOptions, FiringPolicy, GuardMode, Json, MetricsLevel};
 use parulel_workloads::{LabelProp, Scenario};
 
 struct Config {
@@ -78,18 +78,17 @@ fn main() {
     );
     for c in configs {
         let s = LabelProp::new(c.nodes, c.edges, 11);
-        let program = if c.with_metas {
-            s.program().clone()
-        } else {
-            s.program().without_metas()
+        let program = s.program().clone();
+        let policy = FiringPolicy::FireAll {
+            meta: c.with_metas,
+            guard: c.guard,
         };
         let opts = EngineOptions {
-            guard: c.guard,
             max_cycles: c.max_cycles,
             metrics: MetricsLevel::Rules,
             ..Default::default()
         };
-        let mut e = ParallelEngine::new(&program, s.initial_wm(), opts);
+        let mut e = Engine::with_policy(&program, s.initial_wm(), policy, opts);
         let out = e.run().expect("engine run failed");
         let valid = match s.validate(e.wm()) {
             Ok(()) => "yes".to_string(),

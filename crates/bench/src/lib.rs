@@ -22,7 +22,7 @@ pub mod report;
 
 use parulel_core::WorkingMemory;
 use parulel_engine::{
-    EngineMetrics, EngineOptions, Outcome, ParallelEngine, RunStats, SerialEngine, Strategy,
+    Engine, EngineMetrics, EngineOptions, FiringPolicy, Outcome, RunStats, Strategy,
 };
 use parulel_match::MatcherMetrics;
 use parulel_workloads::Scenario;
@@ -46,10 +46,12 @@ pub struct RunResult {
     pub wm: WorkingMemory,
 }
 
-/// One full PARULEL run of a scenario; panics if validation fails so a
-/// bench can never silently report numbers for a wrong answer.
-pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> RunResult {
-    let mut e = ParallelEngine::new(s.program(), s.initial_wm(), opts);
+/// One measured run of a scenario under an arbitrary firing policy;
+/// panics if validation fails so a bench can never silently report
+/// numbers for a wrong answer. The tables compare *policies* over the
+/// one engine core, not engine implementations.
+pub fn run_policy(s: &dyn Scenario, policy: FiringPolicy, opts: EngineOptions) -> RunResult {
+    let mut e = Engine::with_policy(s.program(), s.initial_wm(), policy, opts);
     let outcome = e.run().expect("engine run failed");
     s.validate(e.wm())
         .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
@@ -62,19 +64,14 @@ pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> RunResult {
     }
 }
 
-/// One serial OPS5 run of a scenario (also validated).
+/// One full PARULEL (fire-all) run of a scenario.
+pub fn run_parallel(s: &dyn Scenario, opts: EngineOptions) -> RunResult {
+    run_policy(s, FiringPolicy::fire_all(), opts)
+}
+
+/// One serial OPS5 (select-one) run of a scenario (also validated).
 pub fn run_serial(s: &dyn Scenario, strategy: Strategy, opts: EngineOptions) -> RunResult {
-    let mut e = SerialEngine::new(s.program(), s.initial_wm(), strategy, opts);
-    let outcome = e.run().expect("engine run failed");
-    s.validate(e.wm())
-        .unwrap_or_else(|err| panic!("{}: validation failed: {err}", s.name()));
-    RunResult {
-        outcome,
-        stats: e.stats().clone(),
-        metrics: e.metrics().clone(),
-        matcher: e.matcher_metrics(),
-        wm: e.wm().clone(),
-    }
+    run_policy(s, FiringPolicy::SelectOne(strategy), opts)
 }
 
 /// Milliseconds with two decimals.
@@ -186,6 +183,15 @@ mod tests {
         assert!(r.outcome.quiescent);
         assert!(r.stats.firings > 0);
         let r = run_serial(&s, Strategy::Lex, EngineOptions::default());
+        assert!(r.outcome.quiescent);
+        let r = run_policy(
+            &s,
+            FiringPolicy::FireAll {
+                meta: true,
+                guard: parulel_engine::GuardMode::WriteWrite,
+            },
+            EngineOptions::default(),
+        );
         assert!(r.outcome.quiescent);
     }
 }

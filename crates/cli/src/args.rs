@@ -14,9 +14,11 @@ USAGE:
   parulel --help
 
 RUN OPTIONS:
-  --engine parallel|lex|mea     execution semantics        [parallel]
+  --engine parallel|lex|mea     firing policy: PARULEL fire-all, or
+                                OPS5 select-one LEX/MEA    [parallel]
   --matcher rete|treat|naive|prete:N|ptreat:N  (N >= 1)    [rete]
-  --guard off|ww|serializable   interference guard         [off]
+  --guard off|ww|serializable   interference guard; fire-all only,
+                                warns under lex/mea        [off]
   --max-cycles N                safety cycle limit         [1000000]
   --trace [FILE]                print one line per cycle; with FILE,
                                 write a structured JSONL trace instead
@@ -25,7 +27,7 @@ RUN OPTIONS:
   --dump-wm                     print the final working memory
   --no-log                      suppress (write ...) output
 
-ROBUSTNESS OPTIONS (parallel engine only):
+ROBUSTNESS OPTIONS (any engine):
   --timeout SECS                wall-clock budget for the run
   --max-wm N                    abort if working memory exceeds N WMEs
   --max-cs N                    abort if the conflict set exceeds N
@@ -69,7 +71,7 @@ pub struct RunOpts {
     pub dump_wm: bool,
     /// Suppress `(write …)` output.
     pub no_log: bool,
-    /// Resource budgets (parallel engine only).
+    /// Resource budgets (any engine).
     pub budgets: Budgets,
     /// Keep an in-engine checkpoint every N cycles.
     pub checkpoint_every: Option<u64>,
@@ -196,17 +198,6 @@ impl Command {
                         "--checkpoint" => opts.checkpoint = Some(next_val(&mut it, flag)?),
                         "--resume" => opts.resume = Some(next_val(&mut it, flag)?),
                         other => return Err(format!("unknown option '{other}'")),
-                    }
-                }
-                if matches!(opts.engine, EngineChoice::Serial(_)) {
-                    let robust = !opts.budgets.is_unlimited()
-                        || opts.checkpoint_every.is_some()
-                        || opts.checkpoint.is_some()
-                        || opts.resume.is_some();
-                    if robust {
-                        return Err(
-                            "budget/checkpoint/resume options require --engine parallel".into()
-                        );
                     }
                 }
                 Ok(Command::Run(Box::new(opts)))
@@ -413,9 +404,20 @@ mod tests {
     }
 
     #[test]
-    fn robustness_flags_reject_serial_engines_and_bad_values() {
-        assert!(parse(&["run", "x", "--engine", "lex", "--max-wm", "5"]).is_err());
-        assert!(parse(&["run", "x", "--resume", "s.snap", "--engine", "mea"]).is_err());
+    fn robustness_flags_work_with_any_engine_but_reject_bad_values() {
+        // Regression (engine unification): budgets/checkpoint/resume used
+        // to be parallel-only hard errors; the unified core serves every
+        // policy, so serial engines accept them now.
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--engine", "lex", "--max-wm", "5"]) else {
+            panic!()
+        };
+        assert_eq!(o.engine, EngineChoice::Serial(Strategy::Lex));
+        assert_eq!(o.budgets.max_wm, Some(5));
+        let Ok(Command::Run(o)) = parse(&["run", "x", "--resume", "s.snap", "--engine", "mea"])
+        else {
+            panic!()
+        };
+        assert_eq!(o.resume.as_deref(), Some("s.snap"));
         assert!(parse(&["run", "x", "--timeout", "-1"]).is_err());
         assert!(parse(&["run", "x", "--timeout", "inf"]).is_err());
         assert!(parse(&["run", "x", "--timeout", "soon"]).is_err());

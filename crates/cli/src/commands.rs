@@ -3,8 +3,8 @@
 use crate::args::{EngineChoice, RunOpts};
 use parulel_core::WorkingMemory;
 use parulel_engine::{
-    EngineMetrics, EngineOptions, MetricsLevel, Outcome, ParallelEngine, RunStats, SerialEngine,
-    Snapshot, TraceBuffer,
+    Engine, EngineMetrics, EngineOptions, FiringPolicy, GuardMode, MetricsLevel, Outcome,
+    RunStats, Snapshot, TraceBuffer,
 };
 use parulel_match::MatcherMetrics;
 use std::io::Write;
@@ -78,7 +78,6 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
     };
     let engine_opts = EngineOptions {
         matcher: opts.matcher,
-        guard: opts.guard,
         max_cycles: opts.max_cycles,
         collect_log: !opts.no_log,
         trace: opts.trace,
@@ -93,108 +92,106 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
         ..Default::default()
     };
 
-    match opts.engine {
-        EngineChoice::Parallel => {
-            // `--resume FILE` replaces the program's `(wm …)` facts with
-            // the checkpointed state.
-            let mut e = if let Some(path) = &opts.resume {
-                let bytes = match std::fs::read(path) {
-                    Ok(b) => b,
-                    Err(err) => {
-                        let _ = writeln!(out, "error: cannot read {path}: {err}");
-                        return 1;
-                    }
-                };
-                let snap = match Snapshot::from_bytes(&bytes) {
-                    Ok(s) => s,
-                    Err(err) => {
-                        let _ = writeln!(out, "error: {path}: {err}");
-                        return 1;
-                    }
-                };
-                match ParallelEngine::resume(&program, &snap, engine_opts) {
-                    Ok(e) => e,
-                    Err(err) => {
-                        let _ = writeln!(out, "error: cannot resume from {path}: {err}");
-                        return 1;
-                    }
-                }
-            } else {
-                ParallelEngine::new(&program, wm, engine_opts)
-            };
-            let mm = e.matcher_metrics();
-            let mut code = match e.run() {
-                Ok(o) => {
-                    for line in e.traces() {
-                        let _ = writeln!(out, "{line}");
-                    }
-                    finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program(), &mm)
-                }
-                Err(err) => {
-                    let _ = writeln!(out, "runtime error: {err}");
-                    1
-                }
-            };
-            // The sinks are written even when the run failed: a trace that
-            // ends in a budget trip is exactly the one worth keeping.
-            if !write_sinks(
+    // The CLI no longer branches on engine type: --engine picks a
+    // firing policy, and one unified path drives the engine — so
+    // budgets, checkpoint/resume, metrics, and traces work identically
+    // for every policy.
+    let policy = match opts.engine {
+        EngineChoice::Parallel => FiringPolicy::FireAll {
+            meta: true,
+            guard: opts.guard,
+        },
+        EngineChoice::Serial(strategy) => FiringPolicy::SelectOne(strategy),
+    };
+    if matches!(policy, FiringPolicy::SelectOne(_)) && opts.guard != GuardMode::Off {
+        let _ = writeln!(
+            out,
+            "warning: --guard is ignored by --engine lex/mea \
+             (a select-one policy fires a single instantiation per cycle)"
+        );
+    }
+
+    // `--resume FILE` replaces the program's `(wm …)` facts with the
+    // checkpointed state.
+    let mut e = if let Some(path) = &opts.resume {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(err) => {
+                let _ = writeln!(out, "error: cannot read {path}: {err}");
+                return 1;
+            }
+        };
+        let snap = match Snapshot::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(err) => {
+                let _ = writeln!(out, "error: {path}: {err}");
+                return 1;
+            }
+        };
+        if snap.policy != policy.tag() {
+            let _ = writeln!(
                 out,
-                opts,
-                e.metrics(),
-                e.program(),
-                &e.matcher_metrics(),
-                e.stats(),
-                e.trace_events(),
-            ) && code == 0
-            {
-                code = 1;
-            }
-            // `--checkpoint FILE`: persist the last captured checkpoint
-            // (a budget trip always captures one; a clean exit falls back
-            // to the final state), whatever the exit code.
-            if let Some(path) = &opts.checkpoint {
-                let snap = e
-                    .latest_checkpoint()
-                    .cloned()
-                    .unwrap_or_else(|| e.checkpoint());
-                match std::fs::write(path, snap.to_bytes()) {
-                    Ok(()) => {
-                        let _ =
-                            writeln!(out, "checkpoint written to {path} (cycle {})", snap.cycle);
-                    }
-                    Err(err) => {
-                        let _ = writeln!(out, "error: cannot write {path}: {err}");
-                        return 1;
-                    }
-                }
-            }
-            code
+                "note: {path} was captured under policy '{}'; continuing under '{}'",
+                snap.policy,
+                policy.tag()
+            );
         }
-        EngineChoice::Serial(strategy) => {
-            let mut e = SerialEngine::new(&program, wm, strategy, engine_opts);
-            let mm = e.matcher_metrics();
-            let mut code = match e.run() {
-                Ok(o) => finish(out, opts, o, e.log(), e.stats(), e.wm(), &program, &mm),
-                Err(err) => {
-                    let _ = writeln!(out, "runtime error: {err}");
-                    1
-                }
-            };
-            if !write_sinks(
-                out,
-                opts,
-                e.metrics(),
-                &program,
-                &e.matcher_metrics(),
-                e.stats(),
-                e.trace_events(),
-            ) && code == 0
-            {
-                code = 1;
+        match Engine::resume_with_policy(&program, &snap, policy, engine_opts) {
+            Ok(e) => e,
+            Err(err) => {
+                let _ = writeln!(out, "error: cannot resume from {path}: {err}");
+                return 1;
             }
-            code
+        }
+    } else {
+        Engine::with_policy(&program, wm, policy, engine_opts)
+    };
+    let mm = e.matcher_metrics();
+    let mut code = match e.run() {
+        Ok(o) => {
+            for line in e.traces() {
+                let _ = writeln!(out, "{line}");
+            }
+            finish(out, opts, o, e.log(), e.stats(), e.wm(), e.program(), &mm)
+        }
+        Err(err) => {
+            let _ = writeln!(out, "runtime error: {err}");
+            1
+        }
+    };
+    // The sinks are written even when the run failed: a trace that
+    // ends in a budget trip is exactly the one worth keeping.
+    if !write_sinks(
+        out,
+        opts,
+        e.metrics(),
+        e.program(),
+        &e.matcher_metrics(),
+        e.stats(),
+        e.trace_events(),
+    ) && code == 0
+    {
+        code = 1;
+    }
+    // `--checkpoint FILE`: persist the last captured checkpoint (a
+    // budget trip always captures one; a clean exit falls back to the
+    // final state), whatever the exit code.
+    if let Some(path) = &opts.checkpoint {
+        let snap = e
+            .latest_checkpoint()
+            .cloned()
+            .unwrap_or_else(|| e.checkpoint());
+        match std::fs::write(path, snap.to_bytes()) {
+            Ok(()) => {
+                let _ = writeln!(out, "checkpoint written to {path} (cycle {})", snap.cycle);
+            }
+            Err(err) => {
+                let _ = writeln!(out, "error: cannot write {path}: {err}");
+                return 1;
+            }
         }
     }
+    code
 }
 
 /// Write the `--metrics-out` and `--trace FILE` sinks, if requested.
@@ -486,6 +483,111 @@ mod tests {
         assert!(output.contains("not a snapshot"), "{output}");
 
         std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn serial_checkpoint_and_resume_roundtrip_through_files() {
+        // Regression (engine unification): these flags were a hard CLI
+        // error with --engine lex/mea before the serial path was cut
+        // over to the unified core. They must now round-trip exactly
+        // like the parallel test above.
+        let f = temp_file(
+            "(literalize count n)
+             (wm (count ^n 0))
+             (p step (count ^n <n>) (test (< <n> 6)) --> (modify 1 ^n (+ <n> 1)))",
+        );
+        let mut snap_path = std::env::temp_dir();
+        snap_path.push(format!("parulel-cli-test-serial-{}.snap", std::process::id()));
+        let snap = snap_path.to_str().unwrap();
+
+        // Run the first 2 cycles only, writing a checkpoint (also
+        // exercising --checkpoint-every on the serial path).
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--engine",
+            "lex",
+            "--max-cycles",
+            "2",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint",
+            snap,
+        ]);
+        assert_eq!(code, 3, "{output}"); // cycle limit
+        assert!(output.contains("checkpoint written"), "{output}");
+        assert!(output.contains("(cycle 2)"), "{output}");
+
+        // Resume and finish: 4 more firings, same final WM as a full run.
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--engine",
+            "lex",
+            "--resume",
+            snap,
+            "--dump-wm",
+        ]);
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("4 firings in 4 cycles"), "{output}");
+        assert!(output.contains("(count ^n 6)"), "{output}");
+
+        // Resuming under a different policy works but says so.
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--resume", snap]);
+        assert_eq!(code, 0, "{output}");
+        assert!(
+            output.contains("captured under policy 'select-one-lex'"),
+            "{output}"
+        );
+
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn serial_engine_warns_when_guard_or_metas_are_dropped() {
+        // --guard with a select-one policy is inert: the run proceeds
+        // but a one-line warning says the flag did nothing.
+        let f = temp_file(PROGRAM);
+        let (code, output) = cli(&[
+            "run",
+            f.to_str().unwrap(),
+            "--engine",
+            "mea",
+            "--guard",
+            "ww",
+        ]);
+        assert_eq!(code, 0, "{output}");
+        assert!(
+            output.contains("warning: --guard is ignored by --engine lex/mea"),
+            "{output}"
+        );
+        // Same flags under fire-all: no warning.
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--guard", "ww"]);
+        assert_eq!(code, 0, "{output}");
+        assert!(!output.contains("warning"), "{output}");
+        std::fs::remove_file(f).ok();
+
+        // A program with meta-rules run under select-one: the engine
+        // pushes the dropped-meta-rules warning onto the run log, which
+        // the CLI prints with the rest of the log.
+        let f = temp_file(
+            "(literalize a v)
+             (wm (a ^v 1) (a ^v 2))
+             (p r (a ^v <x>) --> (remove 1))
+             (mp keep-max (inst r (a ^v <x>)) (inst r (a ^v <y>))
+                 (test (< <x> <y>)) --> (redact 1))",
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap(), "--engine", "lex"]);
+        assert_eq!(code, 0, "{output}");
+        assert!(
+            output.contains("warning: select-one-lex ignores the program's 1 meta-rule(s)"),
+            "{output}"
+        );
+        let (code, output) = cli(&["run", f.to_str().unwrap()]);
+        assert_eq!(code, 0, "{output}");
+        assert!(!output.contains("warning"), "{output}");
         std::fs::remove_file(f).ok();
     }
 

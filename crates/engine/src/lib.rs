@@ -2,32 +2,37 @@
 //!
 //! Execution engines for the PARULEL reproduction.
 //!
-//! ## The PARULEL cycle ([`ParallelEngine`])
+//! ## One cycle kernel, pluggable firing policies
 //!
 //! Classic OPS5 runs *match → resolve → act*: compute the conflict set,
 //! select **one** instantiation with a hard-wired strategy (LEX/MEA), fire
 //! it, repeat. PARULEL's contribution is the *match → redact → fire-all*
-//! cycle:
+//! cycle. Both are the **same loop** with a different resolve phase, and
+//! the crate is structured that way: a single cycle driver
+//! ([`core::Engine`]) owns working memory, the matcher, refraction,
+//! budgets/timeouts, panic isolation, checkpoint/resume, fault
+//! injection, `inject()`, metrics, and trace events, while a
+//! [`FiringPolicy`] decides what fires each cycle:
 //!
-//! 1. **Match** — an incremental matcher (`parulel-match`) maintains the
-//!    conflict set; refraction removes already-fired instantiations.
-//! 2. **Redact** — [`meta`]: the program's *meta-rules* run to fixpoint
-//!    over the conflict set, deleting ("redacting") instantiations that
-//!    must not fire together. Conflict resolution becomes programmable,
-//!    application-level knowledge.
-//! 3. **Fire all** — every surviving instantiation fires *in the same
-//!    cycle*: RHS actions are evaluated in parallel (rayon) into
-//!    per-instantiation deltas, merged in deterministic key order, and
-//!    applied to working memory atomically.
+//! * [`FiringPolicy::FireAll`] — PARULEL:
+//!   1. **Match** — an incremental matcher (`parulel-match`) maintains
+//!      the conflict set; refraction removes already-fired
+//!      instantiations.
+//!   2. **Redact** — [`meta`]: the program's *meta-rules* run to
+//!      fixpoint over the conflict set, deleting ("redacting")
+//!      instantiations that must not fire together. Conflict resolution
+//!      becomes programmable, application-level knowledge. An optional
+//!      [`interference`] guard backstops them, auto-redacting overlaps
+//!      a correct meta-rule set should have prevented.
+//!   3. **Fire all** — every surviving instantiation fires *in the same
+//!      cycle*: RHS actions are evaluated in parallel (rayon) into
+//!      per-instantiation deltas, merged in deterministic key order, and
+//!      applied to working memory atomically.
+//! * [`FiringPolicy::SelectOne`] — the OPS5 baseline every speedup
+//!   table compares against: one LEX/MEA winner per cycle.
 //!
-//! An optional [`interference`] guard checks the surviving set for
-//! write-write (and optionally read-write) overlaps and auto-redacts,
-//! reporting what a correct meta-rule set should have prevented.
-//!
-//! ## The OPS5 baseline ([`SerialEngine`])
-//!
-//! The same matchers driven one-firing-per-cycle under LEX or MEA —
-//! the baseline every speedup table compares against.
+//! [`ParallelEngine`] (an alias) and [`SerialEngine`] (a thin wrapper)
+//! are the policy-flavoured constructors over the same kernel.
 //!
 //! ## Copy-and-constrain ([`ccc`])
 //!
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ccc;
+pub mod core;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
 pub mod fire;
@@ -48,19 +54,22 @@ pub mod json;
 pub mod meta;
 pub mod metrics;
 pub mod parallel;
+pub mod policy;
 pub mod refraction;
 pub mod serial;
 pub mod snapshot;
 pub mod stats;
 
 pub use ccc::copy_and_constrain;
+pub use core::Engine;
 pub use fire::{EngineError, FireResult};
 pub use guard::Budgets;
 pub use interference::GuardMode;
 pub use json::Json;
 pub use metrics::{EngineMetrics, MetricsLevel, RuleMetrics, TraceBuffer, TraceEvent};
 pub use parallel::ParallelEngine;
-pub use serial::{SerialEngine, Strategy};
+pub use policy::{FiringPolicy, Strategy};
+pub use serial::SerialEngine;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{CycleStats, CycleTrace, Outcome, RunStats};
 
@@ -97,13 +106,15 @@ impl MatcherKind {
     }
 }
 
-/// Run-time options shared by both engines.
+/// Run-time options for the unified [`Engine`] (any policy).
+///
+/// Policy-specific configuration — meta-rule redaction and the
+/// interference guard — lives on [`FiringPolicy::FireAll`], not here: a
+/// `SelectOne` engine cannot silently carry a guard it would ignore.
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Match engine selection.
     pub matcher: MatcherKind,
-    /// Interference guard mode (parallel engine only).
-    pub guard: GuardMode,
     /// Evaluate RHSs of a cycle's surviving instantiations in parallel.
     pub parallel_fire: bool,
     /// Stop (with `hit_cycle_limit`) after this many cycles; a safety net
@@ -122,12 +133,12 @@ pub struct EngineOptions {
     /// writes, injections) keeping the newest `cap`; `None` (default)
     /// records nothing.
     pub trace_events: Option<usize>,
-    /// Resource budgets checked at cycle boundaries (parallel engine
-    /// only). Default: unlimited.
+    /// Resource budgets checked at cycle boundaries (any policy).
+    /// Default: unlimited.
     pub budgets: Budgets,
     /// Capture a [`Snapshot`] into the engine's
-    /// [`latest_checkpoint`](ParallelEngine::latest_checkpoint) every
-    /// this-many cycles during [`run`](ParallelEngine::run). `None`
+    /// [`latest_checkpoint`](Engine::latest_checkpoint) every
+    /// this-many cycles during [`run`](Engine::run). `None`
     /// disables periodic checkpoints (one is still captured when a
     /// budget trips).
     pub checkpoint_every: Option<u64>,
@@ -141,7 +152,6 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
             matcher: MatcherKind::Rete,
-            guard: GuardMode::Off,
             parallel_fire: true,
             max_cycles: 1_000_000,
             collect_log: true,

@@ -1,577 +1,31 @@
 //! The PARULEL execution engine: match → redact → fire-all.
+//!
+//! Since the engine unification, `ParallelEngine` is the unified
+//! [`Engine`] running its default policy, [`FiringPolicy::fire_all`]:
+//! every cycle the program's meta-rules redact the eligible set, an
+//! optional interference guard backstops them, and every survivor fires
+//! in the same cycle (parallel RHS evaluation, deterministic delta
+//! merge). The cycle loop itself — and all the robustness/observability
+//! machinery around it — lives in [`crate::core`]; this alias exists so
+//! PARULEL-flavoured code reads naturally and pre-unification callers
+//! keep compiling.
+//!
+//! [`FiringPolicy::fire_all`]: crate::FiringPolicy::fire_all
 
-use crate::fire::{self, EngineError, FireResult};
-use crate::interference;
-use crate::meta;
-use crate::metrics::{EngineMetrics, Phase, TraceBuffer, TraceEvent};
-use crate::refraction::Refraction;
-use crate::snapshot::{SnapKey, SnapValue, SnapWme, Snapshot, SnapshotError};
-use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
-use crate::EngineOptions;
-use parulel_core::{InstKey, Instantiation, Program, Value, Wme, WmeId, WorkingMemory};
-use parulel_match::{Matcher, MatcherMetrics};
-use rayon::prelude::*;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use crate::core::Engine;
 
-/// Instantiation counts per rule (metrics collection only).
-fn counts_by_rule(insts: &[Instantiation], num_rules: usize) -> Vec<u64> {
-    let mut counts = vec![0u64; num_rules];
-    for inst in insts {
-        counts[inst.rule.0 as usize] += 1;
-    }
-    counts
-}
-
-/// The set-oriented parallel engine.
-///
-/// Every cycle: take the eligible (unrefracted) conflict set, run the
-/// program's meta-rules to redact conflicting instantiations, optionally
-/// apply the interference guard, evaluate every survivor's RHS in
-/// parallel, merge the deltas deterministically, and commit the batch to
-/// working memory and the incremental matcher.
-///
-/// Termination: the run ends when the eligible set is empty (quiescence),
-/// when everything eligible is redacted (a meta-level deadlock — firing
-/// nothing would loop forever, so it counts as quiescence), when a `halt`
-/// fires, or at the cycle limit.
-pub struct ParallelEngine {
-    program: Arc<Program>,
-    wm: WorkingMemory,
-    matcher: Box<dyn Matcher>,
-    refraction: Refraction,
-    opts: EngineOptions,
-    stats: RunStats,
-    log: Vec<String>,
-    traces: Vec<CycleTrace>,
-    halted: bool,
-    latest_checkpoint: Option<Snapshot>,
-    metrics: EngineMetrics,
-    trace_buf: Option<TraceBuffer>,
-}
-
-impl ParallelEngine {
-    /// Builds an engine over `program` with `wm` as the initial working
-    /// memory; the matcher is seeded immediately.
-    pub fn new(program: &Program, wm: WorkingMemory, opts: EngineOptions) -> Self {
-        let program = Arc::new(program.clone());
-        let mut matcher = opts.matcher.build(program.clone());
-        matcher.seed(&wm);
-        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
-        let trace_buf = opts.trace_events.map(TraceBuffer::new);
-        ParallelEngine {
-            program,
-            wm,
-            matcher,
-            refraction: Refraction::new(),
-            opts,
-            stats: RunStats::default(),
-            log: Vec::new(),
-            traces: Vec::new(),
-            halted: false,
-            latest_checkpoint: None,
-            metrics,
-            trace_buf,
-        }
-    }
-
-    /// Rebuilds an engine from a [`Snapshot`], continuing the captured
-    /// run exactly: working memory keeps its WME ids and id counter, the
-    /// refraction table is restored, and statistics/log/traces continue
-    /// from the captured values. The matcher is *reseeded* from the
-    /// restored working memory (a snapshot never stores matcher state —
-    /// the conflict set is a pure function of working memory), so any
-    /// [`MatcherKind`](crate::MatcherKind) may be chosen for the
-    /// continuation.
-    ///
-    /// Fails with a structured error if the snapshot references classes
-    /// or rules `program` does not define, or if its working memory does
-    /// not validate.
-    pub fn resume(
-        program: &Program,
-        snapshot: &Snapshot,
-        opts: EngineOptions,
-    ) -> Result<Self, SnapshotError> {
-        let program = Arc::new(program.clone());
-        let interner = &program.interner;
-        let mut wmes = Vec::with_capacity(snapshot.wmes.len());
-        for sw in &snapshot.wmes {
-            let class = program
-                .classes
-                .id_of(interner.intern(&sw.class))
-                .ok_or_else(|| SnapshotError::UnknownClass(sw.class.clone()))?;
-            if program.classes.decl(class).arity() != sw.fields.len() {
-                return Err(SnapshotError::Malformed("wme arity mismatch"));
-            }
-            let fields: Vec<Value> = sw
-                .fields
-                .iter()
-                .map(|v| match v {
-                    SnapValue::Sym(s) => Value::Sym(interner.intern(s)),
-                    SnapValue::Int(i) => Value::Int(*i),
-                    SnapValue::Float(x) => Value::Float(*x),
-                })
-                .collect();
-            wmes.push(Wme::new(WmeId(sw.id), class, fields));
-        }
-        let wm = WorkingMemory::from_parts(&program.classes, wmes, snapshot.next_wme_id)
-            .map_err(|e| SnapshotError::BadWm(e.to_string()))?;
-        let mut keys = Vec::with_capacity(snapshot.refraction.len());
-        for sk in &snapshot.refraction {
-            let rule = program
-                .rule_by_name(interner.intern(&sk.rule))
-                .ok_or_else(|| SnapshotError::UnknownRule(sk.rule.clone()))?;
-            keys.push(InstKey {
-                rule,
-                wmes: sk.wmes.iter().map(|&id| WmeId(id)).collect(),
-            });
-        }
-        let mut matcher = opts.matcher.build(program.clone());
-        matcher.seed(&wm);
-        // Observability state is not part of the snapshot wire format:
-        // a resumed engine starts fresh counters.
-        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
-        let trace_buf = opts.trace_events.map(TraceBuffer::new);
-        Ok(ParallelEngine {
-            program,
-            wm,
-            matcher,
-            refraction: Refraction::from_keys(keys),
-            opts,
-            stats: snapshot.stats.clone(),
-            log: snapshot.log.clone(),
-            traces: snapshot.traces.clone(),
-            halted: snapshot.halted,
-            latest_checkpoint: None,
-            metrics,
-            trace_buf,
-        })
-    }
-
-    /// Captures the engine's state as a portable [`Snapshot`]. Valid at
-    /// any cycle boundary (between [`step`](Self::step) calls); symbols
-    /// and rule names are stored resolved so the snapshot survives
-    /// program recompilation.
-    pub fn checkpoint(&self) -> Snapshot {
-        let interner = &self.program.interner;
-        let mut wmes: Vec<SnapWme> = self
-            .wm
-            .iter()
-            .map(|w| SnapWme {
-                id: w.id.0,
-                class: interner
-                    .resolve(self.program.classes.decl(w.class).name)
-                    .to_string(),
-                fields: w
-                    .fields
-                    .iter()
-                    .map(|v| match v {
-                        Value::Sym(s) => SnapValue::Sym(interner.resolve(*s).to_string()),
-                        Value::Int(i) => SnapValue::Int(*i),
-                        Value::Float(x) => SnapValue::Float(*x),
-                    })
-                    .collect(),
-            })
-            .collect();
-        wmes.sort_by_key(|w| w.id);
-        let mut refraction: Vec<SnapKey> = self
-            .refraction
-            .keys()
-            .map(|k| SnapKey {
-                rule: self.program.rule_name(k.rule),
-                wmes: k.wmes.iter().map(|id| id.0).collect(),
-            })
-            .collect();
-        refraction.sort();
-        Snapshot {
-            cycle: self.stats.cycles,
-            halted: self.halted,
-            next_wme_id: self.wm.next_id(),
-            wmes,
-            refraction,
-            stats: self.stats.clone(),
-            log: self.log.clone(),
-            traces: self.traces.clone(),
-        }
-    }
-
-    /// The most recent automatic checkpoint: captured every
-    /// `checkpoint_every` cycles during [`run`](Self::run), and
-    /// unconditionally when a budget (or injected-fault audit) aborts the
-    /// run — the last consistent state before/at the failure.
-    pub fn latest_checkpoint(&self) -> Option<&Snapshot> {
-        self.latest_checkpoint.as_ref()
-    }
-
-    /// Records a checkpoint at the failure boundary and passes the error
-    /// through (engine state is always boundary-consistent when a check
-    /// trips, so the capture is safe).
-    fn trip(&mut self, err: EngineError) -> EngineError {
-        self.latest_checkpoint = Some(self.checkpoint());
-        if let Some(buf) = &mut self.trace_buf {
-            let cycle = err.cycle().unwrap_or(self.stats.cycles + 1);
-            buf.push(TraceEvent::BudgetTrip { cycle, kind: err.kind() });
-            buf.push(TraceEvent::Checkpoint { cycle: self.stats.cycles });
-        }
-        err
-    }
-
-    /// The current working memory.
-    pub fn wm(&self) -> &WorkingMemory {
-        &self.wm
-    }
-
-    /// Consumes the engine, yielding the final working memory.
-    pub fn into_wm(self) -> WorkingMemory {
-        self.wm
-    }
-
-    /// Aggregated statistics so far.
-    pub fn stats(&self) -> &RunStats {
-        &self.stats
-    }
-
-    /// Collected `write` output.
-    pub fn log(&self) -> &[String] {
-        &self.log
-    }
-
-    /// Per-cycle traces (empty unless `EngineOptions::trace` was set).
-    pub fn traces(&self) -> &[CycleTrace] {
-        &self.traces
-    }
-
-    /// Observability counters collected so far (all-zero when
-    /// `EngineOptions::metrics` is [`crate::MetricsLevel::Off`]).
-    pub fn metrics(&self) -> &EngineMetrics {
-        &self.metrics
-    }
-
-    /// A live sample of the matcher's internal population — including the
-    /// shard count actually in effect for partitioned matchers.
-    pub fn matcher_metrics(&self) -> MatcherMetrics {
-        self.matcher.metrics()
-    }
-
-    /// The structured event ring (populated only when
-    /// `EngineOptions::trace_events` is set).
-    pub fn trace_events(&self) -> Option<&TraceBuffer> {
-        self.trace_buf.as_ref()
-    }
-
-    /// The compiled program this engine runs.
-    pub fn program(&self) -> &Program {
-        &self.program
-    }
-
-    /// True once a `halt` action has fired.
-    pub fn halted(&self) -> bool {
-        self.halted
-    }
-
-    /// Injects external working-memory changes between cycles (a live
-    /// feed, an embedding application's transaction). The delta is applied
-    /// to working memory and pushed through the incremental matcher; the
-    /// next [`step`](Self::step) sees the updated conflict set. Returns
-    /// the concrete WMEs removed and added.
-    pub fn inject(
-        &mut self,
-        delta: &parulel_core::Delta,
-    ) -> (Vec<parulel_core::Wme>, Vec<parulel_core::Wme>) {
-        let (removed, added) = self.wm.apply(delta);
-        self.matcher.apply(&removed, &added);
-        self.refraction.prune(self.matcher.conflict_set());
-        if let Some(buf) = &mut self.trace_buf {
-            buf.push(TraceEvent::Inject {
-                adds: added.len(),
-                removes: removed.len(),
-            });
-        }
-        (removed, added)
-    }
-
-    /// Executes one cycle. Returns `Ok(true)` if at least one
-    /// instantiation fired, `Ok(false)` on quiescence.
-    ///
-    /// Budget checks ([`crate::guard::Budgets`]) run at points where
-    /// engine state is consistent: conflict-set width before anything
-    /// fires, delta size after RHS evaluation but before the delta is
-    /// recorded or applied, and working-memory size after the cycle
-    /// commits. A trip therefore never leaves working memory, the
-    /// matcher, and the refraction table out of sync — and every trip
-    /// stores a [`Snapshot`] in
-    /// [`latest_checkpoint`](Self::latest_checkpoint).
-    pub fn step(&mut self) -> Result<bool, EngineError> {
-        let cycle_no = self.stats.cycles + 1;
-        #[cfg(feature = "fault-inject")]
-        self.opts
-            .faults
-            .maybe_corrupt_matcher(cycle_no, &self.wm, self.matcher.as_mut());
-        let mut cycle = CycleStats::default();
-
-        let t = Instant::now();
-        let cs = self.matcher.conflict_set();
-        cycle.conflict_set = cs.len();
-        #[cfg(feature = "fault-inject")]
-        let audit = self.opts.faults.audit(cycle_no, &self.program, &self.wm, cs);
-        let cs_budget = self
-            .opts
-            .budgets
-            .check_conflict_set(cycle_no, cs, &self.program);
-        let eligible = self.refraction.eligible(cs);
-        #[cfg(feature = "fault-inject")]
-        audit.map_err(|e| self.trip(e))?;
-        cs_budget.map_err(|e| self.trip(e))?;
-        cycle.eligible = eligible.len();
-        cycle.match_time = t.elapsed();
-        let collect = self.opts.metrics.per_rule();
-        if collect {
-            self.metrics.peak_conflict_set =
-                self.metrics.peak_conflict_set.max(cycle.conflict_set);
-            for inst in &eligible {
-                self.metrics.per_rule[inst.rule.0 as usize].matched += 1;
-            }
-        }
-        if eligible.is_empty() {
-            return Ok(false);
-        }
-
-        let t = Instant::now();
-        let num_rules = self.metrics.per_rule.len();
-        let pre_meta = collect.then(|| counts_by_rule(&eligible, num_rules));
-        let redact_out = meta::redact(&self.program, eligible);
-        cycle.redacted_meta = redact_out.redacted;
-        cycle.meta_rounds = redact_out.rounds;
-        let post_meta = collect.then(|| counts_by_rule(&redact_out.surviving, num_rules));
-        let guard_out = interference::guard(&self.program, redact_out.surviving, self.opts.guard);
-        cycle.redacted_guard = guard_out.redacted;
-        let surviving = guard_out.surviving;
-        cycle.redact_time = t.elapsed();
-        if let (Some(pre), Some(post)) = (pre_meta, post_meta) {
-            // Per-rule redaction attribution: eligible minus post-meta is
-            // what the meta-rules took; post-meta minus surviving is what
-            // the interference guard took.
-            let fin = counts_by_rule(&surviving, num_rules);
-            for r in 0..num_rules {
-                self.metrics.per_rule[r].redacted_meta += pre[r] - post[r];
-                self.metrics.per_rule[r].redacted_guard += post[r] - fin[r];
-            }
-        }
-        if surviving.is_empty() {
-            // Everything eligible was redacted: firing nothing would
-            // repeat forever, so treat as quiescence.
-            self.stats.absorb(&cycle);
-            return Ok(false);
-        }
-
-        let t = Instant::now();
-        let program = &self.program;
-        let collect_log = self.opts.collect_log;
-        #[cfg(feature = "fault-inject")]
-        let faults = &self.opts.faults;
-        // Each RHS runs behind `fire::isolate`: a panicking rule becomes
-        // `Err(RhsPanic)` for this run instead of tearing down the
-        // process (sibling firings on other workers complete first).
-        let fire_one = |inst: &Instantiation| -> Result<FireResult, EngineError> {
-            fire::isolate(
-                || program.rule_name(inst.rule),
-                || {
-                    #[cfg(feature = "fault-inject")]
-                    faults.maybe_fail_rhs(cycle_no, &program.rule_name(inst.rule))?;
-                    fire::fire(program, inst, collect_log)
-                },
-            )
-        };
-        // Per-firing RHS timing exists only when metrics are on; the Off
-        // arm is the seed's exact path (no `Instant::now` per firing).
-        let (results, rhs_times): (Vec<FireResult>, Vec<Duration>) = if collect {
-            let timed = |inst: &Instantiation| -> Result<(FireResult, Duration), EngineError> {
-                let t = Instant::now();
-                fire_one(inst).map(|r| (r, t.elapsed()))
-            };
-            let results: Result<Vec<(FireResult, Duration)>, EngineError> =
-                if self.opts.parallel_fire {
-                    surviving.par_iter().map(timed).collect()
-                } else {
-                    surviving.iter().map(timed).collect()
-                };
-            results.map_err(|e| self.trip(e))?.into_iter().unzip()
-        } else {
-            let results: Result<Vec<FireResult>, EngineError> = if self.opts.parallel_fire {
-                surviving.par_iter().map(fire_one).collect()
-            } else {
-                surviving.iter().map(fire_one).collect()
-            };
-            (results.map_err(|e| self.trip(e))?, Vec::new())
-        };
-        self.opts
-            .budgets
-            .check_delta(cycle_no, &results, &surviving, &self.program)
-            .map_err(|e| self.trip(e))?;
-        let (delta, log, halt) = fire::merge(results);
-        cycle.fired = surviving.len();
-        cycle.adds = delta.adds.len();
-        cycle.removes = delta.removes.len();
-        self.refraction.record(surviving.iter());
-        cycle.fire_time = t.elapsed();
-        if collect {
-            for (inst, dur) in surviving.iter().zip(&rhs_times) {
-                let rm = &mut self.metrics.per_rule[inst.rule.0 as usize];
-                rm.fired += 1;
-                rm.rhs_time += *dur;
-            }
-        }
-
-        // Attribute the incremental network update to match time (it
-        // *is* matching); apply time covers WM mutation and refraction
-        // upkeep only.
-        let t = Instant::now();
-        let (removed, added) = self.wm.apply(&delta);
-        cycle.apply_time = t.elapsed();
-        let t = Instant::now();
-        self.matcher.apply(&removed, &added);
-        cycle.match_time += t.elapsed();
-        let t = Instant::now();
-        self.refraction.prune(self.matcher.conflict_set());
-        cycle.apply_time += t.elapsed();
-        if collect {
-            self.metrics.peak_wm = self.metrics.peak_wm.max(self.wm.len());
-        }
-        if self.opts.metrics.matcher() {
-            let sample = self.matcher.metrics();
-            self.metrics.sample_matcher(&sample);
-        }
-
-        self.log.extend(log);
-        self.halted |= halt;
-        if self.opts.trace {
-            let mut by_rule: parulel_core::FxHashMap<parulel_core::RuleId, usize> =
-                parulel_core::FxHashMap::default();
-            for inst in &surviving {
-                *by_rule.entry(inst.rule).or_default() += 1;
-            }
-            let mut fired_rules: Vec<(String, usize)> = by_rule
-                .into_iter()
-                .map(|(r, n)| (self.program.rule_name(r), n))
-                .collect();
-            fired_rules.sort();
-            self.traces.push(CycleTrace {
-                cycle: self.stats.cycles + 1,
-                eligible: cycle.eligible,
-                redacted_meta: cycle.redacted_meta,
-                redacted_guard: cycle.redacted_guard,
-                fired_rules,
-                adds: cycle.adds,
-                removes: cycle.removes,
-            });
-        }
-        self.stats.absorb(&cycle);
-        if let Some(buf) = &mut self.trace_buf {
-            let c = self.stats.cycles;
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Match,
-                dur: cycle.match_time,
-                items: cycle.eligible,
-            });
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Redact,
-                dur: cycle.redact_time,
-                items: cycle.redacted_meta + cycle.redacted_guard,
-            });
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Fire,
-                dur: cycle.fire_time,
-                items: cycle.fired,
-            });
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Apply,
-                dur: cycle.apply_time,
-                items: cycle.adds + cycle.removes,
-            });
-        }
-        self.opts
-            .budgets
-            .check_wm(cycle_no, self.wm.len())
-            .map_err(|e| self.trip(e))?;
-        Ok(true)
-    }
-
-    /// Runs to quiescence, halt, or the cycle limit.
-    ///
-    /// The wall-clock budget is checked before each cycle; periodic
-    /// checkpoints (`EngineOptions::checkpoint_every`) are captured after
-    /// each completed cycle.
-    pub fn run(&mut self) -> Result<Outcome, EngineError> {
-        let start = Instant::now();
-        let mut quiescent = false;
-        let mut hit_cycle_limit = false;
-        let first_cycle = self.stats.cycles;
-        let first_firings = self.stats.firings;
-        loop {
-            if self.halted {
-                break;
-            }
-            if self.stats.cycles - first_cycle >= self.opts.max_cycles {
-                hit_cycle_limit = true;
-                break;
-            }
-            if let Err(e) = self
-                .opts
-                .budgets
-                .check_deadline(self.stats.cycles + 1, start)
-            {
-                return Err(self.trip(e));
-            }
-            if !self.step()? {
-                quiescent = true;
-                break;
-            }
-            if let Some(every) = self.opts.checkpoint_every {
-                if every > 0 && self.stats.cycles.is_multiple_of(every) {
-                    self.latest_checkpoint = Some(self.checkpoint());
-                    if let Some(buf) = &mut self.trace_buf {
-                        buf.push(TraceEvent::Checkpoint { cycle: self.stats.cycles });
-                    }
-                }
-            }
-        }
-        // Per-call numbers: a caller that injects facts and runs again
-        // gets this continuation's cycles, not the lifetime total (which
-        // lives in `stats`).
-        let outcome = Outcome {
-            cycles: self.stats.cycles - first_cycle,
-            firings: self.stats.firings - first_firings,
-            halted: self.halted,
-            quiescent,
-            hit_cycle_limit,
-            wall: start.elapsed(),
-        };
-        if let Some(buf) = &mut self.trace_buf {
-            buf.push(TraceEvent::RunEnd {
-                cycles: outcome.cycles,
-                firings: outcome.firings,
-                status: if outcome.halted {
-                    "halted"
-                } else if outcome.hit_cycle_limit {
-                    "cycle-limit"
-                } else {
-                    "quiescent"
-                },
-            });
-        }
-        Ok(outcome)
-    }
-}
+/// The set-oriented PARULEL engine: [`Engine`] under the default
+/// fire-all policy ([`Engine::new`] selects it).
+pub type ParallelEngine = Engine;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MatcherKind;
-    use parulel_core::Value;
+    use crate::fire::EngineError;
+    use crate::snapshot::Snapshot;
+    use crate::stats::RunStats;
+    use crate::{EngineOptions, MatcherKind};
+    use parulel_core::{Value, WorkingMemory};
     use parulel_lang::compile;
 
     fn engine(src: &str, facts: &[(&str, Vec<Value>)], opts: EngineOptions) -> ParallelEngine {

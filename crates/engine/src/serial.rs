@@ -1,301 +1,76 @@
 //! The sequential OPS5 baseline: match → resolve (LEX/MEA) → act, one
 //! instantiation per cycle. Table 2 compares this against the PARULEL
 //! many-firing engine on identical programs.
+//!
+//! Since the engine unification this is a thin wrapper over the unified
+//! [`Engine`] running [`FiringPolicy::SelectOne`] — the baseline shares
+//! the single cycle loop in [`crate::core`] and therefore gets budgets,
+//! timeouts, panic isolation, checkpoint/resume, fault injection, and
+//! [`inject`](Engine::inject) exactly as the parallel engine does.
+//! Meta-rules and the interference guard do not apply to a one-winner
+//! policy (that is the contrast PARULEL draws); constructing a
+//! `SerialEngine` over a program that defines meta-rules pushes a
+//! one-line warning onto the run log.
 
-use crate::fire::{self, EngineError};
-use crate::metrics::{EngineMetrics, Phase, TraceBuffer, TraceEvent};
-use crate::refraction::Refraction;
-use crate::stats::{CycleStats, Outcome, RunStats};
+use crate::core::Engine;
+use crate::policy::FiringPolicy;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::EngineOptions;
-use parulel_core::{Instantiation, Program, WorkingMemory};
-use parulel_match::{Matcher, MatcherMetrics};
-use std::cmp::Ordering;
-use std::sync::Arc;
-use std::time::Instant;
+use parulel_core::{Program, WorkingMemory};
+use std::ops::{Deref, DerefMut};
 
-/// OPS5 conflict-resolution strategy.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Strategy {
-    /// LEX: refraction, then recency of all timestamps (lexicographic,
-    /// newest first), then specificity.
-    #[default]
-    Lex,
-    /// MEA: refraction, then recency of the *first* CE's timestamp, then
-    /// the LEX ordering.
-    Mea,
-}
+pub use crate::policy::Strategy;
 
-/// The one-firing-per-cycle engine.
-pub struct SerialEngine {
-    program: Arc<Program>,
-    wm: WorkingMemory,
-    matcher: Box<dyn Matcher>,
-    refraction: Refraction,
-    strategy: Strategy,
-    opts: EngineOptions,
-    stats: RunStats,
-    log: Vec<String>,
-    halted: bool,
-    metrics: EngineMetrics,
-    trace_buf: Option<TraceBuffer>,
-}
+/// The one-firing-per-cycle engine: [`Engine`] under
+/// [`FiringPolicy::SelectOne`]. Derefs to [`Engine`], so every engine
+/// method (`step`, `run`, `inject`, `checkpoint`, `metrics`, …) is
+/// available directly.
+pub struct SerialEngine(Engine);
 
 impl SerialEngine {
-    /// Builds the baseline engine. `opts.guard` is ignored (a single
-    /// firing cannot interfere with itself); meta-rules are ignored too —
-    /// conflict resolution is the hard-wired `strategy`, which is exactly
-    /// the contrast PARULEL draws.
+    /// Builds the baseline engine under `strategy`.
     pub fn new(
         program: &Program,
         wm: WorkingMemory,
         strategy: Strategy,
         opts: EngineOptions,
     ) -> Self {
-        let program = Arc::new(program.clone());
-        let mut matcher = opts.matcher.build(program.clone());
-        matcher.seed(&wm);
-        let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
-        let trace_buf = opts.trace_events.map(TraceBuffer::new);
-        SerialEngine {
+        SerialEngine(Engine::with_policy(
             program,
             wm,
-            matcher,
-            refraction: Refraction::new(),
-            strategy,
+            FiringPolicy::SelectOne(strategy),
             opts,
-            stats: RunStats::default(),
-            log: Vec::new(),
-            halted: false,
-            metrics,
-            trace_buf,
-        }
+        ))
     }
 
-    /// The current working memory.
-    pub fn wm(&self) -> &WorkingMemory {
-        &self.wm
+    /// Resumes a snapshot under `strategy` — the serial counterpart of
+    /// [`Engine::resume`].
+    pub fn resume(
+        program: &Program,
+        snapshot: &Snapshot,
+        strategy: Strategy,
+        opts: EngineOptions,
+    ) -> Result<Self, SnapshotError> {
+        Engine::resume_with_policy(program, snapshot, FiringPolicy::SelectOne(strategy), opts)
+            .map(SerialEngine)
     }
 
-    /// Aggregated statistics so far.
-    pub fn stats(&self) -> &RunStats {
-        &self.stats
+    /// Unwraps to the underlying unified engine.
+    pub fn into_inner(self) -> Engine {
+        self.0
     }
+}
 
-    /// Collected `write` output.
-    pub fn log(&self) -> &[String] {
-        &self.log
+impl Deref for SerialEngine {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.0
     }
+}
 
-    /// Observability counters collected so far (all-zero when
-    /// `EngineOptions::metrics` is [`crate::MetricsLevel::Off`]).
-    pub fn metrics(&self) -> &EngineMetrics {
-        &self.metrics
-    }
-
-    /// A live sample of the matcher's internal population.
-    pub fn matcher_metrics(&self) -> MatcherMetrics {
-        self.matcher.metrics()
-    }
-
-    /// The structured event ring (populated only when
-    /// `EngineOptions::trace_events` is set).
-    pub fn trace_events(&self) -> Option<&TraceBuffer> {
-        self.trace_buf.as_ref()
-    }
-
-    /// Injects external working-memory changes between cycles — the
-    /// serial counterpart of [`ParallelEngine::inject`]
-    /// (`crate::ParallelEngine::inject`), with identical semantics: the
-    /// delta is applied to working memory and the incremental matcher,
-    /// and the next [`step`](Self::step) sees the updated conflict set.
-    /// Returns the concrete WMEs removed and added.
-    pub fn inject(
-        &mut self,
-        delta: &parulel_core::Delta,
-    ) -> (Vec<parulel_core::Wme>, Vec<parulel_core::Wme>) {
-        let (removed, added) = self.wm.apply(delta);
-        self.matcher.apply(&removed, &added);
-        self.refraction.prune(self.matcher.conflict_set());
-        if let Some(buf) = &mut self.trace_buf {
-            buf.push(TraceEvent::Inject {
-                adds: added.len(),
-                removes: removed.len(),
-            });
-        }
-        (removed, added)
-    }
-
-    /// Compares two instantiations under the strategy; `Greater` wins.
-    fn prefer(&self, a: &Instantiation, b: &Instantiation) -> Ordering {
-        let lex = |a: &Instantiation, b: &Instantiation| -> Ordering {
-            let (ra, rb) = (a.recency(), b.recency());
-            for (x, y) in ra.iter().zip(rb.iter()) {
-                match x.cmp(y) {
-                    Ordering::Equal => continue,
-                    other => return other,
-                }
-            }
-            // More timestamps (deeper match) dominates on a tie.
-            match ra.len().cmp(&rb.len()) {
-                Ordering::Equal => {
-                    let sa = self.program.rule(a.rule).specificity();
-                    let sb = self.program.rule(b.rule).specificity();
-                    sa.cmp(&sb)
-                }
-                other => other,
-            }
-        };
-        let primary = match self.strategy {
-            Strategy::Lex => lex(a, b),
-            Strategy::Mea => a
-                .first_ce_time()
-                .cmp(&b.first_ce_time())
-                .then_with(|| lex(a, b)),
-        };
-        // Final deterministic tie-break: smaller key loses (so the
-        // *larger* key wins; any fixed rule works, it just must be total).
-        primary.then_with(|| a.key().cmp(&b.key()))
-    }
-
-    /// One match–resolve–act cycle. `Ok(true)` if something fired.
-    pub fn step(&mut self) -> Result<bool, EngineError> {
-        let mut cycle = CycleStats::default();
-        let t = Instant::now();
-        let cs = self.matcher.conflict_set();
-        cycle.conflict_set = cs.len();
-        let eligible = self.refraction.eligible(cs);
-        cycle.eligible = eligible.len();
-        cycle.match_time = t.elapsed();
-        let collect = self.opts.metrics.per_rule();
-        if collect {
-            self.metrics.peak_conflict_set =
-                self.metrics.peak_conflict_set.max(cycle.conflict_set);
-            for inst in &eligible {
-                self.metrics.per_rule[inst.rule.0 as usize].matched += 1;
-            }
-        }
-        if eligible.is_empty() {
-            return Ok(false);
-        }
-
-        let t = Instant::now();
-        let winner = eligible
-            .iter()
-            .max_by(|a, b| self.prefer(a, b))
-            .expect("non-empty eligible set")
-            .clone();
-        cycle.redact_time = t.elapsed();
-
-        let t = Instant::now();
-        let result = fire::isolate(
-            || self.program.rule_name(winner.rule),
-            || fire::fire(&self.program, &winner, self.opts.collect_log),
-        )?;
-        let rhs_time = t.elapsed();
-        let (delta, log, halt) = fire::merge(vec![result]);
-        self.refraction.record(std::iter::once(&winner));
-        cycle.fired = 1;
-        cycle.adds = delta.adds.len();
-        cycle.removes = delta.removes.len();
-        cycle.fire_time = t.elapsed();
-        if collect {
-            let rm = &mut self.metrics.per_rule[winner.rule.0 as usize];
-            rm.fired += 1;
-            rm.rhs_time += rhs_time;
-        }
-
-        // Attribute the incremental network update to match time (it
-        // *is* matching); apply time covers WM mutation and refraction
-        // upkeep only.
-        let t = Instant::now();
-        let (removed, added) = self.wm.apply(&delta);
-        cycle.apply_time = t.elapsed();
-        let t = Instant::now();
-        self.matcher.apply(&removed, &added);
-        cycle.match_time += t.elapsed();
-        let t = Instant::now();
-        self.refraction.prune(self.matcher.conflict_set());
-        cycle.apply_time += t.elapsed();
-        if collect {
-            self.metrics.peak_wm = self.metrics.peak_wm.max(self.wm.len());
-        }
-        if self.opts.metrics.matcher() {
-            let sample = self.matcher.metrics();
-            self.metrics.sample_matcher(&sample);
-        }
-
-        self.log.extend(log);
-        self.halted |= halt;
-        self.stats.absorb(&cycle);
-        if let Some(buf) = &mut self.trace_buf {
-            let c = self.stats.cycles;
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Match,
-                dur: cycle.match_time,
-                items: cycle.eligible,
-            });
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Fire,
-                dur: cycle.fire_time,
-                items: cycle.fired,
-            });
-            buf.push(TraceEvent::Span {
-                cycle: c,
-                phase: Phase::Apply,
-                dur: cycle.apply_time,
-                items: cycle.adds + cycle.removes,
-            });
-        }
-        Ok(true)
-    }
-
-    /// Runs to quiescence, halt, or the cycle limit.
-    pub fn run(&mut self) -> Result<Outcome, EngineError> {
-        let start = Instant::now();
-        let mut quiescent = false;
-        let mut hit_cycle_limit = false;
-        let first_cycle = self.stats.cycles;
-        let first_firings = self.stats.firings;
-        loop {
-            if self.halted {
-                break;
-            }
-            if self.stats.cycles - first_cycle >= self.opts.max_cycles {
-                hit_cycle_limit = true;
-                break;
-            }
-            if !self.step()? {
-                quiescent = true;
-                break;
-            }
-        }
-        // Per-call numbers: a caller that injects facts and runs again
-        // gets this continuation's cycles, not the lifetime total (which
-        // lives in `stats`).
-        let outcome = Outcome {
-            cycles: self.stats.cycles - first_cycle,
-            firings: self.stats.firings - first_firings,
-            halted: self.halted,
-            quiescent,
-            hit_cycle_limit,
-            wall: start.elapsed(),
-        };
-        if let Some(buf) = &mut self.trace_buf {
-            buf.push(TraceEvent::RunEnd {
-                cycles: outcome.cycles,
-                firings: outcome.firings,
-                status: if outcome.halted {
-                    "halted"
-                } else if outcome.hit_cycle_limit {
-                    "cycle-limit"
-                } else {
-                    "quiescent"
-                },
-            });
-        }
-        Ok(outcome)
+impl DerefMut for SerialEngine {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.0
     }
 }
 

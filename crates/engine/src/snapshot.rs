@@ -26,7 +26,12 @@ use std::fmt;
 use std::time::Duration;
 
 /// Current snapshot wire-format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// * v1 — the original format (PR 1): no policy tag.
+/// * v2 — adds the firing-policy tag right after the version field.
+///   v1 files still decode; the policy migrates to `"fire-all"`, the
+///   only policy that could have produced them.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The 4-byte magic prefix of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PLSN";
@@ -67,6 +72,12 @@ pub struct SnapKey {
 /// boundary.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
+    /// Tag of the [`crate::FiringPolicy`] that produced the capture
+    /// (`"fire-all"`, `"select-one-lex"`, `"select-one-mea"`). Purely
+    /// informational on resume — the captured state is policy-agnostic,
+    /// so a continuation may run any policy — but lets tools and the
+    /// CLI report a policy switch. v1 snapshots migrate to `"fire-all"`.
+    pub policy: String,
     /// Cycles executed when the snapshot was taken.
     pub cycle: u64,
     /// A `halt` action had fired.
@@ -114,7 +125,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} (this build reads 1..={SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
@@ -137,6 +148,7 @@ impl Snapshot {
         let mut e = Enc::new();
         e.buf.extend_from_slice(&SNAPSHOT_MAGIC);
         e.u32(SNAPSHOT_VERSION);
+        e.str(&self.policy);
         e.u64(self.cycle);
         e.bool(self.halted);
         e.u64(self.next_wme_id);
@@ -213,9 +225,11 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = d.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        // v1 predates firing policies; only fire-all existed.
+        let policy = if version >= 2 { d.str()? } else { "fire-all".to_string() };
         let cycle = d.u64()?;
         let halted = d.bool()?;
         let next_wme_id = d.u64()?;
@@ -296,6 +310,7 @@ impl Snapshot {
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
         Ok(Snapshot {
+            policy,
             cycle,
             halted,
             next_wme_id,
@@ -399,6 +414,7 @@ mod tests {
 
     fn sample() -> Snapshot {
         Snapshot {
+            policy: "select-one-mea".into(),
             cycle: 42,
             halted: false,
             next_wme_id: 17,
@@ -489,11 +505,37 @@ mod tests {
         // A snapshot with the WME count field patched to u64::MAX must
         // fail cleanly, not try to reserve 2^64 entries.
         let mut bytes = sample().to_bytes();
-        let count_at = 4 + 4 + 8 + 1 + 8; // magic, version, cycle, halted, next_id
+        // magic, version, policy (len-prefixed), cycle, halted, next_id
+        let count_at = 4 + 4 + (4 + sample().policy.len()) + 8 + 1 + 8;
         bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert_eq!(
             Snapshot::from_bytes(&bytes).unwrap_err(),
             SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_decode_with_fire_all_policy() {
+        // Rebuild the exact v1 byte stream from a v2 one: drop the
+        // policy segment and patch the version field back to 1. v1
+        // files predate policies, so decoding migrates to "fire-all".
+        let snap = sample();
+        let v2 = snap.to_bytes();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v2[..4]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[8 + 4 + snap.policy.len()..]);
+        let back = Snapshot::from_bytes(&v1).unwrap();
+        assert_eq!(back.policy, "fire-all");
+        let expect = Snapshot {
+            policy: "fire-all".into(),
+            ..snap
+        };
+        assert_eq!(back, expect);
+        // Re-encoding a migrated snapshot writes the current version.
+        assert_eq!(
+            Snapshot::from_bytes(&back.to_bytes()).unwrap().policy,
+            "fire-all"
         );
     }
 

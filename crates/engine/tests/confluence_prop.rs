@@ -11,7 +11,7 @@ use parulel_core::ir::{
 };
 use parulel_core::{ClassRegistry, Expr, Interner, PredOp, Program, Value, WorkingMemory};
 use parulel_engine::{
-    EngineOptions, GuardMode, MatcherKind, ParallelEngine, SerialEngine, Strategy as Ops5,
+    Engine, EngineOptions, FiringPolicy, GuardMode, MatcherKind, SerialEngine, Strategy as Ops5,
 };
 use proptest::prelude::*;
 
@@ -177,10 +177,11 @@ proptest! {
 
         for kind in [MatcherKind::Rete, MatcherKind::Treat, MatcherKind::PartitionedRete(3)] {
             for guard in [GuardMode::Off, GuardMode::WriteWrite, GuardMode::Serializable] {
-                let mut e = ParallelEngine::new(
+                let mut e = Engine::with_policy(
                     &program,
                     make_wm(),
-                    EngineOptions { matcher: kind, guard, ..Default::default() },
+                    FiringPolicy::FireAll { meta: true, guard },
+                    EngineOptions { matcher: kind, ..Default::default() },
                 );
                 let out = e.run().unwrap();
                 prop_assert!(out.quiescent, "{kind:?}/{guard:?}: {out:?}");

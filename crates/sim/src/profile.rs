@@ -1,7 +1,7 @@
 //! Extracting per-cycle work profiles from a real engine run.
 
 use parulel_core::{Program, WorkingMemory};
-use parulel_engine::{EngineOptions, EngineError, ParallelEngine};
+use parulel_engine::{Engine, EngineError, EngineOptions};
 
 /// The work one PARULEL cycle performed, in abstract operations.
 ///
@@ -58,7 +58,7 @@ pub fn profile_run(
         ..opts
     };
     let initial_delta = wm.len() as u64;
-    let mut engine = ParallelEngine::new(program, wm, opts);
+    let mut engine = Engine::new(program, wm, opts);
     engine.run()?;
     let num_rules = program.rules().len();
 

@@ -194,13 +194,14 @@ mod tests {
     fn guard_reports_zero_with_correct_metas() {
         // With the meta-rules in place the WriteWrite guard finds nothing.
         let s = LabelProp::new(16, 20, 9);
-        let mut e = ParallelEngine::new(
+        let mut e = parulel_engine::Engine::with_policy(
             s.program(),
             s.initial_wm(),
-            EngineOptions {
+            parulel_engine::FiringPolicy::FireAll {
+                meta: true,
                 guard: GuardMode::WriteWrite,
-                ..Default::default()
             },
+            EngineOptions::default(),
         );
         e.run().unwrap();
         s.validate(e.wm()).unwrap();

@@ -257,13 +257,14 @@ mod tests {
         // The meta-set already makes the fired set non-interfering, so the
         // strictest guard redacts nothing.
         let s = Market::new(16, 4, 4);
-        let mut e = ParallelEngine::new(
+        let mut e = parulel_engine::Engine::with_policy(
             s.program(),
             s.initial_wm(),
-            EngineOptions {
+            parulel_engine::FiringPolicy::FireAll {
+                meta: true,
                 guard: GuardMode::Serializable,
-                ..Default::default()
             },
+            EngineOptions::default(),
         );
         e.run().unwrap();
         s.validate(e.wm()).unwrap();

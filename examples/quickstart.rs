@@ -53,7 +53,15 @@ fn main() {
         wm.insert(agent, vec![Value::Int(a + 1), Value::Int(a)]);
     }
 
-    let mut engine = ParallelEngine::new(&program, wm, EngineOptions::default());
+    // `ParallelEngine::new(..)` is shorthand for the fire-all policy on
+    // the unified cycle kernel; the OPS5 baseline is the same kernel
+    // under `FiringPolicy::SelectOne(Strategy::Lex)`.
+    let mut engine = Engine::with_policy(
+        &program,
+        wm,
+        FiringPolicy::fire_all(),
+        EngineOptions::default(),
+    );
     let outcome = engine.run().expect("run succeeds");
 
     println!("── run log ──");

@@ -752,7 +752,7 @@ mod tests {
             maybe in prop::option::of(1i64..=3),
         ) {
             prop_assert!(xs.len() < 8);
-            prop_assert!(flag || !flag);
+            prop_assert!(usize::from(flag) <= 1);
             prop_assert!(pick == "a" || pick == "b");
             if let Some(v) = maybe {
                 prop_assert!((1..=3).contains(&v), "bad {v}");

@@ -19,8 +19,9 @@
 //! * [`lang`](parulel_lang) — the surface language: lexer, parser, compiler.
 //! * [`rmatch`](parulel_match) — RETE / TREAT / naive match engines and the
 //!   partitioned parallel matcher.
-//! * [`engine`](parulel_engine) — the match–redact–fire engine, the serial
-//!   OPS5 baseline, meta-rule evaluation, and copy-and-constrain.
+//! * [`engine`](parulel_engine) — the single cycle kernel with pluggable
+//!   firing policies (PARULEL fire-all and the serial OPS5 baseline),
+//!   meta-rule evaluation, and copy-and-constrain.
 //! * [`workloads`](parulel_workloads) — benchmark rule programs.
 //! * [`sim`](parulel_sim) — an analytic model of the DADO-class parallel
 //!   machine the paper evaluated on, driven by measured cycle profiles.
@@ -65,8 +66,8 @@ pub mod prelude {
         ClassId, ConflictSet, Delta, Instantiation, Program, RuleId, Symbol, Value, WorkingMemory,
     };
     pub use parulel_engine::{
-        Budgets, EngineError, EngineOptions, MatcherKind, MetricsLevel, Outcome, ParallelEngine,
-        SerialEngine, Snapshot, SnapshotError, Strategy,
+        Budgets, Engine, EngineError, EngineOptions, FiringPolicy, MatcherKind, MetricsLevel,
+        Outcome, ParallelEngine, SerialEngine, Snapshot, SnapshotError, Strategy,
     };
     pub use parulel_lang::compile;
     pub use parulel_match::{Matcher, NaiveMatcher, Rete, Treat};

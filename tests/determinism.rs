@@ -208,6 +208,132 @@ fn chained_checkpoints_stay_deterministic() {
     }
 }
 
+/// Pre-refactor behavioral lock-in for the engine-unification refactor.
+///
+/// These constants were captured from the two hand-written engines
+/// *before* `SerialEngine`/`ParallelEngine` were folded into the single
+/// `Engine` cycle kernel with pluggable firing policies. Every arm —
+/// OPS5 select-one under LEX and MEA, and PARULEL fire-all — must
+/// reproduce the exact `RunStats`, `Outcome` flags, and final working
+/// memory (length + FNV-1a fingerprint of the canonical fact dump) the
+/// old engines produced. Any drift here means the refactor changed
+/// semantics, not just structure.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    cycles: u64,
+    firings: u64,
+    redacted_meta: u64,
+    redacted_guard: u64,
+    meta_rounds: u64,
+    peak_eligible: usize,
+    total_eligible: u64,
+    adds: u64,
+    removes: u64,
+    halted: bool,
+    quiescent: bool,
+    hit_cycle_limit: bool,
+    wm_len: usize,
+    wm_fnv: u64,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn observe(out: &Outcome, stats: &parulel::engine::RunStats, wm: &WorkingMemory) -> Golden {
+    Golden {
+        cycles: stats.cycles,
+        firings: stats.firings,
+        redacted_meta: stats.redacted_meta,
+        redacted_guard: stats.redacted_guard,
+        meta_rounds: stats.meta_rounds,
+        peak_eligible: stats.peak_eligible,
+        total_eligible: stats.total_eligible,
+        adds: stats.adds,
+        removes: stats.removes,
+        halted: out.halted,
+        quiescent: out.quiescent,
+        hit_cycle_limit: out.hit_cycle_limit,
+        wm_len: wm.len(),
+        wm_fnv: fnv1a(&format!("{:?}", wm.canonical_facts())),
+    }
+}
+
+#[rustfmt::skip]
+fn goldens() -> Vec<(&'static str, &'static str, Golden)> {
+    vec![
+        ("closure(n=12,e=20)", "lex", Golden { cycles: 132, firings: 132, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 22, total_eligible: 1188, adds: 132, removes: 0, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 152, wm_fnv: 0x3c4ca7fa276198f8 }),
+        ("closure(n=12,e=20)", "mea", Golden { cycles: 132, firings: 132, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 22, total_eligible: 1188, adds: 132, removes: 0, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 152, wm_fnv: 0x3c4ca7fa276198f8 }),
+        ("closure(n=12,e=20)", "fire-all", Golden { cycles: 9, firings: 143, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 26, total_eligible: 143, adds: 143, removes: 0, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 163, wm_fnv: 0xb120feffc9927dcd }),
+        ("labelprop(n=16,e=20)", "lex", Golden { cycles: 15, firings: 15, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 20, total_eligible: 194, adds: 15, removes: 15, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 56, wm_fnv: 0x321599bbd247b293 }),
+        ("labelprop(n=16,e=20)", "mea", Golden { cycles: 17, firings: 17, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 20, total_eligible: 198, adds: 17, removes: 17, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 56, wm_fnv: 0x321599bbd247b293 }),
+        ("labelprop(n=16,e=20)", "fire-all", Golden { cycles: 5, firings: 29, redacted_meta: 12, redacted_guard: 0, meta_rounds: 2, peak_eligible: 20, total_eligible: 41, adds: 29, removes: 29, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 56, wm_fnv: 0x321599bbd247b293 }),
+        ("market(n=12x2,sym=3)", "lex", Golden { cycles: 6, firings: 6, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 25, total_eligible: 68, adds: 6, removes: 12, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 18, wm_fnv: 0xaedbce53855a77d6 }),
+        ("market(n=12x2,sym=3)", "mea", Golden { cycles: 6, firings: 6, redacted_meta: 0, redacted_guard: 0, meta_rounds: 0, peak_eligible: 25, total_eligible: 74, adds: 6, removes: 12, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 18, wm_fnv: 0xaedbce53855a77d6 }),
+        ("market(n=12x2,sym=3)", "fire-all", Golden { cycles: 3, firings: 5, redacted_meta: 33, redacted_guard: 0, meta_rounds: 3, peak_eligible: 25, total_eligible: 38, adds: 5, removes: 10, halted: false, quiescent: true, hit_cycle_limit: false, wm_len: 19, wm_fnv: 0xbbc86e6efffde22d }),
+    ]
+}
+
+fn golden_scenario(name: &str) -> Box<dyn Scenario> {
+    match name {
+        "closure(n=12,e=20)" => Box::new(workloads::Closure::new(12, 20, 1)),
+        "labelprop(n=16,e=20)" => Box::new(workloads::LabelProp::new(16, 20, 2)),
+        "market(n=12x2,sym=3)" => Box::new(workloads::Market::new(12, 3, 4)),
+        other => panic!("unknown golden scenario {other}"),
+    }
+}
+
+#[test]
+fn golden_lock_in_both_engines_and_all_strategies() {
+    for (name, arm, want) in goldens() {
+        let s = golden_scenario(name);
+        let got = match arm {
+            "lex" | "mea" => {
+                let strategy = if arm == "lex" { Strategy::Lex } else { Strategy::Mea };
+                let mut e = SerialEngine::new(
+                    s.program(),
+                    s.initial_wm(),
+                    strategy,
+                    EngineOptions::default(),
+                );
+                let out = e.run().unwrap();
+                observe(&out, e.stats(), e.wm())
+            }
+            "fire-all" => {
+                let mut e =
+                    ParallelEngine::new(s.program(), s.initial_wm(), EngineOptions::default());
+                let out = e.run().unwrap();
+                observe(&out, e.stats(), e.wm())
+            }
+            other => panic!("unknown arm {other}"),
+        };
+        assert_eq!(got, want, "{name}/{arm} drifted from pre-refactor behavior");
+
+        // The compat constructors above are thin shims over the unified
+        // core; driving it directly by policy must land on the same golden.
+        let policy = parulel::engine::FiringPolicy::from_tag(match arm {
+            "lex" => "select-one-lex",
+            "mea" => "select-one-mea",
+            _ => "fire-all",
+        })
+        .unwrap();
+        let mut e = parulel::engine::Engine::with_policy(
+            s.program(),
+            s.initial_wm(),
+            policy,
+            EngineOptions::default(),
+        );
+        let out = e.run().unwrap();
+        let direct = observe(&out, e.stats(), e.wm());
+        assert_eq!(direct, want, "{name}/{arm} via Engine::with_policy drifted");
+    }
+}
+
 #[test]
 fn stepping_equals_running() {
     for s in scenarios() {

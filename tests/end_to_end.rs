@@ -107,11 +107,12 @@ fn guard_modes_do_not_break_valid_programs() {
     // All six workloads resolve their conflicts via meta-rules (or have
     // none); adding the write-write guard must not change validity.
     for s in scenarios() {
-        let opts = EngineOptions {
+        let policy = parulel::engine::FiringPolicy::FireAll {
+            meta: true,
             guard: parulel::engine::GuardMode::WriteWrite,
-            ..Default::default()
         };
-        let mut e = ParallelEngine::new(s.program(), s.initial_wm(), opts);
+        let mut e =
+            parulel::engine::Engine::with_policy(s.program(), s.initial_wm(), policy, EngineOptions::default());
         e.run().unwrap();
         s.validate(e.wm())
             .unwrap_or_else(|err| panic!("{} with WW guard: {err}", s.name()));

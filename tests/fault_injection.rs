@@ -17,11 +17,20 @@ const COUNTER: &str = "
 ";
 
 fn counter_engine(plan: FaultPlan) -> ParallelEngine {
+    counter_engine_with(FiringPolicy::fire_all(), plan)
+}
+
+/// Same counter workload through the unified core under any policy.
+/// The fault hooks live in the policy-agnostic cycle driver, so every
+/// test below must behave identically however the firing decision is
+/// made.
+fn counter_engine_with(policy: FiringPolicy, plan: FaultPlan) -> Engine {
     let (p, wm) = parulel::lang::compile_with_wm(&format!("{COUNTER}\n(wm (count ^n 0))"))
         .expect("counter program compiles");
-    ParallelEngine::new(
+    Engine::with_policy(
         &p,
         wm,
+        policy,
         EngineOptions {
             max_cycles: 50,
             faults: plan,
@@ -150,4 +159,109 @@ fn faults_against_other_rules_or_cycles_do_not_fire() {
     });
     miss.run().unwrap();
     assert_eq!(miss.wm().sorted_snapshot(), want);
+}
+
+#[test]
+fn injected_panic_is_isolated_identically_under_select_one() {
+    // Satellite: fault injection flows through the unified core, so a
+    // SelectOne (OPS5) engine gets the same panic isolation, structured
+    // error, and trip checkpoint as fire-all — previously the serial
+    // engine had none of this machinery.
+    for strategy in [Strategy::Lex, Strategy::Mea] {
+        let mut e = counter_engine_with(
+            FiringPolicy::SelectOne(strategy),
+            FaultPlan {
+                rhs_panic: Some(FaultPoint::new(3, "step")),
+                ..FaultPlan::none()
+            },
+        );
+        let err = e.run().unwrap_err();
+        match &err {
+            EngineError::RhsPanic { rule, payload } => {
+                assert_eq!(rule, "step");
+                assert!(payload.contains("cycle 3"), "{payload}");
+            }
+            other => panic!("expected RhsPanic, got {other}"),
+        }
+        assert_eq!(e.stats().cycles, 2, "{strategy:?}");
+        let snap = e.latest_checkpoint().expect("trip leaves a checkpoint");
+        assert_eq!(snap.cycle, 2);
+        assert_eq!(snap.policy, FiringPolicy::SelectOne(strategy).tag());
+    }
+}
+
+#[test]
+fn budget_trips_fire_identically_for_both_policies() {
+    // The counter adds no WMEs (modify = remove+add, net zero), so grow
+    // working memory instead: one new WME per cycle under *either*
+    // policy, because a single instantiation is eligible per cycle.
+    const GROW: &str = "
+    (literalize tick n)
+    (p grow (tick ^n <n>) (test (< <n> 30)) --> (make tick ^n (+ <n> 1)))
+    ";
+    let policies = [
+        FiringPolicy::fire_all(),
+        FiringPolicy::SelectOne(Strategy::Lex),
+        FiringPolicy::SelectOne(Strategy::Mea),
+    ];
+    let mut trips = Vec::new();
+    for policy in policies {
+        let (p, wm) =
+            parulel::lang::compile_with_wm(&format!("{GROW}\n(wm (tick ^n 0))")).unwrap();
+        let mut e = Engine::with_policy(
+            &p,
+            wm,
+            policy,
+            EngineOptions {
+                budgets: Budgets {
+                    max_wm: Some(5),
+                    ..Budgets::unlimited()
+                },
+                ..Default::default()
+            },
+        );
+        let err = e.run().unwrap_err();
+        match &err {
+            EngineError::WmBudget { cycle, size, .. } => {
+                trips.push((*cycle, *size, e.stats().cycles))
+            }
+            other => panic!("expected WmBudget under {policy:?}, got {other}"),
+        }
+        // The trip checkpoint is consistent and tagged with the policy.
+        let snap = e.latest_checkpoint().expect("budget trip checkpoints");
+        assert_eq!(snap.policy, policy.tag());
+    }
+    // All three policies trip the same budget at the same cycle.
+    assert_eq!(trips[0], trips[1]);
+    assert_eq!(trips[1], trips[2]);
+}
+
+#[test]
+fn zero_timeout_trips_before_cycle_one_for_both_policies() {
+    use std::time::Duration;
+    for policy in [
+        FiringPolicy::fire_all(),
+        FiringPolicy::SelectOne(Strategy::Lex),
+    ] {
+        let (p, wm) =
+            parulel::lang::compile_with_wm(&format!("{COUNTER}\n(wm (count ^n 0))")).unwrap();
+        let mut e = Engine::with_policy(
+            &p,
+            wm,
+            policy,
+            EngineOptions {
+                budgets: Budgets {
+                    timeout: Some(Duration::ZERO),
+                    ..Budgets::unlimited()
+                },
+                ..Default::default()
+            },
+        );
+        let err = e.run().unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Timeout { cycle: 1, .. }),
+            "expected Timeout at cycle 1 under {policy:?}, got {err}"
+        );
+        assert_eq!(e.stats().cycles, 0);
+    }
 }
