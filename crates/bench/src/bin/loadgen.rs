@@ -1,0 +1,304 @@
+//! `loadgen` — protocol-level load generator for the `parulel serve`
+//! daemon.
+//!
+//! Unlike the figure/table harnesses, which call the engine in-process,
+//! this binary measures the *serving* path end to end: it boots a real
+//! TCP daemon, then drives N concurrent sessions per workload through
+//! the line-delimited JSON protocol — `open` with the bare program,
+//! every initial fact delivered as batched `inject` frames (the
+//! incremental path the daemon exists for), `run` to fixpoint, a
+//! `metrics` report, `close`. Each client runs on its own thread with
+//! its own socket, so frames from all sessions interleave at the
+//! server exactly as they would under independent producers.
+//!
+//! Emits `BENCH_serve.json` (parulel-bench/v1): per-workload rows with
+//! the usual measured columns (summed over sessions, taken from the
+//! daemon's own parulel-metrics/v1 reports) plus serving-specific
+//! extras — sustained `injects_per_sec`, `p50_frame_ms` /
+//! `p99_frame_ms` round-trip latency, and `peak_sessions` resident.
+//!
+//! ```text
+//! loadgen [SESSIONS]   # default 8 concurrent sessions per workload
+//! ```
+
+use parulel_bench::{BenchReport, Table};
+use parulel_engine::Json;
+use parulel_server::{Server, ServerConfig};
+use parulel_workloads::{Closure, LabelProp, Market, Scenario};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// WME changes per `inject` frame: small enough that a workload takes
+/// many frames (exercising the queue), big enough to amortize framing.
+const BATCH: usize = 16;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders one scenario's initial facts as `inject`-frame add objects,
+/// in the WM's deterministic order.
+fn fact_batches(s: &dyn Scenario) -> Vec<String> {
+    let program = s.program();
+    let adds: Vec<String> = s
+        .initial_wm()
+        .sorted_snapshot()
+        .iter()
+        .map(|w| {
+            let decl = program.classes.decl(w.class);
+            let fields: Vec<String> = w
+                .fields
+                .iter()
+                .map(|v| match v {
+                    parulel_core::Value::Int(i) => i.to_string(),
+                    parulel_core::Value::Float(f) => format!("{f:?}"),
+                    parulel_core::Value::Sym(sym) => {
+                        format!("\"{}\"", escape(&program.interner.resolve(*sym)))
+                    }
+                })
+                .collect();
+            format!(
+                r#"{{"class":"{}","fields":[{}]}}"#,
+                program.interner.resolve(decl.name),
+                fields.join(",")
+            )
+        })
+        .collect();
+    adds.chunks(BATCH)
+        .map(|chunk| format!(r#"[{}]"#, chunk.join(",")))
+        .collect()
+}
+
+/// What one client thread brings back: the daemon's metrics report for
+/// its session plus every frame's round-trip latency.
+struct SessionResult {
+    report: Json,
+    injected: usize,
+    latencies_ms: Vec<f64>,
+}
+
+/// Drives one full session over its own TCP connection.
+fn drive_session(
+    addr: std::net::SocketAddr,
+    name: &str,
+    source: &str,
+    batches: &[String],
+) -> SessionResult {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut latencies_ms = Vec::new();
+    let mut injected = 0usize;
+
+    let send = |frame: String,
+                    writer: &mut TcpStream,
+                    reader: &mut BufReader<TcpStream>,
+                    latencies_ms: &mut Vec<f64>|
+     -> Json {
+        let start = Instant::now();
+        writer.write_all(frame.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let doc = Json::parse(response.trim()).expect("response is JSON");
+        assert_eq!(
+            doc.get("ok"),
+            Some(&Json::Bool(true)),
+            "{name}: {response}"
+        );
+        doc
+    };
+
+    send(
+        format!(
+            r#"{{"op":"open","session":"{name}","program":"{}","metrics":"full"}}"#,
+            escape(source)
+        ),
+        &mut writer,
+        &mut reader,
+        &mut latencies_ms,
+    );
+    for batch in batches {
+        let doc = send(
+            format!(r#"{{"op":"inject","session":"{name}","adds":{batch}}}"#),
+            &mut writer,
+            &mut reader,
+            &mut latencies_ms,
+        );
+        injected += doc.get("queued").and_then(|q| q.as_f64()).unwrap_or(0.0) as usize;
+    }
+    let run = send(
+        format!(r#"{{"op":"run","session":"{name}"}}"#),
+        &mut writer,
+        &mut reader,
+        &mut latencies_ms,
+    );
+    assert_eq!(
+        run.get("status").and_then(|s| s.as_str()),
+        Some("quiescent"),
+        "{name}: run did not reach fixpoint"
+    );
+    let metrics = send(
+        format!(r#"{{"op":"metrics","session":"{name}","report":true}}"#),
+        &mut writer,
+        &mut reader,
+        &mut latencies_ms,
+    );
+    let report = metrics.get("report").cloned().unwrap_or(Json::Null);
+    send(
+        format!(r#"{{"op":"close","session":"{name}"}}"#),
+        &mut writer,
+        &mut reader,
+        &mut latencies_ms,
+    );
+    SessionResult {
+        report,
+        injected,
+        latencies_ms,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn main() {
+    let sessions: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("SESSIONS must be an integer"))
+        .unwrap_or(8);
+
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(Closure::new(32, 64, 7)),
+        Box::new(LabelProp::new(48, 96, 11)),
+        Box::new(Market::new(24, 6, 5)),
+    ];
+
+    println!(
+        "loadgen: {sessions} concurrent sessions per workload over TCP\n\
+         (open, {BATCH}-change inject batches, run to fixpoint, metrics, close)\n"
+    );
+
+    let server = Arc::new(Mutex::new(Server::new(ServerConfig {
+        max_sessions: sessions * scenarios.len() + 1,
+        metrics: parulel_engine::MetricsLevel::Full,
+        ..ServerConfig::default()
+    })));
+    let (addr, accept_thread) =
+        parulel_server::spawn_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+
+    let mut t = Table::new(&[
+        "workload",
+        "sessions",
+        "injects/s",
+        "p50 ms",
+        "p99 ms",
+        "cycles",
+        "firings",
+    ]);
+    let mut rep = BenchReport::new(
+        "serve",
+        "protocol loadgen: concurrent sessions through `parulel serve` over TCP",
+    );
+
+    for scenario in &scenarios {
+        let name = scenario.name().to_string();
+        let source = scenario.source().to_string();
+        let batches = Arc::new(fact_batches(scenario.as_ref()));
+
+        let started = Instant::now();
+        let mut clients = Vec::new();
+        for i in 0..sessions {
+            let (name, source, batches) = (name.clone(), source.clone(), Arc::clone(&batches));
+            clients.push(std::thread::spawn(move || {
+                drive_session(addr, &format!("{name}-{i}"), &source, &batches)
+            }));
+        }
+        let results: Vec<SessionResult> =
+            clients.into_iter().map(|c| c.join().expect("client")).collect();
+        let wall = started.elapsed();
+
+        let mut latencies: Vec<f64> = results
+            .iter()
+            .flat_map(|r| r.latencies_ms.iter().copied())
+            .collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let injected: usize = results.iter().map(|r| r.injected).sum();
+        let frames = latencies.len();
+        let injects_per_sec = injected as f64 / wall.as_secs_f64().max(1e-9);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+
+        // Measured columns come from the daemon's own per-session
+        // reports: counters summed, peaks maxed over the fleet.
+        let reports: Vec<&Json> = results.iter().map(|r| &r.report).collect();
+        let sum = |key: &str| reports.iter().map(|r| num(r, key)).sum::<f64>();
+        let max = |key: &str| reports.iter().map(|r| num(r, key)).fold(0.0, f64::max);
+        let top_rules = reports[0]
+            .get("rules")
+            .and_then(|r| r.as_arr())
+            .map(|rules| rules.iter().take(5).cloned().collect::<Vec<_>>())
+            .unwrap_or_default();
+        let peak_sessions = {
+            let mut locked = server.lock().expect("lock");
+            let doc = Json::parse(&locked.handle_line(r#"{"op":"metrics"}"#).unwrap()).unwrap();
+            num(&doc, "peak_sessions")
+        };
+
+        t.row(vec![
+            name.clone(),
+            sessions.to_string(),
+            format!("{injects_per_sec:.0}"),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            format!("{:.0}", sum("cycles")),
+            format!("{:.0}", sum("firings")),
+        ]);
+        rep.push(
+            Json::obj()
+                .set("workload", name.as_str())
+                .set("matcher", "rete")
+                .set("shards", 1usize)
+                .set("cycles", sum("cycles"))
+                .set("firings", sum("firings"))
+                .set("wall_ms", wall.as_secs_f64() * 1e3)
+                .set("match_ms", sum("match_ms"))
+                .set("redact_ms", sum("redact_ms"))
+                .set("fire_ms", sum("fire_ms"))
+                .set("apply_ms", sum("apply_ms"))
+                .set("peak_wm", max("peak_wm"))
+                .set("peak_conflict_set", max("peak_conflict_set"))
+                .set("metrics_level", "full")
+                .set("top_rules", top_rules)
+                .set("transport", "tcp")
+                .set("sessions", sessions)
+                .set("frames", frames)
+                .set("injected_wmes", injected)
+                .set("injects_per_sec", injects_per_sec)
+                .set("p50_frame_ms", p50)
+                .set("p99_frame_ms", p99)
+                .set("peak_sessions", peak_sessions),
+        );
+    }
+
+    {
+        let mut locked = server.lock().expect("lock");
+        locked.handle_line(r#"{"op":"shutdown"}"#);
+    }
+    accept_thread.join().expect("accept thread");
+
+    t.print();
+    rep.emit();
+}

@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing for the `parulel` binary.
 
-use parulel_engine::{Budgets, GuardMode, MatcherKind, Strategy};
+use parulel_engine::{Budgets, GuardMode, MatcherKind, MetricsLevel, Strategy};
 use std::time::Duration;
 
 /// Usage text shown by `--help` and on argument errors.
@@ -11,6 +11,7 @@ USAGE:
   parulel run FILE [OPTIONS]    execute a program
   parulel check FILE            compile only; report errors
   parulel fmt FILE              print canonical formatting
+  parulel serve [OPTIONS]       rule-serving daemon (line-delimited JSON)
   parulel --help
 
 RUN OPTIONS:
@@ -34,7 +35,20 @@ ROBUSTNESS OPTIONS (any engine):
   --max-delta N                 abort if one cycle changes > N WMEs
   --checkpoint-every N          keep a checkpoint every N cycles
   --checkpoint FILE             write the last checkpoint to FILE on exit
-  --resume FILE                 resume from a checkpoint file";
+  --resume FILE                 resume from a checkpoint file
+
+SERVE OPTIONS:
+  --stdio                       serve stdin/stdout (the default)
+  --tcp ADDR                    listen on a TCP address (e.g. 127.0.0.1:7466)
+  --socket PATH                 listen on a Unix socket
+  --max-sessions N              admission limit                  [64]
+  --inject-queue N              per-session inject queue, in WME
+                                changes (backpressure bound)     [1024]
+  --max-cycles N                default per-run cycle limit      [1000000]
+  --metrics off|rules|full      per-session metrics level        [rules]
+  --timeout / --max-wm / --max-cs / --max-delta
+                                default per-session budgets (an open
+                                frame may override them)";
 
 /// Which execution engine `run` uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +96,48 @@ pub struct RunOpts {
     pub resume: Option<String>,
 }
 
+/// Where `serve` listens.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum ServeTransport {
+    /// Line-delimited JSON over the process's stdin/stdout.
+    #[default]
+    Stdio,
+    /// A TCP listener on this address.
+    Tcp(String),
+    /// A Unix-domain socket at this path.
+    Unix(String),
+}
+
+/// Parsed `serve` options (mapped onto `parulel_server::ServerConfig`).
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Which transport to serve.
+    pub transport: ServeTransport,
+    /// Admission limit: concurrent sessions.
+    pub max_sessions: usize,
+    /// Per-session inject-queue capacity, in WME changes.
+    pub inject_queue: usize,
+    /// Default per-session budgets (an `open` frame may override).
+    pub budgets: Budgets,
+    /// Default per-run cycle limit.
+    pub max_cycles: u64,
+    /// Per-session metrics collection level.
+    pub metrics: MetricsLevel,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            transport: ServeTransport::Stdio,
+            max_sessions: 64,
+            inject_queue: 1024,
+            budgets: Budgets::unlimited(),
+            max_cycles: 1_000_000,
+            metrics: MetricsLevel::Rules,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug)]
 pub enum Command {
@@ -99,6 +155,8 @@ pub enum Command {
         /// Program file path.
         file: String,
     },
+    /// `serve …`
+    Serve(Box<ServeOpts>),
 }
 
 impl Command {
@@ -201,6 +259,61 @@ impl Command {
                     }
                 }
                 Ok(Command::Run(Box::new(opts)))
+            }
+            "serve" => {
+                let mut opts = ServeOpts::default();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--stdio" => opts.transport = ServeTransport::Stdio,
+                        "--tcp" => opts.transport = ServeTransport::Tcp(next_val(&mut it, flag)?),
+                        "--socket" => {
+                            opts.transport = ServeTransport::Unix(next_val(&mut it, flag)?)
+                        }
+                        "--max-sessions" => {
+                            opts.max_sessions = parse_count(&mut it, flag)?;
+                            if opts.max_sessions == 0 {
+                                return Err("--max-sessions must be at least 1".into());
+                            }
+                        }
+                        "--inject-queue" => {
+                            opts.inject_queue = parse_count(&mut it, flag)?;
+                            if opts.inject_queue == 0 {
+                                return Err("--inject-queue must be at least 1".into());
+                            }
+                        }
+                        "--max-cycles" => {
+                            opts.max_cycles = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--max-cycles needs an integer".to_string())?
+                        }
+                        "--metrics" => {
+                            opts.metrics = match next_val(&mut it, flag)?.as_str() {
+                                "off" => MetricsLevel::Off,
+                                "rules" => MetricsLevel::Rules,
+                                "full" => MetricsLevel::Full,
+                                other => return Err(format!("unknown metrics level '{other}'")),
+                            }
+                        }
+                        "--timeout" => {
+                            let secs: f64 = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--timeout needs a number of seconds".to_string())?;
+                            if !secs.is_finite() || secs < 0.0 {
+                                return Err("--timeout needs a non-negative number".into());
+                            }
+                            opts.budgets.timeout = Some(Duration::from_secs_f64(secs));
+                        }
+                        "--max-wm" => opts.budgets.max_wm = Some(parse_count(&mut it, flag)?),
+                        "--max-cs" => {
+                            opts.budgets.max_conflict_set = Some(parse_count(&mut it, flag)?)
+                        }
+                        "--max-delta" => {
+                            opts.budgets.max_delta = Some(parse_count(&mut it, flag)?)
+                        }
+                        other => return Err(format!("unknown option '{other}'")),
+                    }
+                }
+                Ok(Command::Serve(Box::new(opts)))
             }
             other => Err(format!("unknown command '{other}'")),
         }
@@ -423,6 +536,80 @@ mod tests {
         assert!(parse(&["run", "x", "--timeout", "soon"]).is_err());
         assert!(parse(&["run", "x", "--max-wm", "many"]).is_err());
         assert!(parse(&["run", "x", "--checkpoint"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_to_stdio() {
+        let Ok(Command::Serve(o)) = parse(&["serve"]) else {
+            panic!()
+        };
+        assert_eq!(o.transport, ServeTransport::Stdio);
+        assert_eq!(o.max_sessions, 64);
+        assert_eq!(o.inject_queue, 1024);
+        assert_eq!(o.max_cycles, 1_000_000);
+        assert_eq!(o.metrics, MetricsLevel::Rules);
+        assert!(o.budgets.is_unlimited());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let Ok(Command::Serve(o)) = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:7466",
+            "--max-sessions",
+            "8",
+            "--inject-queue",
+            "256",
+            "--max-cycles",
+            "500",
+            "--metrics",
+            "full",
+            "--timeout",
+            "1.5",
+            "--max-wm",
+            "4000",
+            "--max-cs",
+            "900",
+            "--max-delta",
+            "300",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(o.transport, ServeTransport::Tcp("127.0.0.1:7466".into()));
+        assert_eq!(o.max_sessions, 8);
+        assert_eq!(o.inject_queue, 256);
+        assert_eq!(o.max_cycles, 500);
+        assert_eq!(o.metrics, MetricsLevel::Full);
+        assert_eq!(
+            o.budgets.timeout,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(o.budgets.max_wm, Some(4000));
+        assert_eq!(o.budgets.max_conflict_set, Some(900));
+        assert_eq!(o.budgets.max_delta, Some(300));
+
+        let Ok(Command::Serve(o)) = parse(&["serve", "--socket", "/tmp/parulel.sock"]) else {
+            panic!()
+        };
+        assert_eq!(o.transport, ServeTransport::Unix("/tmp/parulel.sock".into()));
+        // The last transport flag wins.
+        let Ok(Command::Serve(o)) = parse(&["serve", "--tcp", "127.0.0.1:1", "--stdio"]) else {
+            panic!()
+        };
+        assert_eq!(o.transport, ServeTransport::Stdio);
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(parse(&["serve", "--tcp"]).is_err());
+        assert!(parse(&["serve", "--socket"]).is_err());
+        assert!(parse(&["serve", "--max-sessions", "0"]).is_err());
+        assert!(parse(&["serve", "--inject-queue", "0"]).is_err());
+        assert!(parse(&["serve", "--max-cycles", "many"]).is_err());
+        assert!(parse(&["serve", "--metrics", "loud"]).is_err());
+        assert!(parse(&["serve", "--timeout", "-2"]).is_err());
+        assert!(parse(&["serve", "--bogus"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Implementations of the `run`, `check` and `fmt` subcommands.
 
-use crate::args::{EngineChoice, RunOpts};
+use crate::args::{EngineChoice, RunOpts, ServeOpts, ServeTransport};
 use parulel_core::WorkingMemory;
 use parulel_engine::{
     Engine, EngineMetrics, EngineOptions, FiringPolicy, GuardMode, MetricsLevel, Outcome,
@@ -302,6 +302,56 @@ fn finish(
         3
     } else {
         0
+    }
+}
+
+/// Maps the parsed `serve` flags onto the daemon's config.
+pub(crate) fn server_config(opts: &ServeOpts) -> parulel_server::ServerConfig {
+    parulel_server::ServerConfig {
+        max_sessions: opts.max_sessions,
+        inject_queue: opts.inject_queue,
+        default_budgets: opts.budgets.clone(),
+        max_cycles: opts.max_cycles,
+        metrics: opts.metrics,
+        ..parulel_server::ServerConfig::default()
+    }
+}
+
+/// `parulel serve …` — run the rule-serving daemon until a `shutdown`
+/// frame arrives. Listener announcements go to `out`; on the stdio
+/// transport stdout *is* the protocol stream, so the banner goes to
+/// stderr instead.
+pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
+    let config = server_config(opts);
+    let result = match &opts.transport {
+        ServeTransport::Stdio => {
+            eprintln!(
+                "parulel serve: line-delimited JSON on stdio ({} sessions max); \
+                 send {{\"op\":\"shutdown\"}} to stop",
+                opts.max_sessions
+            );
+            parulel_server::serve_stdio(config)
+        }
+        ServeTransport::Tcp(addr) => {
+            let server = std::sync::Arc::new(std::sync::Mutex::new(
+                parulel_server::Server::new(config),
+            ));
+            parulel_server::spawn_tcp(server, addr).map(|(bound, accept)| {
+                let _ = writeln!(out, "listening on tcp {bound}");
+                let _ = accept.join();
+            })
+        }
+        ServeTransport::Unix(path) => {
+            let _ = writeln!(out, "listening on unix {path}");
+            parulel_server::serve_unix(config, path)
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
     }
 }
 
@@ -703,5 +753,82 @@ mod tests {
             Command::parse(&["help".to_string()]),
             Ok(Command::Help)
         ));
+    }
+
+    #[test]
+    fn serve_flags_map_onto_the_server_config() {
+        let args: Vec<String> = [
+            "serve",
+            "--max-sessions",
+            "3",
+            "--inject-queue",
+            "17",
+            "--max-cycles",
+            "99",
+            "--metrics",
+            "off",
+            "--max-wm",
+            "1000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Ok(Command::Serve(opts)) = Command::parse(&args) else {
+            panic!()
+        };
+        let config = crate::commands::server_config(&opts);
+        assert_eq!(config.max_sessions, 3);
+        assert_eq!(config.inject_queue, 17);
+        assert_eq!(config.max_cycles, 99);
+        assert_eq!(config.metrics, parulel_engine::MetricsLevel::Off);
+        assert_eq!(config.default_budgets.max_wm, Some(1000));
+        assert_eq!(config.default_budgets.timeout, None);
+    }
+
+    #[test]
+    fn serve_over_a_unix_socket_answers_ping_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write as _};
+        use std::os::unix::net::UnixStream;
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("parulel-cli-serve-{}.sock", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let daemon = {
+            let path_str = path_str.clone();
+            std::thread::spawn(move || cli(&["serve", "--socket", &path_str]))
+        };
+        // The daemon binds asynchronously; poll for the socket file.
+        let stream = {
+            let mut tries = 0;
+            loop {
+                match UnixStream::connect(&path_str) {
+                    Ok(s) => break s,
+                    Err(_) if tries < 200 => {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(e) => panic!("connect {path_str}: {e}"),
+                }
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for (frame, expect) in [
+            (r#"{"op":"ping"}"#, r#"{"ok":true,"op":"ping"}"#),
+            (
+                r#"{"op":"shutdown"}"#,
+                r#"{"ok":true,"op":"shutdown","sessions_closed":0}"#,
+            ),
+        ] {
+            writer.write_all(frame.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            assert_eq!(response.trim_end(), expect);
+        }
+        let (code, output) = daemon.join().unwrap();
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("listening on unix"), "{output}");
+        assert!(!std::path::Path::new(&path_str).exists());
     }
 }

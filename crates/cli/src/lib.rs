@@ -8,6 +8,7 @@
 //! parulel run FILE     execute a program (PARULEL or OPS5 semantics)
 //! parulel check FILE   compile only; report the first error with location
 //! parulel fmt FILE     print the canonical formatting to stdout
+//! parulel serve        rule-serving daemon (line-delimited JSON protocol)
 //! ```
 //!
 //! `run` options:
@@ -47,6 +48,7 @@ pub fn run_cli(argv: &[String], out: &mut dyn Write) -> i32 {
         Ok(args::Command::Run(opts)) => commands::run(&opts, out),
         Ok(args::Command::Check { file }) => commands::check(&file, out),
         Ok(args::Command::Fmt { file }) => commands::fmt(&file, out),
+        Ok(args::Command::Serve(opts)) => commands::serve(&opts, out),
         Err(e) => {
             let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
             2

@@ -183,6 +183,41 @@ impl Engine {
         })
     }
 
+    /// Restores a [`Snapshot`] *in place*, keeping this engine's program,
+    /// policy, and options (including the matcher kind, which is rebuilt
+    /// and reseeded from the restored working memory). The session-serving
+    /// entry point: a long-lived engine can be rewound to any checkpoint
+    /// without reconstructing it. On error the engine is left untouched.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let rebuilt =
+            Engine::resume_with_policy(&self.program, snapshot, self.policy, self.opts.clone())?;
+        *self = rebuilt;
+        Ok(())
+    }
+
+    /// Resets the engine to a fresh run over `wm`: the matcher is rebuilt
+    /// and reseeded, and refraction, statistics, log, traces, halt flag,
+    /// checkpoints, and observability counters all start over. Program,
+    /// policy, and options are kept — the other session-serving entry
+    /// point, for reusing a compiled program across runs.
+    pub fn reset(&mut self, wm: WorkingMemory) {
+        let mut matcher = self.opts.matcher.build(self.program.clone());
+        matcher.seed(&wm);
+        self.wm = wm;
+        self.matcher = matcher;
+        self.refraction = Refraction::new();
+        self.stats = RunStats::default();
+        self.log.clear();
+        if let Some(warning) = self.policy.dropped_machinery_warning(&self.program) {
+            self.log.push(warning);
+        }
+        self.traces.clear();
+        self.halted = false;
+        self.latest_checkpoint = None;
+        self.metrics = EngineMetrics::new(self.opts.metrics, self.program.rules().len());
+        self.trace_buf = self.opts.trace_events.map(TraceBuffer::new);
+    }
+
     /// Captures the engine's state as a portable [`Snapshot`]. Valid at
     /// any cycle boundary (between [`step`](Self::step) calls); symbols
     /// and rule names are stored resolved so the snapshot survives

@@ -1,0 +1,274 @@
+//! Kernel edge cases the serving daemon leans on: degenerate programs
+//! (zero rules, empty working memory), cycles whose entire conflict set
+//! is redacted, budget limits at their smallest meaningful values (0
+//! and 1), and injecting new facts into an engine that already reached
+//! fixpoint.
+
+use parulel_core::{Delta, Value};
+use parulel_engine::{
+    Budgets, Engine, EngineOptions, FiringPolicy, GuardMode, Strategy,
+};
+use std::sync::Arc;
+
+fn engine(src: &str, policy: FiringPolicy, opts: EngineOptions) -> Engine {
+    let (program, wm) = parulel_lang::compile_with_wm(src).expect("compiles");
+    Engine::with_policy(&program, wm, policy, opts)
+}
+
+/// A one-add inject for the engine's only (or named) class.
+fn inject_one(e: &mut Engine, class: &str, fields: &[i64]) {
+    let program = e.program().clone();
+    let class = program
+        .classes
+        .id_of(program.interner.intern(class))
+        .expect("class");
+    let delta = Delta {
+        removes: vec![],
+        adds: vec![(
+            class,
+            fields.iter().map(|&i| Value::Int(i)).collect::<Arc<[_]>>(),
+        )],
+    };
+    e.inject(&delta);
+}
+
+#[test]
+fn zero_rule_program_quiesces_immediately_under_every_policy() {
+    let src = "(literalize item x) (wm (item ^x 1) (item ^x 2))";
+    for policy in [
+        FiringPolicy::fire_all(),
+        FiringPolicy::SelectOne(Strategy::Lex),
+        FiringPolicy::SelectOne(Strategy::Mea),
+    ] {
+        let mut e = engine(src, policy, EngineOptions::default());
+        let o = e.run().expect("zero-rule run");
+        assert_eq!((o.cycles, o.firings), (0, 0), "{policy:?}");
+        assert!(!o.halted && !o.hit_cycle_limit, "{policy:?}");
+        assert_eq!(e.wm().len(), 2, "{policy:?}: WM must be untouched");
+        // Still serviceable after quiescence: injects land, and another
+        // run over zero rules stays a no-op rather than erroring.
+        inject_one(&mut e, "item", &[3]);
+        let o = e.run().expect("re-run");
+        assert_eq!((o.cycles, o.firings), (0, 0), "{policy:?}");
+        assert_eq!(e.wm().len(), 3, "{policy:?}");
+    }
+}
+
+#[test]
+fn empty_wm_quiesces_then_inject_after_fixpoint_resumes_matching() {
+    // Rules but not a single fact: the first run is a zero-cycle
+    // fixpoint. The daemon's whole workload model is "open bare, then
+    // inject" — a post-fixpoint inject must wake the same engine up.
+    let src = "
+        (literalize seed x)
+        (literalize out x)
+        (p grow (seed ^x <v>) --> (make out ^x <v>))
+    ";
+    let mut e = engine(src, FiringPolicy::fire_all(), EngineOptions::default());
+    let o = e.run().expect("empty-WM run");
+    assert_eq!((o.cycles, o.firings), (0, 0));
+    assert_eq!(e.wm().len(), 0);
+
+    inject_one(&mut e, "seed", &[7]);
+    let o = e.run().expect("run after inject");
+    assert_eq!(o.firings, 1, "the injected seed must fire `grow`");
+    assert_eq!(e.wm().len(), 2);
+
+    // Refraction survives the fixpoint boundary: an *unrelated* second
+    // inject must not let the already-fired instantiation fire again.
+    inject_one(&mut e, "seed", &[8]);
+    let o = e.run().expect("second inject run");
+    assert_eq!(o.firings, 1, "only the new seed's instantiation fires");
+    assert_eq!(e.wm().len(), 4);
+}
+
+#[test]
+fn meta_rule_redacting_the_entire_conflict_set_is_quiescence() {
+    // The redact-everything meta-rule: every instantiation of `grow`
+    // matches the unconditional (inst grow) CE. Firing nothing forever
+    // would loop, so the kernel must treat the empty surviving set as
+    // quiescence on cycle 1 — with zero firings and the redactions
+    // accounted.
+    let src = "
+        (literalize seed x)
+        (literalize out x)
+        (wm (seed ^x 1) (seed ^x 2) (seed ^x 3))
+        (p grow (seed ^x <v>) --> (make out ^x <v>))
+        (mp veto (inst grow) --> (redact 1))
+    ";
+    let mut e = engine(src, FiringPolicy::fire_all(), EngineOptions::default());
+    let o = e.run().expect("fully-redacted run");
+    assert_eq!(o.firings, 0, "nothing survives the meta-rule");
+    assert!(!o.halted && !o.hit_cycle_limit);
+    assert_eq!(e.stats().redacted_meta, 3, "all three instantiations redacted");
+    assert_eq!(e.wm().len(), 3, "no out facts were made");
+}
+
+#[test]
+fn serializable_guard_redacts_interfering_firings_on_cycle_one() {
+    // Two rules race to modify the same WME: under GuardMode::Off both
+    // fire on cycle 1; under the serializable guard only the first (in
+    // deterministic key order) may, and the redaction is counted.
+    let src = "
+        (literalize cell n)
+        (wm (cell ^n 0))
+        (p bump-a (cell ^n <v>) (test (= <v> 0)) --> (modify 1 ^n 1))
+        (p bump-b (cell ^n <v>) (test (= <v> 0)) --> (modify 1 ^n 2))
+    ";
+    let mut off = engine(src, FiringPolicy::fire_all(), EngineOptions::default());
+    off.run().expect("guard-off run");
+    assert_eq!(off.stats().redacted_guard, 0);
+
+    for guard in [GuardMode::WriteWrite, GuardMode::Serializable] {
+        let mut e = engine(
+            src,
+            FiringPolicy::FireAll { meta: true, guard },
+            EngineOptions::default(),
+        );
+        let o = e.run().expect("guarded run");
+        assert_eq!(o.firings, 1, "{guard:?}: exactly one interfering firing");
+        assert_eq!(
+            e.stats().redacted_guard,
+            1,
+            "{guard:?}: the loser must be redacted, not fired"
+        );
+        // The surviving modify rewrote the cell away from 0, so the
+        // redacted instantiation is gone next cycle: fixpoint, one cell.
+        assert_eq!(e.wm().len(), 1);
+    }
+}
+
+#[test]
+fn budgets_at_exactly_zero_trip_on_first_use() {
+    let src = "
+        (literalize seed x)
+        (literalize out x)
+        (wm (seed ^x 1))
+        (p grow (seed ^x <v>) --> (make out ^x <v>))
+    ";
+    let cases: [(Budgets, &str); 3] = [
+        (
+            Budgets {
+                max_wm: Some(0),
+                ..Budgets::unlimited()
+            },
+            "wm",
+        ),
+        (
+            Budgets {
+                max_conflict_set: Some(0),
+                ..Budgets::unlimited()
+            },
+            "conflict-set",
+        ),
+        (
+            Budgets {
+                max_delta: Some(0),
+                ..Budgets::unlimited()
+            },
+            "delta",
+        ),
+    ];
+    for (budgets, kind) in cases {
+        let mut e = engine(
+            src,
+            FiringPolicy::fire_all(),
+            EngineOptions {
+                budgets,
+                ..EngineOptions::default()
+            },
+        );
+        let err = e.run().expect_err("budget 0 must trip");
+        assert_eq!(err.kind(), kind);
+        assert_eq!(err.cycle(), Some(1), "{kind}: trips on the first cycle");
+        // Every trip leaves a resumable checkpoint behind.
+        assert!(e.latest_checkpoint().is_some(), "{kind}");
+    }
+}
+
+#[test]
+fn budgets_at_exactly_one_admit_one_unit_then_trip() {
+    // max_conflict_set 1 / max_delta 1 fit this program exactly (one
+    // instantiation, one added WME per cycle); max_wm 1 is exceeded the
+    // moment the first `make` commits.
+    let src = "
+        (literalize seed x)
+        (literalize out x)
+        (wm (seed ^x 1))
+        (p grow (seed ^x <v>) --> (make out ^x <v>))
+    ";
+    for budgets in [
+        Budgets {
+            max_conflict_set: Some(1),
+            ..Budgets::unlimited()
+        },
+        Budgets {
+            max_delta: Some(1),
+            ..Budgets::unlimited()
+        },
+    ] {
+        let mut e = engine(
+            src,
+            FiringPolicy::fire_all(),
+            EngineOptions {
+                budgets,
+                ..EngineOptions::default()
+            },
+        );
+        let o = e.run().expect("budget 1 fits this program");
+        assert_eq!(o.firings, 1);
+        assert_eq!(e.wm().len(), 2);
+    }
+    let mut e = engine(
+        src,
+        FiringPolicy::fire_all(),
+        EngineOptions {
+            budgets: Budgets {
+                max_wm: Some(1),
+                ..Budgets::unlimited()
+            },
+            ..EngineOptions::default()
+        },
+    );
+    let err = e.run().expect_err("wm grew to 2 > 1");
+    assert_eq!(err.kind(), "wm");
+    assert_eq!(err.cycle(), Some(1));
+}
+
+#[test]
+fn cycle_limits_of_zero_and_one_bound_the_run_exactly() {
+    // An endless ping-pong program: never quiesces on its own.
+    let src = "
+        (literalize cell n)
+        (wm (cell ^n 0))
+        (p flip (cell ^n 0) --> (modify 1 ^n 1))
+        (p flop (cell ^n 1) --> (modify 1 ^n 0))
+    ";
+    let mut e = engine(
+        src,
+        FiringPolicy::fire_all(),
+        EngineOptions {
+            max_cycles: 0,
+            ..EngineOptions::default()
+        },
+    );
+    let o = e.run().expect("limit 0");
+    assert!(o.hit_cycle_limit);
+    assert_eq!((o.cycles, o.firings), (0, 0), "limit 0 runs nothing");
+
+    let mut e = engine(
+        src,
+        FiringPolicy::fire_all(),
+        EngineOptions {
+            max_cycles: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let o = e.run().expect("limit 1");
+    assert!(o.hit_cycle_limit);
+    assert_eq!((o.cycles, o.firings), (1, 1), "limit 1 runs exactly one cycle");
+    // The limit is per run() call: a second call advances one more cycle.
+    let o = e.run().expect("limit 1, second call");
+    assert!(o.hit_cycle_limit);
+    assert_eq!((o.cycles, o.firings), (1, 1));
+}

@@ -25,6 +25,27 @@ proptest! {
     }
 
     #[test]
+    fn every_parse_error_locates_within_the_source(src in "[ -~\n]{0,200}") {
+        // Printable-ASCII soup: whenever the front end rejects it, the
+        // diagnostic must carry a usable 1-based line/column inside (or
+        // one past) the input — a frame the serve daemon forwards
+        // verbatim to remote clients, who have nothing else to go on.
+        if let Err(e) = parulel_lang::parse(&src) {
+            let lines = src.lines().count().max(1) as u32;
+            prop_assert!(
+                e.span.line >= 1 && e.span.line <= lines + 1,
+                "line {} outside 1..={} for {src:?}",
+                e.span.line,
+                lines + 1
+            );
+            prop_assert!(e.span.col >= 1, "col 0 in error for {src:?}");
+        }
+        if let Err(e) = parulel_lang::compile_with_wm(&src) {
+            prop_assert!(e.span.line >= 1 && e.span.col >= 1, "{src:?} -> {e}");
+        }
+    }
+
+    #[test]
     fn compiler_total_on_mangled_programs(
         head in prop::sample::select(vec![
             "(literalize a x y)",

@@ -1,0 +1,200 @@
+//! Shared generator machinery for the matcher property suites
+//! (`equivalence.rs`, `differential.rs`): random well-formed programs
+//! over two small classes, and random WM operation streams.
+
+#![allow(dead_code)] // each test crate uses a subset
+
+use parulel_core::ir::{
+    ConditionElement, FieldCheck, FieldTest, Polarity, Rule, RuleId, RuleTest, VarId,
+};
+use parulel_core::{ClassRegistry, Expr, Interner, PredOp, Program, TestExpr, Value};
+use proptest::prelude::*;
+
+/// Raw material for one field test; the builder repairs invalid variable
+/// references so every generated program is well-formed.
+#[derive(Clone, Debug)]
+pub enum CheckSpec {
+    Const(u8, i64),  // pred-op code, constant
+    OneOf(Vec<i64>), // membership
+    Var(u8, u16),    // pred-op code, var index (mod bound count, or fresh bind)
+}
+
+#[derive(Clone, Debug)]
+pub struct CeSpec {
+    pub class: u8,
+    pub negated: bool,
+    pub tests: Vec<(u8, CheckSpec)>, // (slot hint, check)
+}
+
+#[derive(Clone, Debug)]
+pub struct RuleSpec {
+    pub ces: Vec<CeSpec>,
+    pub cross_test: bool, // add a (test (< v0 v1)) if ≥2 vars end up bound
+}
+
+#[derive(Clone, Debug)]
+pub enum Op {
+    Add { class: u8, fields: Vec<i64> },
+    Remove(usize), // index into live wmes (mod len)
+}
+
+pub fn pred(code: u8) -> PredOp {
+    match code % 6 {
+        0 => PredOp::Eq,
+        1 => PredOp::Ne,
+        2 => PredOp::Lt,
+        3 => PredOp::Le,
+        4 => PredOp::Gt,
+        _ => PredOp::Ge,
+    }
+}
+
+pub const ARITY: usize = 2;
+
+/// Builds a valid program from random specs. Classes: c0 and c1, both of
+/// arity 2 (small domain ⇒ plenty of joins and collisions).
+pub fn build_program(specs: &[RuleSpec]) -> Program {
+    let interner = Interner::new();
+    let mut classes = ClassRegistry::new();
+    for c in 0..2 {
+        classes
+            .declare(
+                interner.intern(&format!("c{c}")),
+                (0..ARITY)
+                    .map(|f| interner.intern(&format!("f{f}")))
+                    .collect(),
+            )
+            .unwrap();
+    }
+    let mut program = Program::new(interner.clone(), classes);
+    for (ri, spec) in specs.iter().enumerate() {
+        let mut next_var: u16 = 0;
+        let mut exported: u16 = 0; // vars bound by positive CEs so far
+        let mut ces = Vec::new();
+        for (ci, ce_spec) in spec.ces.iter().enumerate() {
+            let negated = ce_spec.negated && ci > 0;
+            let mut tests = Vec::new();
+            let mut bound_here: Vec<VarId> = Vec::new();
+            for (slot_hint, check) in &ce_spec.tests {
+                let slot = (*slot_hint as usize % ARITY) as u16;
+                let check = match check {
+                    CheckSpec::Const(p, v) => FieldCheck::Const(pred(*p), Value::Int(v % 4)),
+                    CheckSpec::OneOf(vs) => {
+                        FieldCheck::OneOf(vs.iter().map(|v| Value::Int(v % 4)).collect())
+                    }
+                    CheckSpec::Var(p, idx) => {
+                        // Visible vars: exported ones, plus any bound
+                        // earlier in this same CE.
+                        let visible = exported + bound_here.len() as u16;
+                        if visible == 0 || *idx % 4 == 0 {
+                            // fresh bind
+                            let v = VarId(next_var);
+                            next_var += 1;
+                            bound_here.push(v);
+                            FieldCheck::Bind(v)
+                        } else {
+                            // Pick among visible vars (only positive
+                            // binds are exported).
+                            let pool: Vec<VarId> = (0..exported)
+                                .map(VarId)
+                                .chain(bound_here.iter().copied())
+                                .collect();
+                            let v = pool[*idx as usize % pool.len()];
+                            FieldCheck::Var(pred(*p), v)
+                        }
+                    }
+                };
+                tests.push(FieldTest { slot, check });
+            }
+            if !negated {
+                exported += bound_here.len() as u16;
+            }
+            ces.push(ConditionElement {
+                class: parulel_core::ClassId((ce_spec.class % 2) as u32),
+                polarity: if negated {
+                    Polarity::Negative
+                } else {
+                    Polarity::Positive
+                },
+                tests,
+            });
+        }
+        // Exported-variable ids are allocated interleaved with locals, so
+        // "first two exported vars" are not necessarily VarId(0),VarId(1).
+        // Collect the actual exported ids in order.
+        let exported_ids: Vec<VarId> = ces
+            .iter()
+            .filter(|ce| ce.polarity == Polarity::Positive)
+            .flat_map(|ce| ce.bound_vars())
+            .collect();
+        let mut tests = Vec::new();
+        if spec.cross_test && exported_ids.len() >= 2 {
+            let (a, b) = (exported_ids[0], exported_ids[1]);
+            // anchor: after the CE that binds `b` (scan prefix counts)
+            let mut anchor = 0;
+            let mut seen = 0usize;
+            for (k, ce) in ces.iter().enumerate() {
+                if ce.polarity == Polarity::Positive {
+                    seen += ce.bound_vars().count();
+                }
+                if seen >= 2 {
+                    anchor = k;
+                    break;
+                }
+            }
+            tests.push(RuleTest {
+                anchor,
+                test: TestExpr {
+                    op: PredOp::Le,
+                    lhs: Expr::Var(a),
+                    rhs: Expr::Var(b),
+                },
+            });
+        }
+        let rule = Rule {
+            id: RuleId(0),
+            name: interner.intern(&format!("r{ri}")),
+            ces,
+            tests,
+            binds: vec![],
+            actions: vec![],
+            num_vars: next_var,
+        };
+        program.add_rule(rule).unwrap();
+    }
+    program
+}
+
+pub fn check_spec() -> impl Strategy<Value = CheckSpec> {
+    prop_oneof![
+        (any::<u8>(), -4i64..4).prop_map(|(p, v)| CheckSpec::Const(p % 2, v)), // Eq/Ne consts
+        prop::collection::vec(0i64..4, 1..3).prop_map(CheckSpec::OneOf),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, i)| CheckSpec::Var(p % 2, i)),
+    ]
+}
+
+pub fn ce_spec() -> impl Strategy<Value = CeSpec> {
+    (
+        any::<u8>(),
+        any::<bool>(),
+        prop::collection::vec((any::<u8>(), check_spec()), 0..3),
+    )
+        .prop_map(|(class, negated, tests)| CeSpec {
+            class,
+            negated,
+            tests,
+        })
+}
+
+pub fn rule_spec() -> impl Strategy<Value = RuleSpec> {
+    (prop::collection::vec(ce_spec(), 1..4), any::<bool>())
+        .prop_map(|(ces, cross_test)| RuleSpec { ces, cross_test })
+}
+
+pub fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), prop::collection::vec(0i64..4, ARITY))
+            .prop_map(|(class, fields)| Op::Add { class: class % 2, fields }),
+        1 => any::<usize>().prop_map(Op::Remove),
+    ]
+}

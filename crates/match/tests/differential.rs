@@ -1,0 +1,282 @@
+//! Differential property suite over the *batched* delta path.
+//!
+//! The serving daemon and the engine's `inject` path deliver WM changes
+//! to the matchers as batches through `Matcher::apply(removed, added)`,
+//! not one `add_wme`/`remove_wme` at a time — and the partitioned
+//! matcher overrides `apply` with its own sharded implementation. These
+//! tests pin the contract the kernel relies on:
+//!
+//! 1. After every batch, all incremental matchers (RETE, TREAT, and the
+//!    partitioned wrappers around each) produce a conflict set identical
+//!    to the naive recompute oracle's — so any pair of matchers is
+//!    interchangeable mid-stream.
+//! 2. For every matcher, `apply` is equivalent to the per-WME loop it
+//!    documents (removes first, then adds), so batch size can never
+//!    change match semantics.
+//! 3. `seed` is equivalent to adding every seeded WME incrementally.
+//!
+//! Each property runs 256 generated cases; with the oracle comparison
+//! transitively covering every matcher pair, that is ≥256 cases per
+//! pair.
+
+mod common;
+
+use common::{build_program, op, rule_spec, Op, RuleSpec};
+use parulel_core::{Value, Wme, WorkingMemory};
+use parulel_match::{Matcher, NaiveMatcher, Partitioned, Rete, Treat};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// 256 cases per property (the ISSUE's floor for each matcher pair).
+const CASES: u32 = 256;
+
+/// Materializes one batch against the working memory: removes are
+/// resolved against the currently-live WMEs (indices mod the live
+/// count), then adds are inserted. Returns the `(removed, added)`
+/// slices every matcher receives.
+fn materialize(
+    wm: &mut WorkingMemory,
+    live: &mut Vec<Wme>,
+    batch: Vec<Op>,
+) -> (Vec<Wme>, Vec<Wme>) {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    // `apply` is specified removes-first-then-adds; mirror that split
+    // here so the WM and the matchers see the same net change.
+    for o in &batch {
+        if let Op::Remove(i) = o {
+            if live.is_empty() {
+                continue;
+            }
+            let w = live.remove(i % live.len());
+            wm.remove(w.id);
+            removed.push(w);
+        }
+    }
+    for o in batch {
+        if let Op::Add { class, fields } = o {
+            let w = wm.insert(
+                parulel_core::ClassId(class as u32),
+                fields.into_iter().map(Value::Int).collect::<Vec<_>>(),
+            );
+            live.push(w.clone());
+            added.push(w);
+        }
+    }
+    (removed, added)
+}
+
+/// Property 1: after every `apply` batch, all matchers agree with the
+/// naive oracle (and hence with each other).
+fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers: usize) {
+    let program = Arc::new(build_program(&specs));
+    let mut wm = WorkingMemory::new(&program.classes);
+    let mut live: Vec<Wme> = Vec::new();
+
+    let mut naive = NaiveMatcher::new(program.clone());
+    let mut matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+        ("rete", Box::new(Rete::new(program.clone()))),
+        ("treat", Box::new(Treat::new(program.clone()))),
+        (
+            "partitioned-rete",
+            Box::new(Partitioned::rete(program.clone(), workers)),
+        ),
+        (
+            "partitioned-treat",
+            Box::new(Partitioned::treat(program.clone(), workers)),
+        ),
+    ];
+
+    for (step, batch) in batches.into_iter().enumerate() {
+        let (removed, added) = materialize(&mut wm, &mut live, batch);
+        naive.apply(&removed, &added);
+        let want = naive.conflict_set().sorted_keys();
+        for (name, m) in matchers.iter_mut() {
+            m.apply(&removed, &added);
+            assert_eq!(
+                m.conflict_set().sorted_keys(),
+                want,
+                "{name} diverged from naive after batch {step} \
+                 (-{} +{} wmes)",
+                removed.len(),
+                added.len()
+            );
+        }
+    }
+}
+
+/// Property 2: for each matcher kind, one instance driven through
+/// `apply` and a twin driven through the per-WME loop stay identical.
+fn run_apply_vs_per_op(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers: usize) {
+    let program = Arc::new(build_program(&specs));
+    let mut wm = WorkingMemory::new(&program.classes);
+    let mut live: Vec<Wme> = Vec::new();
+
+    type Pair = (&'static str, Box<dyn Matcher>, Box<dyn Matcher>);
+    let mut pairs: Vec<Pair> = vec![
+        (
+            "naive",
+            Box::new(NaiveMatcher::new(program.clone())),
+            Box::new(NaiveMatcher::new(program.clone())),
+        ),
+        (
+            "rete",
+            Box::new(Rete::new(program.clone())),
+            Box::new(Rete::new(program.clone())),
+        ),
+        (
+            "treat",
+            Box::new(Treat::new(program.clone())),
+            Box::new(Treat::new(program.clone())),
+        ),
+        (
+            "partitioned-rete",
+            Box::new(Partitioned::rete(program.clone(), workers)),
+            Box::new(Partitioned::rete(program.clone(), workers)),
+        ),
+        (
+            "partitioned-treat",
+            Box::new(Partitioned::treat(program.clone(), workers)),
+            Box::new(Partitioned::treat(program.clone(), workers)),
+        ),
+    ];
+
+    for (step, batch) in batches.into_iter().enumerate() {
+        let (removed, added) = materialize(&mut wm, &mut live, batch);
+        for (name, batched, per_op) in pairs.iter_mut() {
+            batched.apply(&removed, &added);
+            for w in &removed {
+                per_op.remove_wme(w);
+            }
+            for w in &added {
+                per_op.add_wme(w);
+            }
+            assert_eq!(
+                batched.conflict_set().sorted_keys(),
+                per_op.conflict_set().sorted_keys(),
+                "{name}: apply() and the per-WME loop diverged at batch {step}"
+            );
+        }
+    }
+}
+
+/// Property 3: `seed(wm)` equals building the same WM one `add_wme` at a
+/// time, for every matcher.
+fn run_seed_vs_incremental(specs: Vec<RuleSpec>, adds: Vec<Op>, workers: usize) {
+    let program = Arc::new(build_program(&specs));
+    let mut wm = WorkingMemory::new(&program.classes);
+    let mut wmes = Vec::new();
+    for o in adds {
+        if let Op::Add { class, fields } = o {
+            wmes.push(wm.insert(
+                parulel_core::ClassId(class as u32),
+                fields.into_iter().map(Value::Int).collect::<Vec<_>>(),
+            ));
+        }
+    }
+    type Builder = fn(Arc<parulel_core::Program>, usize) -> Box<dyn Matcher>;
+    let builders: Vec<(&str, Builder)> = vec![
+        ("naive", |p, _| Box::new(NaiveMatcher::new(p))),
+        ("rete", |p, _| Box::new(Rete::new(p))),
+        ("treat", |p, _| Box::new(Treat::new(p))),
+        ("partitioned-rete", |p, n| Box::new(Partitioned::rete(p, n))),
+        ("partitioned-treat", |p, n| {
+            Box::new(Partitioned::treat(p, n))
+        }),
+    ];
+    for (name, build) in builders {
+        let mut seeded = build(program.clone(), workers);
+        seeded.seed(&wm);
+        let mut incremental = build(program.clone(), workers);
+        for w in &wmes {
+            incremental.add_wme(w);
+        }
+        assert_eq!(
+            seeded.conflict_set().sorted_keys(),
+            incremental.conflict_set().sorted_keys(),
+            "{name}: seed() and incremental build diverged"
+        );
+    }
+}
+
+fn batch() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op(), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: CASES, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_apply_agrees_across_all_matchers(
+        specs in prop::collection::vec(rule_spec(), 1..4),
+        batches in prop::collection::vec(batch(), 1..6),
+        workers in 1usize..4,
+    ) {
+        run_batched_differential(specs, batches, workers);
+    }
+
+    #[test]
+    fn apply_is_equivalent_to_the_per_wme_loop(
+        specs in prop::collection::vec(rule_spec(), 1..4),
+        batches in prop::collection::vec(batch(), 1..6),
+        workers in 1usize..4,
+    ) {
+        run_apply_vs_per_op(specs, batches, workers);
+    }
+
+    #[test]
+    fn seed_is_equivalent_to_incremental_build(
+        specs in prop::collection::vec(rule_spec(), 1..4),
+        adds in prop::collection::vec(op(), 1..20),
+        workers in 1usize..4,
+    ) {
+        run_seed_vs_incremental(specs, adds, workers);
+    }
+}
+
+/// Deterministic regression: a batch that removes a join partner and
+/// re-adds an identical-valued WME in the same `apply` call — the net
+/// conflict set must treat these as distinct WMEs (the removed ID is
+/// gone; the add is a new ID).
+#[test]
+fn remove_and_readd_in_one_batch() {
+    use common::{CeSpec, CheckSpec};
+    let specs = vec![RuleSpec {
+        ces: vec![
+            CeSpec {
+                class: 0,
+                negated: false,
+                tests: vec![(0, CheckSpec::Var(0, 0))],
+            },
+            CeSpec {
+                class: 1,
+                negated: false,
+                tests: vec![(0, CheckSpec::Var(0, 1))],
+            },
+        ],
+        cross_test: false,
+    }];
+    let mut batches = vec![vec![
+        Op::Add {
+            class: 0,
+            fields: vec![1, 2],
+        },
+        Op::Add {
+            class: 1,
+            fields: vec![1, 3],
+        },
+    ]];
+    // churn: drop the c1 partner and replace it with an equal-valued WME,
+    // repeatedly, inside single batches
+    for _ in 0..6 {
+        batches.push(vec![
+            Op::Remove(1),
+            Op::Add {
+                class: 1,
+                fields: vec![1, 3],
+            },
+        ]);
+    }
+    run_batched_differential(specs.clone(), batches.clone(), 2);
+    run_apply_vs_per_op(specs, batches, 2);
+}

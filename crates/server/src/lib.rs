@@ -1,0 +1,44 @@
+//! # parulel-server
+//!
+//! The rule-serving daemon behind `parulel serve`: many independent
+//! engine **sessions** multiplexed over a line-delimited JSON protocol.
+//!
+//! The ROADMAP's north star is a rule engine that serves streams of
+//! facts, not one-shot batch runs — the shape PARULEL's incremental
+//! match and the kernel's `inject` path were built for. This crate adds
+//! the serving layer:
+//!
+//! * [`protocol`] — the frame format: request/response shapes, stable
+//!   error kinds, snapshot hex transport, WM fingerprints.
+//! * [`session`] — one served session: a private [`parulel_engine::Engine`]
+//!   plus a *bounded* inject queue (backpressure is an explicit error
+//!   frame, not unbounded buffering).
+//! * [`server`] — the synchronous core: admission control
+//!   (`max_sessions`), per-session budgets mapped onto the kernel's
+//!   `EngineError` machinery, and graceful degradation — a budget trip,
+//!   RHS failure, or panic kills one session with a structured error
+//!   frame, never the daemon.
+//! * [`transport`] — stdin/stdout, TCP, and Unix-socket line pumps over
+//!   the same core.
+//!
+//! ## Protocol verbs
+//!
+//! `open` (program + policy + matcher + budgets), `inject` (batched WME
+//! deltas), `step`, `run`/`run-to-fixpoint`, `query` (per-class WM
+//! scan), `snapshot`/`restore` (snapshot v2 over hex), `metrics`
+//! (per-session counters, optionally the full parulel-metrics/v1
+//! report; without a session, server totals), `trace` (the session's
+//! structured event ring as JSONL), `close`, `ping`, `shutdown`. See
+//! `DESIGN.md` for the full frame reference.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod transport;
+
+pub use protocol::{fingerprint_hex, wm_fingerprint, Failure};
+pub use server::{Server, ServerConfig};
+pub use session::Session;
+pub use transport::{serve_lines, serve_stdio, serve_tcp, serve_unix, spawn_tcp};

@@ -1,0 +1,576 @@
+//! The daemon core: a session table and a synchronous frame handler.
+//!
+//! [`Server::handle_line`] is the whole protocol — transports
+//! (stdin/stdout, TCP, Unix socket) are thin line pumps around it, and
+//! tests drive it directly. One request frame in, one response frame
+//! out; the server never blocks inside a handler (injects queue, runs
+//! are bounded by the session's budgets/cycle limit).
+//!
+//! Graceful degradation: verbs that advance a session's engine run
+//! behind `catch_unwind`. A budget trip or RHS failure surfaces as a
+//! structured `engine` error frame and removes that one session; a panic
+//! that somehow escapes the kernel's own RHS isolation is caught here
+//! and does the same. The daemon itself never dies on a frame.
+
+use crate::protocol::{self, kind, ok_frame, Failure};
+use crate::session::{engine_failure, Session};
+use parulel_core::Delta;
+use parulel_engine::{
+    Budgets, Engine, EngineOptions, FiringPolicy, GuardMode, Json, MatcherKind, MetricsLevel,
+    Snapshot, Strategy,
+};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Server-wide policy knobs (CLI flags map onto this).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Admission control: `open` beyond this many live sessions is
+    /// refused with an `admission` error.
+    pub max_sessions: usize,
+    /// Per-session inject-queue capacity, in WME changes.
+    pub inject_queue: usize,
+    /// Budgets applied to every session unless its `open` frame
+    /// overrides them.
+    pub default_budgets: Budgets,
+    /// Cycle limit per `run` for every session unless overridden.
+    pub max_cycles: u64,
+    /// Observability level for session engines.
+    pub metrics: MetricsLevel,
+    /// Capacity of each session's structured trace-event ring.
+    pub trace_ring: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            inject_queue: 1024,
+            default_budgets: Budgets::unlimited(),
+            max_cycles: 1_000_000,
+            metrics: MetricsLevel::Rules,
+            trace_ring: 4096,
+        }
+    }
+}
+
+/// The daemon core. See the [module docs](self).
+pub struct Server {
+    config: ServerConfig,
+    /// `BTreeMap` so every listing renders in deterministic name order.
+    sessions: BTreeMap<String, Session>,
+    peak_sessions: usize,
+    frames: u64,
+    errors: u64,
+    shutdown: bool,
+}
+
+impl Server {
+    /// An empty server under `config`.
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            config,
+            sessions: BTreeMap::new(),
+            peak_sessions: 0,
+            frames: 0,
+            errors: 0,
+            shutdown: false,
+        }
+    }
+
+    /// True once a `shutdown` frame has been accepted; transports stop
+    /// pumping when they see it.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles one protocol line. Returns `None` for blank lines (they
+    /// are skipped, not errors), otherwise exactly one rendered response
+    /// frame.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.frames += 1;
+        let response = match Json::parse(line) {
+            Err(e) => Failure::new(kind::PARSE, format!("bad frame: {e}")).to_frame(None, None),
+            Ok(frame) => self.handle_frame(&frame),
+        };
+        if response.get("ok") != Some(&Json::Bool(true)) {
+            self.errors += 1;
+        }
+        Some(response.render())
+    }
+
+    /// Dispatches one parsed frame.
+    pub fn handle_frame(&mut self, frame: &Json) -> Json {
+        let op = match frame.get("op").and_then(|v| v.as_str()) {
+            Some(op) => op.to_string(),
+            None => {
+                return Failure::new(kind::PROTOCOL, "missing string field \"op\"")
+                    .to_frame(None, None)
+            }
+        };
+        let session = frame
+            .get("session")
+            .and_then(|v| v.as_str())
+            .map(str::to_string);
+        let result = match op.as_str() {
+            "ping" => Ok(ok_frame("ping")),
+            "shutdown" => {
+                self.shutdown = true;
+                let closed = self.sessions.len();
+                self.sessions.clear();
+                Ok(ok_frame("shutdown").set("sessions_closed", closed))
+            }
+            "metrics" if session.is_none() => Ok(self.server_metrics()),
+            "open" => self.open(frame, session.as_deref()),
+            "inject" | "step" | "run" | "run-to-fixpoint" | "query" | "snapshot" | "restore"
+            | "metrics" | "trace" | "close" => {
+                let name = match session.as_deref() {
+                    Some(name) => name,
+                    None => {
+                        return Failure::new(kind::PROTOCOL, "missing string field \"session\"")
+                            .to_frame(Some(&op), None)
+                    }
+                };
+                self.session_verb(&op, name, frame)
+            }
+            other => Err(Failure::new(kind::PROTOCOL, format!("unknown verb {other:?}"))),
+        };
+        match result {
+            Ok(frame) => frame,
+            Err(failure) => failure.to_frame(Some(&op), session.as_deref()),
+        }
+    }
+
+    /// The server-level `metrics` frame (no `session` field): admission
+    /// and throughput counters plus the live session list.
+    fn server_metrics(&self) -> Json {
+        let names: Vec<Json> = self.sessions.keys().map(|k| Json::from(k.as_str())).collect();
+        ok_frame("metrics")
+            .set("sessions", self.sessions.len())
+            .set("peak_sessions", self.peak_sessions)
+            .set("max_sessions", self.config.max_sessions)
+            .set("frames", self.frames)
+            .set("errors", self.errors)
+            .set("session_list", names)
+    }
+
+    /// `open`: admission control, compile, build the engine, register
+    /// the session.
+    fn open(&mut self, frame: &Json, session: Option<&str>) -> Result<Json, Failure> {
+        let name = session
+            .ok_or_else(|| Failure::new(kind::PROTOCOL, "missing string field \"session\""))?;
+        if name.is_empty() || name.len() > 128 {
+            return Err(Failure::new(
+                kind::PROTOCOL,
+                "session names must be 1..=128 characters",
+            ));
+        }
+        if self.sessions.contains_key(name) {
+            return Err(Failure::new(
+                kind::SESSION_EXISTS,
+                format!("session {name:?} is already open"),
+            ));
+        }
+        if self.sessions.len() >= self.config.max_sessions {
+            return Err(Failure::new(
+                kind::ADMISSION,
+                format!(
+                    "server at capacity ({} sessions); close one first",
+                    self.config.max_sessions
+                ),
+            ));
+        }
+        let source = protocol::req_str(frame, "program")?;
+        let (program, wm) = parulel_lang::compile_with_wm(source)
+            .map_err(|e| Failure::new(kind::COMPILE, e.to_string()))?;
+        let policy = parse_policy(frame)?;
+        let opts = self.engine_options(frame)?;
+        let engine = Engine::with_policy(&program, wm, policy, opts);
+        let response = ok_frame("open")
+            .set("session", name)
+            .set("policy", policy.tag())
+            .set("rules", program.rules().len())
+            .set("wm", engine.wm().len());
+        self.sessions
+            .insert(name.to_string(), Session::new(engine, self.config.inject_queue));
+        self.peak_sessions = self.peak_sessions.max(self.sessions.len());
+        Ok(response)
+    }
+
+    /// Builds the per-session [`EngineOptions`] from server defaults plus
+    /// the `open` frame's overrides.
+    fn engine_options(&self, frame: &Json) -> Result<EngineOptions, Failure> {
+        let mut budgets = self.config.default_budgets.clone();
+        if let Some(ms) = protocol::opt_u64(frame, "timeout_ms")? {
+            budgets.timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(n) = protocol::opt_u64(frame, "max_wm")? {
+            budgets.max_wm = Some(n as usize);
+        }
+        if let Some(n) = protocol::opt_u64(frame, "max_cs")? {
+            budgets.max_conflict_set = Some(n as usize);
+        }
+        if let Some(n) = protocol::opt_u64(frame, "max_delta")? {
+            budgets.max_delta = Some(n as usize);
+        }
+        let matcher = match frame.get("matcher").and_then(|v| v.as_str()) {
+            None => MatcherKind::Rete,
+            Some(s) => parse_matcher(s)?,
+        };
+        let metrics = match frame.get("metrics").and_then(|v| v.as_str()) {
+            None => self.config.metrics,
+            Some("off") => MetricsLevel::Off,
+            Some("rules") => MetricsLevel::Rules,
+            Some("full") => MetricsLevel::Full,
+            Some(other) => {
+                return Err(Failure::new(
+                    kind::PROTOCOL,
+                    format!("unknown metrics level {other:?}"),
+                ))
+            }
+        };
+        Ok(EngineOptions {
+            matcher,
+            metrics,
+            budgets,
+            max_cycles: protocol::opt_u64(frame, "max_cycles")?.unwrap_or(self.config.max_cycles),
+            // Long-lived sessions must stay bounded: `write` output is
+            // dropped unless the client opts in, and trace events live
+            // in a fixed ring.
+            collect_log: frame.get("log") == Some(&Json::Bool(true)),
+            trace_events: Some(self.config.trace_ring),
+            ..EngineOptions::default()
+        })
+    }
+
+    /// Verbs addressed to one existing session. The session is taken out
+    /// of the table while its engine runs: on success it is reinserted,
+    /// on an engine failure or a panic it is dropped — the structured
+    /// error frame is the session's obituary, and every other session is
+    /// untouched.
+    fn session_verb(&mut self, op: &str, name: &str, frame: &Json) -> Result<Json, Failure> {
+        let mut session = self.sessions.remove(name).ok_or_else(|| {
+            Failure::new(kind::UNKNOWN_SESSION, format!("no session {name:?}"))
+        })?;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.run_session_verb(op, name, frame, &mut session)
+        }));
+        match result {
+            Ok(Ok(response)) => {
+                if op != "close" {
+                    self.sessions.insert(name.to_string(), session);
+                }
+                Ok(response)
+            }
+            Ok(Err(failure)) => {
+                if !failure.closed {
+                    self.sessions.insert(name.to_string(), session);
+                }
+                Err(failure)
+            }
+            Err(_) => {
+                let mut failure = Failure::new(
+                    kind::ENGINE,
+                    format!("panic while serving {op:?}; session {name:?} closed"),
+                );
+                failure.engine = Some(("panic", 0));
+                failure.closed = true;
+                Err(failure)
+            }
+        }
+    }
+
+    fn run_session_verb(
+        &self,
+        op: &str,
+        name: &str,
+        frame: &Json,
+        session: &mut Session,
+    ) -> Result<Json, Failure> {
+        match op {
+            "inject" => {
+                let delta = parse_delta(frame, session.engine.program())?;
+                let queued = session.enqueue(delta)?;
+                Ok(ok_frame("inject")
+                    .set("session", name)
+                    .set("queued", queued)
+                    .set("depth", session.queue_depth()))
+            }
+            "step" => {
+                let drained = session.drain();
+                let fired = session.engine.step().map_err(|e| engine_failure(&e))?;
+                Ok(ok_frame("step")
+                    .set("session", name)
+                    .set("drained", drained)
+                    .set("fired", fired)
+                    .set("cycles", session.engine.stats().cycles)
+                    .set("firings", session.engine.stats().firings)
+                    .set("wm", session.engine.wm().len()))
+            }
+            "run" | "run-to-fixpoint" => {
+                let drained = session.drain();
+                let outcome = session.engine.run().map_err(|e| engine_failure(&e))?;
+                let status = if outcome.halted {
+                    "halted"
+                } else if outcome.hit_cycle_limit {
+                    "cycle-limit"
+                } else {
+                    "quiescent"
+                };
+                Ok(ok_frame("run")
+                    .set("session", name)
+                    .set("drained", drained)
+                    .set("status", status)
+                    .set("cycles", outcome.cycles)
+                    .set("firings", outcome.firings)
+                    .set("wm", session.engine.wm().len())
+                    .set("fingerprint", session.fingerprint()))
+            }
+            "query" => self.query(name, frame, session),
+            "snapshot" => {
+                let bytes = session.engine.checkpoint().to_bytes();
+                Ok(ok_frame("snapshot")
+                    .set("session", name)
+                    .set("cycle", session.engine.stats().cycles)
+                    .set("bytes", bytes.len())
+                    .set("snapshot", protocol::to_hex(&bytes)))
+            }
+            "restore" => {
+                let hex = protocol::req_str(frame, "snapshot")?;
+                let bytes = protocol::from_hex(hex)?;
+                let snapshot = Snapshot::from_bytes(&bytes)
+                    .map_err(|e| Failure::new(kind::SNAPSHOT, e.to_string()))?;
+                session
+                    .engine
+                    .restore(&snapshot)
+                    .map_err(|e| Failure::new(kind::SNAPSHOT, e.to_string()))?;
+                Ok(ok_frame("restore")
+                    .set("session", name)
+                    .set("cycle", session.engine.stats().cycles)
+                    .set("wm", session.engine.wm().len()))
+            }
+            "metrics" => {
+                let stats = session.engine.stats();
+                let mut response = ok_frame("metrics")
+                    .set("session", name)
+                    .set("cycles", stats.cycles)
+                    .set("firings", stats.firings)
+                    .set("redacted_meta", stats.redacted_meta)
+                    .set("redacted_guard", stats.redacted_guard)
+                    .set("peak_eligible", stats.peak_eligible)
+                    .set("wm", session.engine.wm().len())
+                    .set("queue_depth", session.queue_depth())
+                    .set("injected_adds", session.injected_adds)
+                    .set("injected_removes", session.injected_removes)
+                    .set("halted", session.engine.halted())
+                    .set("fingerprint", session.fingerprint());
+                // The full parulel-metrics/v1 report (per-rule counters,
+                // matcher internals, phase times) only on request: it
+                // carries wall-clock fields, and the compact frame stays
+                // deterministic for golden transcripts.
+                if frame.get("report") == Some(&Json::Bool(true)) {
+                    let report = session.engine.metrics().to_json(
+                        session.engine.program(),
+                        &session.engine.matcher_metrics(),
+                        stats,
+                    );
+                    response = response.set("report", report);
+                }
+                Ok(response)
+            }
+            "trace" => {
+                let jsonl = session
+                    .engine
+                    .trace_events()
+                    .map(|buf| buf.to_jsonl())
+                    .unwrap_or_default();
+                Ok(ok_frame("trace")
+                    .set("session", name)
+                    .set("events", jsonl.lines().count().saturating_sub(1))
+                    .set("jsonl", jsonl))
+            }
+            "close" => Ok(ok_frame("close")
+                .set("session", name)
+                .set("cycles", session.engine.stats().cycles)
+                .set("firings", session.engine.stats().firings)
+                .set("fingerprint", session.fingerprint())),
+            other => Err(Failure::new(
+                kind::PROTOCOL,
+                format!("unknown verb {other:?}"),
+            )),
+        }
+    }
+
+    /// `query`: scan one class's facts, deterministically ordered.
+    fn query(&self, name: &str, frame: &Json, session: &mut Session) -> Result<Json, Failure> {
+        let class_name = protocol::req_str(frame, "class")?;
+        let program = session.engine.program();
+        let class = program
+            .classes
+            .id_of(program.interner.intern(class_name))
+            .ok_or_else(|| {
+                Failure::new(kind::PROTOCOL, format!("unknown class {class_name:?}"))
+            })?;
+        let limit = protocol::opt_u64(frame, "limit")?.map(|n| n as usize);
+        let interner = &program.interner;
+        let mut rows: Vec<(String, Json)> = session
+            .engine
+            .wm()
+            .iter_class(class)
+            .map(|w| {
+                let fields: Vec<Json> = w
+                    .fields
+                    .iter()
+                    .map(|v| protocol::value_to_json(v, interner))
+                    .collect();
+                (format!("{:?}", w.fields), Json::Arr(fields))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let count = rows.len();
+        let facts: Vec<Json> = rows
+            .into_iter()
+            .take(limit.unwrap_or(usize::MAX))
+            .map(|(_, row)| row)
+            .collect();
+        Ok(ok_frame("query")
+            .set("session", name)
+            .set("class", class_name)
+            .set("count", count)
+            .set("returned", facts.len())
+            .set("facts", facts))
+    }
+}
+
+/// Parses the `open` frame's `policy`/`guard`/`meta` fields into a
+/// [`FiringPolicy`].
+fn parse_policy(frame: &Json) -> Result<FiringPolicy, Failure> {
+    let guard = match frame.get("guard").and_then(|v| v.as_str()) {
+        None | Some("off") => GuardMode::Off,
+        Some("ww") => GuardMode::WriteWrite,
+        Some("serializable") => GuardMode::Serializable,
+        Some(other) => {
+            return Err(Failure::new(
+                kind::PROTOCOL,
+                format!("unknown guard {other:?}"),
+            ))
+        }
+    };
+    let meta = frame.get("meta") != Some(&Json::Bool(false));
+    match frame.get("policy").and_then(|v| v.as_str()) {
+        None | Some("parallel") => Ok(FiringPolicy::FireAll { meta, guard }),
+        Some("lex") => Ok(FiringPolicy::SelectOne(Strategy::Lex)),
+        Some("mea") => Ok(FiringPolicy::SelectOne(Strategy::Mea)),
+        Some(other) => Err(Failure::new(
+            kind::PROTOCOL,
+            format!("unknown policy {other:?} (want parallel|lex|mea)"),
+        )),
+    }
+}
+
+/// Parses the CLI's matcher syntax (`rete`, `treat`, `naive`, `prete:N`,
+/// `ptreat:N`).
+fn parse_matcher(s: &str) -> Result<MatcherKind, Failure> {
+    let workers = |n: &str| -> Result<usize, Failure> {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(Failure::new(
+                kind::PROTOCOL,
+                format!("bad worker count in matcher {s:?} (want an integer >= 1)"),
+            )),
+        }
+    };
+    match s {
+        "rete" => Ok(MatcherKind::Rete),
+        "treat" => Ok(MatcherKind::Treat),
+        "naive" => Ok(MatcherKind::Naive),
+        _ => {
+            if let Some(n) = s.strip_prefix("prete:") {
+                Ok(MatcherKind::PartitionedRete(workers(n)?))
+            } else if let Some(n) = s.strip_prefix("ptreat:") {
+                Ok(MatcherKind::PartitionedTreat(workers(n)?))
+            } else {
+                Err(Failure::new(
+                    kind::PROTOCOL,
+                    format!("unknown matcher {s:?}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Parses an `inject` frame's `adds`/`removes` into a validated
+/// [`Delta`] (classes must exist, arities must match — a malformed
+/// inject is a protocol error, never a panic inside the kernel).
+fn parse_delta(frame: &Json, program: &parulel_core::Program) -> Result<Delta, Failure> {
+    let mut delta = Delta::new();
+    if let Some(removes) = frame.get("removes") {
+        let ids = removes.as_arr().ok_or_else(|| {
+            Failure::new(kind::PROTOCOL, "field \"removes\" must be an array of ids")
+        })?;
+        for id in ids {
+            match id.as_f64() {
+                Some(n) if n >= 0.0 && n == n.trunc() => {
+                    delta.removes.push(parulel_core::WmeId(n as u64))
+                }
+                _ => {
+                    return Err(Failure::new(
+                        kind::PROTOCOL,
+                        "WME ids in \"removes\" must be non-negative integers",
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(adds) = frame.get("adds") {
+        let adds = adds.as_arr().ok_or_else(|| {
+            Failure::new(kind::PROTOCOL, "field \"adds\" must be an array of objects")
+        })?;
+        for add in adds {
+            let class_name = protocol::req_str(add, "class")?;
+            let class = program
+                .classes
+                .id_of(program.interner.intern(class_name))
+                .ok_or_else(|| {
+                    Failure::new(kind::PROTOCOL, format!("unknown class {class_name:?}"))
+                })?;
+            let fields = add
+                .get("fields")
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| Failure::new(kind::PROTOCOL, "add needs a \"fields\" array"))?;
+            let arity = program.classes.decl(class).arity();
+            if fields.len() != arity {
+                return Err(Failure::new(
+                    kind::PROTOCOL,
+                    format!(
+                        "class {class_name:?} has arity {arity}, got {} fields",
+                        fields.len()
+                    ),
+                ));
+            }
+            let values: Vec<parulel_core::Value> = fields
+                .iter()
+                .map(|f| protocol::json_to_value(f, &program.interner))
+                .collect::<Result<_, _>>()?;
+            delta.adds.push((class, values.into()));
+        }
+    }
+    if delta.is_empty() {
+        return Err(Failure::new(
+            kind::PROTOCOL,
+            "inject frame has no \"adds\" or \"removes\"",
+        ));
+    }
+    delta.normalize();
+    Ok(delta)
+}

@@ -1,0 +1,99 @@
+//! One served session: a long-lived [`Engine`] plus its bounded inject
+//! queue and lifetime counters.
+//!
+//! A session is the unit of isolation. Each owns a private engine
+//! (program, working memory, matcher, refraction, budgets, trace ring) —
+//! sessions share nothing, so one session's budget trip, RHS failure, or
+//! panic cannot corrupt another. Injected deltas are *queued*, not
+//! applied: the queue is bounded (backpressure is an explicit protocol
+//! error, not unbounded buffering), and it drains — in FIFO order,
+//! through the kernel's incremental [`Engine::inject`] path — at the next
+//! `step` or `run`, which is the only point the engine advances anyway.
+
+use crate::protocol::{self, Failure};
+use parulel_core::Delta;
+use parulel_engine::{Engine, EngineError};
+use std::collections::VecDeque;
+
+/// A served session. See the [module docs](self).
+pub struct Session {
+    /// The session's private engine.
+    pub engine: Engine,
+    /// Queued, not-yet-applied injects (FIFO).
+    queue: VecDeque<Delta>,
+    /// Sum of `len()` over queued deltas (the backpressure meter).
+    depth: usize,
+    /// Queue capacity in WME changes; `inject` frames that would exceed
+    /// it are refused whole.
+    cap: usize,
+    /// Lifetime WMEs asserted through `inject` (after draining).
+    pub injected_adds: u64,
+    /// Lifetime WMEs retracted through `inject` (after draining).
+    pub injected_removes: u64,
+}
+
+impl Session {
+    /// Wraps a freshly built engine with an empty queue of capacity
+    /// `cap` changes.
+    pub fn new(engine: Engine, cap: usize) -> Session {
+        Session {
+            engine,
+            queue: VecDeque::new(),
+            depth: 0,
+            cap,
+            injected_adds: 0,
+            injected_removes: 0,
+        }
+    }
+
+    /// Pending change count (the queue's backpressure meter).
+    pub fn queue_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Enqueues one inject delta, refusing the whole frame if it would
+    /// overflow the bounded queue. Returns the number of changes queued.
+    pub fn enqueue(&mut self, delta: Delta) -> Result<usize, Failure> {
+        let n = delta.len();
+        if self.depth + n > self.cap {
+            return Err(Failure::new(
+                protocol::kind::BACKPRESSURE,
+                format!(
+                    "inject queue full: {} queued + {} new > cap {} (drain with step/run)",
+                    self.depth, n, self.cap
+                ),
+            ));
+        }
+        self.depth += n;
+        self.queue.push_back(delta);
+        Ok(n)
+    }
+
+    /// Applies every queued delta through the kernel's incremental
+    /// inject path, FIFO. Returns the number of changes drained.
+    pub fn drain(&mut self) -> usize {
+        let drained = self.depth;
+        while let Some(delta) = self.queue.pop_front() {
+            let (removed, added) = self.engine.inject(&delta);
+            self.injected_adds += added.len() as u64;
+            self.injected_removes += removed.len() as u64;
+        }
+        self.depth = 0;
+        drained
+    }
+
+    /// The session's working-memory fingerprint (see
+    /// [`protocol::fingerprint_hex`]).
+    pub fn fingerprint(&self) -> String {
+        protocol::fingerprint_hex(self.engine.wm())
+    }
+}
+
+/// Maps an [`EngineError`] onto the structured `engine` failure frame
+/// that kills this session (and only this session).
+pub fn engine_failure(err: &EngineError) -> Failure {
+    let mut failure = Failure::new(protocol::kind::ENGINE, err.to_string());
+    failure.engine = Some((err.kind(), err.cycle().unwrap_or(0)));
+    failure.closed = true;
+    failure
+}

@@ -1,0 +1,148 @@
+//! Line pumps: stdio, TCP, and Unix-socket transports over one shared
+//! [`Server`].
+//!
+//! Every transport is the same loop — read a line, hand it to
+//! [`Server::handle_line`], write the one-line response — so the
+//! protocol behaves identically everywhere and the synchronous core
+//! stays the single tested implementation. Socket transports serve each
+//! connection on its own thread against a `Mutex`-shared server: frames
+//! from concurrent clients interleave at frame granularity, which is
+//! exactly the protocol's unit of atomicity.
+
+use crate::server::{Server, ServerConfig};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Pumps one line-delimited stream through `server` until EOF or
+/// shutdown. The stdio transport, and the building block the socket
+/// transports run per connection.
+pub fn serve_lines<R: BufRead, W: Write>(
+    server: &Arc<Mutex<Server>>,
+    input: R,
+    output: &mut W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let mut locked = server.lock().expect("server lock poisoned");
+        let response = locked.handle_line(&line);
+        let done = locked.shutting_down();
+        drop(locked);
+        if let Some(response) = response {
+            output.write_all(response.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves the process's stdin/stdout until EOF or a `shutdown` frame.
+pub fn serve_stdio(config: ServerConfig) -> io::Result<()> {
+    let server = Arc::new(Mutex::new(Server::new(config)));
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    serve_lines(&server, stdin.lock(), &mut stdout)
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:7466` or `127.0.0.1:0`) and serves TCP
+/// connections until a `shutdown` frame arrives. Blocks the caller.
+pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<SocketAddr> {
+    let server = Arc::new(Mutex::new(Server::new(config)));
+    let (bound, handle) = spawn_tcp(server, addr)?;
+    handle.join().expect("tcp accept thread panicked");
+    Ok(bound)
+}
+
+/// Binds `addr` and serves TCP connections on a background accept
+/// thread. Returns the bound address (resolving port 0) and the accept
+/// thread's handle, which finishes once a `shutdown` frame is served.
+pub fn spawn_tcp(
+    server: Arc<Mutex<Server>>,
+    addr: &str,
+) -> io::Result<(SocketAddr, thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    // Non-blocking accept so the loop can notice shutdown between
+    // connections (the daemon has no other wake-up source).
+    listener.set_nonblocking(true)?;
+    let handle = thread::spawn(move || {
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = Arc::clone(&server);
+                    connections.push(thread::spawn(move || serve_tcp_conn(server, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if server.lock().expect("server lock poisoned").shutting_down() {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+        for conn in connections {
+            let _ = conn.join();
+        }
+    });
+    Ok((bound, handle))
+}
+
+fn serve_tcp_conn(server: Arc<Mutex<Server>>, stream: TcpStream) {
+    // One-line request/response frames: Nagle's algorithm only adds
+    // delayed-ACK stalls here.
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let _ = serve_lines(&server, reader, &mut writer);
+}
+
+/// Binds a Unix socket at `path` (removing a stale socket file first)
+/// and serves connections until a `shutdown` frame arrives.
+pub fn serve_unix(config: ServerConfig, path: &str) -> io::Result<()> {
+    let server = Arc::new(Mutex::new(Server::new(config)));
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                connections.push(thread::spawn(move || serve_unix_conn(server, stream)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if server.lock().expect("server lock poisoned").shutting_down() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn serve_unix_conn(server: Arc<Mutex<Server>>, stream: UnixStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let _ = serve_lines(&server, reader, &mut writer);
+}

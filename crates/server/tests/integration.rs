@@ -1,0 +1,160 @@
+//! The acceptance test for `parulel serve`: many concurrent sessions of
+//! the closure workload over the real TCP transport, to fixpoint, with
+//! one session budget-tripped mid-run — its structured `engine` error
+//! frame must not disturb any other session's final working memory.
+//!
+//! Every client drives its own socket from its own thread, so frames
+//! from all sessions interleave arbitrarily at the server; the per-
+//! session fingerprints must nevertheless equal the one a solo run
+//! produces.
+
+use parulel_server::{Server, ServerConfig};
+use parulel_workloads::{closure::Closure, Scenario};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+const SESSIONS: usize = 8;
+const BATCH: usize = 8;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// The frames one closure session sends: open (program only — the edges
+/// arrive as injects, exercising the incremental path), batched injects,
+/// run, close.
+fn session_frames(name: &str, source: &str, edges: &[(i64, i64)], extra_open: &str) -> Vec<String> {
+    let mut frames = vec![format!(
+        r#"{{"op":"open","session":"{name}","program":"{}"{extra_open}}}"#,
+        escape(source)
+    )];
+    for batch in edges.chunks(BATCH) {
+        let adds: Vec<String> = batch
+            .iter()
+            .map(|(a, b)| format!(r#"{{"class":"edge","fields":[{a},{b}]}}"#))
+            .collect();
+        frames.push(format!(
+            r#"{{"op":"inject","session":"{name}","adds":[{}]}}"#,
+            adds.join(",")
+        ));
+    }
+    frames.push(format!(r#"{{"op":"run","session":"{name}"}}"#));
+    frames.push(format!(r#"{{"op":"close","session":"{name}"}}"#));
+    frames
+}
+
+/// Runs frames against a fresh solo server; returns the run frame's
+/// fingerprint.
+fn solo_fingerprint(source: &str, edges: &[(i64, i64)]) -> String {
+    let mut server = Server::new(ServerConfig::default());
+    let mut fingerprint = None;
+    for frame in session_frames("solo", source, edges, "") {
+        let response = server.handle_line(&frame).expect("response");
+        assert!(response.starts_with(r#"{"ok":true"#), "{response}");
+        if response.contains(r#""op":"run""#) {
+            let doc = parulel_engine::Json::parse(&response).unwrap();
+            assert_eq!(doc.get("status").and_then(|s| s.as_str()), Some("quiescent"));
+            fingerprint = doc
+                .get("fingerprint")
+                .and_then(|f| f.as_str())
+                .map(str::to_string);
+        }
+    }
+    fingerprint.expect("run frame carried a fingerprint")
+}
+
+#[test]
+fn eight_concurrent_closure_sessions_survive_a_neighbors_budget_trip() {
+    let scenario = Closure::new(24, 40, 7);
+    let source = scenario.source().to_string();
+    let edges: Vec<(i64, i64)> = scenario.edges().to_vec();
+    let expected = solo_fingerprint(&source, &edges);
+
+    let server = Arc::new(Mutex::new(Server::new(ServerConfig {
+        max_sessions: SESSIONS + 1,
+        ..ServerConfig::default()
+    })));
+    let (addr, accept_thread) =
+        parulel_server::spawn_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+
+    let mut clients = Vec::new();
+    // 8 healthy sessions…
+    for i in 0..SESSIONS {
+        let (source, edges) = (source.clone(), edges.clone());
+        clients.push(std::thread::spawn(move || -> (String, Option<String>) {
+            let name = format!("closure-{i}");
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut fingerprint = None;
+            for frame in session_frames(&name, &source, &edges, "") {
+                writer.write_all(frame.as_bytes()).unwrap();
+                writer.write_all(b"\n").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                assert!(response.starts_with(r#"{"ok":true"#), "{name}: {response}");
+                if response.contains(r#""op":"run""#) {
+                    fingerprint = parulel_engine::Json::parse(&response)
+                        .unwrap()
+                        .get("fingerprint")
+                        .and_then(|f| f.as_str())
+                        .map(str::to_string);
+                }
+            }
+            (name, fingerprint)
+        }));
+    }
+    // …and one doomed one: a WM budget that must trip on cycle 1.
+    let doomed = {
+        let (source, edges) = (source.clone(), edges.clone());
+        std::thread::spawn(move || -> String {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut error_frame = String::new();
+            for frame in session_frames("doomed", &source, &edges, r#","max_wm":45"#) {
+                writer.write_all(frame.as_bytes()).unwrap();
+                writer.write_all(b"\n").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                if frame.contains(r#""op":"run""#) {
+                    error_frame = response.trim().to_string();
+                    break; // the close would only see unknown-session
+                }
+                assert!(response.starts_with(r#"{"ok":true"#), "doomed: {response}");
+            }
+            error_frame
+        })
+    };
+
+    let error_frame = doomed.join().expect("doomed client");
+    let doc = parulel_engine::Json::parse(&error_frame).expect("error frame is JSON");
+    assert_eq!(doc.get("ok"), Some(&parulel_engine::Json::Bool(false)));
+    let err = doc.get("error").expect("structured error");
+    assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("engine"));
+    assert_eq!(err.get("engine_kind").and_then(|k| k.as_str()), Some("wm"));
+    assert_eq!(doc.get("closed"), Some(&parulel_engine::Json::Bool(true)));
+
+    for client in clients {
+        let (name, fingerprint) = client.join().expect("client thread");
+        assert_eq!(
+            fingerprint.as_deref(),
+            Some(expected.as_str()),
+            "{name}: final WM diverged from the solo run"
+        );
+    }
+
+    // All sessions closed (the doomed one by its trip); the daemon is
+    // still serving, and it saw all nine resident at peak.
+    {
+        let mut locked = server.lock().unwrap();
+        let metrics = locked.handle_line(r#"{"op":"metrics"}"#).unwrap();
+        let doc = parulel_engine::Json::parse(&metrics).unwrap();
+        assert_eq!(doc.get("sessions").unwrap().as_f64(), Some(0.0));
+        let peak = doc.get("peak_sessions").unwrap().as_f64().unwrap();
+        assert!(peak >= SESSIONS as f64, "peak {peak} < {SESSIONS}");
+        locked.handle_line(r#"{"op":"shutdown"}"#).unwrap();
+    }
+    accept_thread.join().expect("accept thread");
+}

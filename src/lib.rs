@@ -25,6 +25,8 @@
 //! * [`workloads`](parulel_workloads) — benchmark rule programs.
 //! * [`sim`](parulel_sim) — an analytic model of the DADO-class parallel
 //!   machine the paper evaluated on, driven by measured cycle profiles.
+//! * [`server`](parulel_server) — the `parulel serve` daemon: sessions
+//!   multiplexed over a line-delimited JSON protocol (stdio/TCP/Unix).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use parulel_core as core;
 pub use parulel_engine as engine;
 pub use parulel_lang as lang;
 pub use parulel_match as rmatch;
+pub use parulel_server as server;
 pub use parulel_sim as sim;
 pub use parulel_workloads as workloads;
 
