@@ -17,18 +17,27 @@
 //! extras — sustained `injects_per_sec`, `p50_frame_ms` /
 //! `p99_frame_ms` round-trip latency, and `peak_sessions` resident.
 //!
+//! A second phase measures the durability layer: each workload is
+//! re-driven against a WAL-enabled daemon under `--wal-sync never`
+//! (log, no fsync) and `--wal-sync always` (fsync before every ack),
+//! the sessions are persisted via a graceful `shutdown`, and a fresh
+//! server recovers them from disk. Those rows carry `wal_sync`,
+//! `wal_bytes`, `wal_overhead_pct` (throughput cost of `always` vs
+//! `never`), and `recovery_ms`.
+//!
 //! ```text
 //! loadgen [SESSIONS]   # default 8 concurrent sessions per workload
 //! ```
 
 use parulel_bench::{BenchReport, Table};
 use parulel_engine::Json;
-use parulel_server::{Server, ServerConfig};
+use parulel_server::{Server, ServerConfig, SyncPolicy, WalConfig};
 use parulel_workloads::{Closure, LabelProp, Market, Scenario};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// WME changes per `inject` frame: small enough that a workload takes
 /// many frames (exercising the queue), big enough to amortize framing.
@@ -79,12 +88,15 @@ struct SessionResult {
     latencies_ms: Vec<f64>,
 }
 
-/// Drives one full session over its own TCP connection.
+/// Drives one full session over its own TCP connection. With
+/// `close: false` the session is left open so the daemon's graceful
+/// shutdown persists it to the WAL for the recovery measurement.
 fn drive_session(
     addr: std::net::SocketAddr,
     name: &str,
     source: &str,
     batches: &[String],
+    close: bool,
 ) -> SessionResult {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
@@ -149,12 +161,14 @@ fn drive_session(
         &mut latencies_ms,
     );
     let report = metrics.get("report").cloned().unwrap_or(Json::Null);
-    send(
-        format!(r#"{{"op":"close","session":"{name}"}}"#),
-        &mut writer,
-        &mut reader,
-        &mut latencies_ms,
-    );
+    if close {
+        send(
+            format!(r#"{{"op":"close","session":"{name}"}}"#),
+            &mut writer,
+            &mut reader,
+            &mut latencies_ms,
+        );
+    }
     SessionResult {
         report,
         injected,
@@ -172,6 +186,109 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn num(doc: &Json, key: &str) -> f64 {
     doc.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok()?.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// One durable run of a workload: the same client fleet as the main
+/// phase, but against a WAL-enabled daemon, finished with a graceful
+/// `shutdown` (which persists every open session) instead of `close`.
+struct DurableLeg {
+    wall: Duration,
+    injected: usize,
+    results: Vec<SessionResult>,
+    wal_bytes: u64,
+    recovery_ms: f64,
+    sessions_recovered: f64,
+}
+
+fn durable_leg(
+    name: &str,
+    source: &str,
+    batches: &Arc<Vec<String>>,
+    sessions: usize,
+    sync: SyncPolicy,
+) -> DurableLeg {
+    let dir = std::env::temp_dir().join(format!(
+        "parulel-loadgen-{}-{name}-{}",
+        std::process::id(),
+        sync.tag()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal = WalConfig::new(&dir, sync);
+    let server = Arc::new(Mutex::new(Server::with_wal(
+        ServerConfig {
+            max_sessions: sessions + 1,
+            metrics: parulel_engine::MetricsLevel::Full,
+            ..ServerConfig::default()
+        },
+        wal.clone(),
+    )));
+    let (addr, accept_thread) =
+        parulel_server::spawn_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for i in 0..sessions {
+        let (name, source, batches) =
+            (name.to_string(), source.to_string(), Arc::clone(batches));
+        clients.push(std::thread::spawn(move || {
+            drive_session(addr, &format!("{name}-{i}"), &source, &batches, false)
+        }));
+    }
+    let results: Vec<SessionResult> =
+        clients.into_iter().map(|c| c.join().expect("client")).collect();
+    let wall = started.elapsed();
+    let injected = results.iter().map(|r| r.injected).sum();
+
+    // Graceful shutdown: compacts + fsyncs every open session's WAL so
+    // the recovery measurement below starts from persisted state.
+    {
+        let mut locked = server.lock().expect("lock");
+        locked.handle_line(r#"{"op":"shutdown"}"#);
+    }
+    accept_thread.join().expect("accept thread");
+    drop(server);
+    let wal_bytes = dir_bytes(&dir);
+
+    // Cold-start recovery: a fresh server scans the directory, loads
+    // each session's snapshot, and replays the tail.
+    let mut recovered = Server::with_wal(
+        ServerConfig {
+            max_sessions: sessions + 1,
+            metrics: parulel_engine::MetricsLevel::Full,
+            ..ServerConfig::default()
+        },
+        wal.clone(),
+    );
+    let recovery_started = Instant::now();
+    let report = parulel_server::recover(&mut recovered, &wal);
+    let recovery_ms = recovery_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.sessions_recovered, sessions,
+        "{name}/{}: recovery lost sessions: {}",
+        sync.tag(),
+        report.summary()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurableLeg {
+        wall,
+        injected,
+        results,
+        wal_bytes,
+        recovery_ms,
+        sessions_recovered: report.sessions_recovered as f64,
+    }
 }
 
 fn main() {
@@ -223,7 +340,7 @@ fn main() {
         for i in 0..sessions {
             let (name, source, batches) = (name.clone(), source.clone(), Arc::clone(&batches));
             clients.push(std::thread::spawn(move || {
-                drive_session(addr, &format!("{name}-{i}"), &source, &batches)
+                drive_session(addr, &format!("{name}-{i}"), &source, &batches, true)
             }));
         }
         let results: Vec<SessionResult> =
@@ -300,5 +417,87 @@ fn main() {
     accept_thread.join().expect("accept thread");
 
     t.print();
+
+    // ---- Phase 2: durability. Same fleet, WAL-enabled daemon, graceful
+    // shutdown, then a timed cold-start recovery. `never` is the no-fsync
+    // baseline; `always` is the full log-and-fsync-before-ack contract.
+    println!(
+        "\ndurability: {sessions} sessions per workload, WAL on, \
+         persist via shutdown, then timed recovery\n"
+    );
+    let mut dt = Table::new(&[
+        "workload",
+        "wal_sync",
+        "injects/s",
+        "overhead %",
+        "wal KiB",
+        "recovery ms",
+    ]);
+    for scenario in &scenarios {
+        let name = scenario.name().to_string();
+        let source = scenario.source().to_string();
+        let batches = Arc::new(fact_batches(scenario.as_ref()));
+
+        let baseline = durable_leg(&name, &source, &batches, sessions, SyncPolicy::Never);
+        let durable = durable_leg(&name, &source, &batches, sessions, SyncPolicy::Always);
+
+        let rate = |leg: &DurableLeg| leg.injected as f64 / leg.wall.as_secs_f64().max(1e-9);
+        let (base_rate, sync_rate) = (rate(&baseline), rate(&durable));
+        // Throughput cost of fsync-per-frame relative to log-only; small
+        // workloads are noisy, so clamp at 0 rather than report a
+        // nonsense negative overhead.
+        let overhead_pct = if base_rate > 0.0 {
+            ((base_rate - sync_rate) / base_rate * 100.0).max(0.0)
+        } else {
+            0.0
+        };
+
+        let reports: Vec<&Json> = durable.results.iter().map(|r| &r.report).collect();
+        let sum = |key: &str| reports.iter().map(|r| num(r, key)).sum::<f64>();
+        let max = |key: &str| reports.iter().map(|r| num(r, key)).fold(0.0, f64::max);
+        let top_rules = reports[0]
+            .get("rules")
+            .and_then(|r| r.as_arr())
+            .map(|rules| rules.iter().take(5).cloned().collect::<Vec<_>>())
+            .unwrap_or_default();
+
+        dt.row(vec![
+            name.clone(),
+            "always".into(),
+            format!("{sync_rate:.0}"),
+            format!("{overhead_pct:.1}"),
+            format!("{:.1}", durable.wal_bytes as f64 / 1024.0),
+            format!("{:.3}", durable.recovery_ms),
+        ]);
+        rep.push(
+            Json::obj()
+                .set("workload", name.as_str())
+                .set("matcher", "rete")
+                .set("shards", 1usize)
+                .set("cycles", sum("cycles"))
+                .set("firings", sum("firings"))
+                .set("wall_ms", durable.wall.as_secs_f64() * 1e3)
+                .set("match_ms", sum("match_ms"))
+                .set("redact_ms", sum("redact_ms"))
+                .set("fire_ms", sum("fire_ms"))
+                .set("apply_ms", sum("apply_ms"))
+                .set("peak_wm", max("peak_wm"))
+                .set("peak_conflict_set", max("peak_conflict_set"))
+                .set("metrics_level", "full")
+                .set("top_rules", top_rules)
+                .set("transport", "tcp")
+                .set("sessions", sessions)
+                .set("injected_wmes", durable.injected)
+                .set("injects_per_sec", sync_rate)
+                .set("wal_sync", "always")
+                .set("wal_bytes", durable.wal_bytes)
+                .set("wal_overhead_pct", overhead_pct)
+                .set("no_sync_injects_per_sec", base_rate)
+                .set("recovery_ms", durable.recovery_ms)
+                .set("sessions_recovered", durable.sessions_recovered),
+        );
+    }
+    dt.print();
+
     rep.emit();
 }

@@ -46,6 +46,13 @@ SERVE OPTIONS:
                                 changes (backpressure bound)     [1024]
   --max-cycles N                default per-run cycle limit      [1000000]
   --metrics off|rules|full      per-session metrics level        [rules]
+  --wal-dir DIR                 per-session write-ahead logs under DIR;
+                                sessions survive crashes and are
+                                recovered at the next start
+  --wal-sync always|interval|never
+                                WAL fsync policy                 [always]
+  --snapshot-every N            compact a session's WAL after N logged
+                                frames (0 disables)              [64]
   --timeout / --max-wm / --max-cs / --max-delta
                                 default per-session budgets (an open
                                 frame may override them)";
@@ -123,6 +130,13 @@ pub struct ServeOpts {
     pub max_cycles: u64,
     /// Per-session metrics collection level.
     pub metrics: MetricsLevel,
+    /// Durability: write-ahead-log directory (`None` = no durability).
+    pub wal_dir: Option<String>,
+    /// WAL fsync policy (`always`/`interval`/`never`).
+    pub wal_sync: String,
+    /// Compact a session's WAL after this many logged frames (0
+    /// disables automatic compaction).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeOpts {
@@ -134,6 +148,9 @@ impl Default for ServeOpts {
             budgets: Budgets::unlimited(),
             max_cycles: 1_000_000,
             metrics: MetricsLevel::Rules,
+            wal_dir: None,
+            wal_sync: "always".to_string(),
+            snapshot_every: 64,
         }
     }
 }
@@ -310,8 +327,26 @@ impl Command {
                         "--max-delta" => {
                             opts.budgets.max_delta = Some(parse_count(&mut it, flag)?)
                         }
+                        "--wal-dir" => opts.wal_dir = Some(next_val(&mut it, flag)?),
+                        "--wal-sync" => {
+                            let policy = next_val(&mut it, flag)?;
+                            // Validate at parse time so a typo fails the
+                            // command line, not the daemon start.
+                            parulel_server::SyncPolicy::parse(&policy)?;
+                            opts.wal_sync = policy;
+                        }
+                        "--snapshot-every" => {
+                            opts.snapshot_every = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--snapshot-every needs an integer".to_string())?
+                        }
                         other => return Err(format!("unknown option '{other}'")),
                     }
+                }
+                if opts.wal_dir.is_none()
+                    && (opts.wal_sync != "always" || opts.snapshot_every != 64)
+                {
+                    return Err("--wal-sync/--snapshot-every need --wal-dir".into());
                 }
                 Ok(Command::Serve(Box::new(opts)))
             }
@@ -549,6 +584,44 @@ mod tests {
         assert_eq!(o.max_cycles, 1_000_000);
         assert_eq!(o.metrics, MetricsLevel::Rules);
         assert!(o.budgets.is_unlimited());
+        assert_eq!(o.wal_dir, None);
+        assert_eq!(o.wal_sync, "always");
+        assert_eq!(o.snapshot_every, 64);
+    }
+
+    #[test]
+    fn serve_wal_flags_parse() {
+        let Ok(Command::Serve(o)) = parse(&[
+            "serve",
+            "--wal-dir",
+            "/tmp/parulel-wal",
+            "--wal-sync",
+            "interval",
+            "--snapshot-every",
+            "16",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(o.wal_dir.as_deref(), Some("/tmp/parulel-wal"));
+        assert_eq!(o.wal_sync, "interval");
+        assert_eq!(o.snapshot_every, 16);
+        // `--snapshot-every 0` disables compaction but is legal.
+        let Ok(Command::Serve(o)) =
+            parse(&["serve", "--wal-dir", "d", "--snapshot-every", "0"])
+        else {
+            panic!()
+        };
+        assert_eq!(o.snapshot_every, 0);
+    }
+
+    #[test]
+    fn serve_wal_flags_reject_bad_values() {
+        assert!(parse(&["serve", "--wal-dir"]).is_err());
+        assert!(parse(&["serve", "--wal-dir", "d", "--wal-sync", "sometimes"]).is_err());
+        assert!(parse(&["serve", "--wal-dir", "d", "--snapshot-every", "few"]).is_err());
+        // Tuning flags without the directory are a config mistake.
+        assert!(parse(&["serve", "--wal-sync", "never"]).is_err());
+        assert!(parse(&["serve", "--snapshot-every", "8"]).is_err());
     }
 
     #[test]

@@ -317,12 +317,37 @@ pub(crate) fn server_config(opts: &ServeOpts) -> parulel_server::ServerConfig {
     }
 }
 
-/// `parulel serve …` — run the rule-serving daemon until a `shutdown`
-/// frame arrives. Listener announcements go to `out`; on the stdio
-/// transport stdout *is* the protocol stream, so the banner goes to
-/// stderr instead.
-pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
+/// Builds the daemon — durable when `--wal-dir` was given, in which case
+/// crash recovery runs here, before any transport accepts a frame.
+fn build_server(opts: &ServeOpts) -> Result<parulel_server::Server, String> {
     let config = server_config(opts);
+    let Some(dir) = &opts.wal_dir else {
+        return Ok(parulel_server::Server::new(config));
+    };
+    let sync = parulel_server::SyncPolicy::parse(&opts.wal_sync)?;
+    let mut wal = parulel_server::WalConfig::new(dir, sync);
+    wal.snapshot_every = opts.snapshot_every;
+    let mut server = parulel_server::Server::with_wal(config, wal.clone());
+    let report = parulel_server::recover(&mut server, &wal);
+    eprintln!("parulel serve: recovery: {}", report.summary());
+    for note in &report.notes {
+        eprintln!("parulel serve: recovery: {note}");
+    }
+    Ok(server)
+}
+
+/// `parulel serve …` — run the rule-serving daemon until a `shutdown`
+/// frame (or, on the socket transports, SIGTERM/SIGINT) arrives.
+/// Listener announcements go to `out`; on the stdio transport stdout
+/// *is* the protocol stream, so the banner goes to stderr instead.
+pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
+    let server = match build_server(opts) {
+        Ok(server) => std::sync::Arc::new(std::sync::Mutex::new(server)),
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 1;
+        }
+    };
     let result = match &opts.transport {
         ServeTransport::Stdio => {
             eprintln!(
@@ -330,12 +355,10 @@ pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
                  send {{\"op\":\"shutdown\"}} to stop",
                 opts.max_sessions
             );
-            parulel_server::serve_stdio(config)
+            parulel_server::serve_stdio_with(server)
         }
         ServeTransport::Tcp(addr) => {
-            let server = std::sync::Arc::new(std::sync::Mutex::new(
-                parulel_server::Server::new(config),
-            ));
+            parulel_server::transport::install_signal_handlers();
             parulel_server::spawn_tcp(server, addr).map(|(bound, accept)| {
                 let _ = writeln!(out, "listening on tcp {bound}");
                 let _ = accept.join();
@@ -343,7 +366,7 @@ pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
         }
         ServeTransport::Unix(path) => {
             let _ = writeln!(out, "listening on unix {path}");
-            parulel_server::serve_unix(config, path)
+            parulel_server::serve_unix_with(server, path)
         }
     };
     match result {

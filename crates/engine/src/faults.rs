@@ -149,6 +149,52 @@ impl FaultPlan {
     }
 }
 
+/// Deterministic WAL I/O faults for the server's durability layer.
+///
+/// Coordinates are 1-based counters, not cycles: `torn_write_at = Some(n)`
+/// tears the `n`-th record *appended through one log handle* (only a
+/// prefix of its bytes reaches the file, exactly as if the process died
+/// mid-`write`); `short_read_at = Some(n)` makes the scanner see only a
+/// prefix of the `n`-th record's body on replay (a short read off a
+/// damaged disk). Both must surface as a CRC failure that truncates the
+/// tail — never as replayed garbage — which is exactly what the
+/// durability tests assert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalFaults {
+    /// Tear the n-th appended record (1-based), writing only half its
+    /// bytes.
+    pub torn_write_at: Option<u64>,
+    /// Feed the scanner only half of the n-th record's body (1-based).
+    pub short_read_at: Option<u64>,
+}
+
+impl WalFaults {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// How many of `len` bytes of append number `append` actually reach
+    /// the file.
+    pub fn torn_write_len(&self, append: u64, len: usize) -> usize {
+        if self.torn_write_at == Some(append) {
+            len / 2
+        } else {
+            len
+        }
+    }
+
+    /// How many of `len` body bytes of record number `record` the
+    /// scanner gets to see.
+    pub fn short_read_len(&self, record: u64, len: usize) -> usize {
+        if self.short_read_at == Some(record) {
+            len / 2
+        } else {
+            len
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,15 @@
 //!   RHS failure, or panic kills one session with a structured error
 //!   frame, never the daemon.
 //! * [`transport`] — stdin/stdout, TCP, and Unix-socket line pumps over
-//!   the same core.
+//!   the same core, with graceful SIGTERM/SIGINT shutdown for the socket
+//!   transports.
+//! * [`wal`] — the durability layer: a per-session write-ahead log of
+//!   accepted mutating frames (length-prefixed, CRC-checksummed,
+//!   log-before-apply) with configurable fsync policy and atomic
+//!   snapshot compaction.
+//! * [`recovery`] — daemon-start recovery: scan the WAL directory, load
+//!   each session's latest snapshot, replay the frame tail through the
+//!   same deterministic core, truncate torn trailing records.
 //!
 //! ## Protocol verbs
 //!
@@ -34,11 +42,18 @@
 #![warn(missing_docs)]
 
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod session;
 pub mod transport;
+pub mod wal;
 
 pub use protocol::{fingerprint_hex, wm_fingerprint, Failure};
+pub use recovery::{recover, RecoveryReport};
 pub use server::{Server, ServerConfig};
 pub use session::Session;
-pub use transport::{serve_lines, serve_stdio, serve_tcp, serve_unix, spawn_tcp};
+pub use transport::{
+    serve_lines, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, serve_unix,
+    serve_unix_with, spawn_tcp,
+};
+pub use wal::{SyncPolicy, WalConfig};

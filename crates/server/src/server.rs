@@ -11,9 +11,18 @@
 //! structured `engine` error frame and removes that one session; a panic
 //! that somehow escapes the kernel's own RHS isolation is caught here
 //! and does the same. The daemon itself never dies on a frame.
+//!
+//! Durability (optional, [`Server::with_wal`]): every accepted mutating
+//! frame is appended to the owning session's write-ahead log *before* it
+//! is applied. Because the core is deterministic, replaying the log
+//! through this same dispatch path rebuilds the exact session — that is
+//! the whole recovery story (see [`crate::recovery`]). During replay the
+//! [`Server`] runs with WAL I/O suppressed so recovery cannot re-log
+//! what it replays.
 
 use crate::protocol::{self, kind, ok_frame, Failure};
 use crate::session::{engine_failure, Session};
+use crate::wal::{SessionWal, SnapshotRecord, WalConfig};
 use parulel_core::Delta;
 use parulel_engine::{
     Budgets, Engine, EngineOptions, FiringPolicy, GuardMode, Json, MatcherKind, MetricsLevel,
@@ -55,6 +64,11 @@ impl Default for ServerConfig {
     }
 }
 
+/// Verbs that mutate session state and therefore hit the WAL
+/// (log-before-apply). `open` is handled separately: its log file does
+/// not exist until the open is accepted.
+const MUTATING_VERBS: [&str; 6] = ["inject", "step", "run", "run-to-fixpoint", "restore", "close"];
+
 /// The daemon core. See the [module docs](self).
 pub struct Server {
     config: ServerConfig,
@@ -64,10 +78,26 @@ pub struct Server {
     frames: u64,
     errors: u64,
     shutdown: bool,
+    /// Durability configuration; `None` means the daemon runs exactly as
+    /// before and nothing below touches disk.
+    wal: Option<WalConfig>,
+    /// One log handle per live session (same keys as `sessions` when
+    /// durability is on).
+    wals: BTreeMap<String, SessionWal>,
+    /// True while recovery replays logged frames: suppresses all WAL
+    /// I/O so replay cannot re-log (or compact, or delete) what it
+    /// replays.
+    replaying: bool,
+    /// Lifetime WAL records appended.
+    wal_records: u64,
+    /// Lifetime compactions performed.
+    wal_snapshots: u64,
+    /// Sessions rebuilt by recovery at daemon start.
+    recovered: usize,
 }
 
 impl Server {
-    /// An empty server under `config`.
+    /// An empty server under `config`, no durability.
     pub fn new(config: ServerConfig) -> Server {
         Server {
             config,
@@ -76,7 +106,50 @@ impl Server {
             frames: 0,
             errors: 0,
             shutdown: false,
+            wal: None,
+            wals: BTreeMap::new(),
+            replaying: false,
+            wal_records: 0,
+            wal_snapshots: 0,
+            recovered: 0,
         }
+    }
+
+    /// An empty server with durability: accepted mutating frames are
+    /// write-ahead logged under `wal.dir` and sessions survive process
+    /// death (run [`crate::recovery::recover`] before serving to pick
+    /// survivors back up).
+    pub fn with_wal(config: ServerConfig, wal: WalConfig) -> Server {
+        let mut server = Server::new(config);
+        server.wal = Some(wal);
+        server
+    }
+
+    /// The durability configuration, if any.
+    pub fn wal_config(&self) -> Option<&WalConfig> {
+        self.wal.as_ref()
+    }
+
+    /// Toggles replay mode (recovery only): while on, the dispatch path
+    /// applies frames without any WAL I/O.
+    pub(crate) fn set_replaying(&mut self, on: bool) {
+        self.replaying = on;
+    }
+
+    /// Direct session access for recovery (snapshot restore, counter
+    /// reinstatement).
+    pub(crate) fn session_mut(&mut self, name: &str) -> Option<&mut Session> {
+        self.sessions.get_mut(name)
+    }
+
+    /// Attaches a resumed log handle to a recovered session.
+    pub(crate) fn attach_wal(&mut self, name: &str, wal: SessionWal) {
+        self.wals.insert(name.to_string(), wal);
+    }
+
+    /// Bumps the recovered-session counter (reported in `ping`).
+    pub(crate) fn note_recovered(&mut self) {
+        self.recovered += 1;
     }
 
     /// True once a `shutdown` frame has been accepted; transports stop
@@ -123,13 +196,33 @@ impl Server {
             .and_then(|v| v.as_str())
             .map(str::to_string);
         let result = match op.as_str() {
-            "ping" => Ok(ok_frame("ping")),
+            "ping" => {
+                let mut response = ok_frame("ping");
+                // Durability status only when the layer exists: with WAL
+                // off the frame is byte-identical to every pinned golden
+                // transcript.
+                if let Some(cfg) = &self.wal {
+                    response = response
+                        .set("wal", cfg.sync.tag())
+                        .set("recovered_sessions", self.recovered);
+                }
+                Ok(response)
+            }
             "shutdown" => {
                 self.shutdown = true;
                 let closed = self.sessions.len();
+                let mut response = ok_frame("shutdown").set("sessions_closed", closed);
+                if self.wal.is_some() && !self.replaying {
+                    // Protocol-initiated shutdown is still graceful:
+                    // every live session is compacted to a snapshot
+                    // record and fsynced, so it recovers at restart.
+                    response = response.set("persisted", self.persist_all());
+                }
                 self.sessions.clear();
-                Ok(ok_frame("shutdown").set("sessions_closed", closed))
+                self.wals.clear();
+                Ok(response)
             }
+            "sync" => self.sync_wal(session.as_deref()),
             "metrics" if session.is_none() => Ok(self.server_metrics()),
             "open" => self.open(frame, session.as_deref()),
             "inject" | "step" | "run" | "run-to-fixpoint" | "query" | "snapshot" | "restore"
@@ -141,7 +234,17 @@ impl Server {
                             .to_frame(Some(&op), None)
                     }
                 };
-                self.session_verb(&op, name, frame)
+                // Log-before-apply: an accepted mutating frame must be
+                // on disk before it can change the session. (Refused
+                // frames are logged too — they refuse identically on
+                // replay, because replay drives this same dispatch with
+                // the same state.)
+                if let Err(failure) = self.wal_append(&op, name, frame) {
+                    return failure.to_frame(Some(&op), Some(name));
+                }
+                let result = self.session_verb(&op, name, frame);
+                self.wal_after_verb(name);
+                result
             }
             other => Err(Failure::new(kind::PROTOCOL, format!("unknown verb {other:?}"))),
         };
@@ -151,17 +254,149 @@ impl Server {
         }
     }
 
+    /// Appends a mutating session frame to its WAL, if durability is on,
+    /// replay is not running, and the session exists (frames for unknown
+    /// sessions mutate nothing and need no record).
+    fn wal_append(&mut self, op: &str, name: &str, frame: &Json) -> Result<(), Failure> {
+        if self.wal.is_none() || self.replaying || !MUTATING_VERBS.contains(&op) {
+            return Ok(());
+        }
+        let Some(wal) = self.wals.get_mut(name) else {
+            return Ok(());
+        };
+        wal.append_frame(&frame.render())
+            .map_err(|e| Failure::new(kind::WAL, format!("WAL append failed: {e}")))?;
+        self.wal_records += 1;
+        Ok(())
+    }
+
+    /// Post-verb WAL lifecycle: a session that no longer exists (closed,
+    /// or killed by an engine failure/panic) has nothing left to
+    /// recover, so its log is deleted; a surviving session whose replay
+    /// tail has grown past `snapshot_every` is compacted.
+    fn wal_after_verb(&mut self, name: &str) {
+        if self.wal.is_none() || self.replaying {
+            return;
+        }
+        if !self.sessions.contains_key(name) {
+            if let Some(wal) = self.wals.remove(name) {
+                let _ = wal.delete();
+            }
+            return;
+        }
+        let every = self.wal.as_ref().map(|c| c.snapshot_every).unwrap_or(0);
+        let due = every > 0
+            && self
+                .wals
+                .get(name)
+                .is_some_and(|w| w.records_since_snapshot >= every);
+        if due {
+            let _ = self.compact_session(name);
+        }
+    }
+
+    /// Compacts one session's log to `header + snapshot record`.
+    fn compact_session(&mut self, name: &str) -> std::io::Result<()> {
+        let (Some(session), Some(wal)) = (self.sessions.get(name), self.wals.get_mut(name))
+        else {
+            return Ok(());
+        };
+        let record = SnapshotRecord {
+            open_line: wal.open_line.clone(),
+            snapshot: session.engine.checkpoint().to_bytes(),
+            injected_adds: session.injected_adds,
+            injected_removes: session.injected_removes,
+            pending: session.pending_lines().to_vec(),
+        };
+        wal.compact(&record)?;
+        self.wal_snapshots += 1;
+        Ok(())
+    }
+
+    /// Compacts and fsyncs every live session's log (graceful shutdown:
+    /// the `shutdown` frame, and SIGTERM/SIGINT on socket transports).
+    /// Returns how many sessions were persisted.
+    pub fn persist_all(&mut self) -> usize {
+        let names: Vec<String> = self.sessions.keys().cloned().collect();
+        let mut persisted = 0;
+        for name in names {
+            if self.compact_session(&name).is_ok() {
+                if let Some(wal) = self.wals.get_mut(&name) {
+                    if wal.sync().is_ok() {
+                        persisted += 1;
+                    }
+                }
+            }
+        }
+        persisted
+    }
+
+    /// Signal-initiated graceful shutdown: marks the server down and,
+    /// when durability is on, compacts and fsyncs every live session's
+    /// WAL so the sessions recover at restart. Returns the number of
+    /// sessions persisted.
+    pub fn graceful_shutdown(&mut self) -> usize {
+        self.shutdown = true;
+        if self.wal.is_some() {
+            self.persist_all()
+        } else {
+            0
+        }
+    }
+
+    /// The `sync` verb: fsync one session's log, or every log when no
+    /// session is named. A protocol error when durability is off.
+    fn sync_wal(&mut self, session: Option<&str>) -> Result<Json, Failure> {
+        if self.wal.is_none() {
+            return Err(Failure::new(
+                kind::PROTOCOL,
+                "durability is not enabled (start the daemon with --wal-dir)",
+            ));
+        }
+        let sync_one = |wal: &mut SessionWal| {
+            wal.sync()
+                .map_err(|e| Failure::new(kind::WAL, format!("fsync failed: {e}")))
+        };
+        match session {
+            Some(name) => {
+                let wal = self.wals.get_mut(name).ok_or_else(|| {
+                    Failure::new(kind::UNKNOWN_SESSION, format!("no session {name:?}"))
+                })?;
+                sync_one(wal)?;
+                Ok(ok_frame("sync").set("session", name).set("synced", 1usize))
+            }
+            None => {
+                let mut synced = 0usize;
+                for wal in self.wals.values_mut() {
+                    sync_one(wal)?;
+                    synced += 1;
+                }
+                Ok(ok_frame("sync").set("synced", synced))
+            }
+        }
+    }
+
     /// The server-level `metrics` frame (no `session` field): admission
     /// and throughput counters plus the live session list.
     fn server_metrics(&self) -> Json {
         let names: Vec<Json> = self.sessions.keys().map(|k| Json::from(k.as_str())).collect();
-        ok_frame("metrics")
+        let mut response = ok_frame("metrics")
             .set("sessions", self.sessions.len())
             .set("peak_sessions", self.peak_sessions)
             .set("max_sessions", self.config.max_sessions)
             .set("frames", self.frames)
-            .set("errors", self.errors)
-            .set("session_list", names)
+            .set("errors", self.errors);
+        // Durability counters only when the layer exists (golden
+        // transcripts pin the WAL-off rendering byte-for-byte).
+        if let Some(cfg) = &self.wal {
+            response = response
+                .set("wal_sync", cfg.sync.tag())
+                .set("wal_records", self.wal_records)
+                .set("wal_bytes", self.wals.values().map(|w| w.bytes).sum::<u64>())
+                .set("wal_snapshots", self.wal_snapshots)
+                .set("recovered_sessions", self.recovered);
+        }
+        response.set("session_list", names)
     }
 
     /// `open`: admission control, compile, build the engine, register
@@ -196,6 +431,19 @@ impl Server {
         let policy = parse_policy(frame)?;
         let opts = self.engine_options(frame)?;
         let engine = Engine::with_policy(&program, wm, policy, opts);
+        // Log-before-apply for `open`: the session's log is created and
+        // the open frame recorded once the open is known to be accepted,
+        // but before the session exists. If the disk refuses, so does
+        // the open.
+        if let (Some(cfg), false) = (self.wal.as_ref(), self.replaying) {
+            let line = frame.render();
+            let mut wal = SessionWal::create(cfg, name, &line)
+                .map_err(|e| Failure::new(kind::WAL, format!("WAL create failed: {e}")))?;
+            wal.append_frame(&line)
+                .map_err(|e| Failure::new(kind::WAL, format!("WAL append failed: {e}")))?;
+            self.wal_records += 1;
+            self.wals.insert(name.to_string(), wal);
+        }
         let response = ok_frame("open")
             .set("session", name)
             .set("policy", policy.tag())
@@ -301,6 +549,13 @@ impl Server {
             "inject" => {
                 let delta = parse_delta(frame, session.engine.program())?;
                 let queued = session.enqueue(delta)?;
+                if self.wal.is_some() {
+                    // Compaction records carry queued-but-undrained
+                    // injects; mirror the accepted frame (replay keeps
+                    // the mirror too — the recovered session compacts
+                    // later).
+                    session.note_pending(frame.render());
+                }
                 Ok(ok_frame("inject")
                     .set("session", name)
                     .set("queued", queued)

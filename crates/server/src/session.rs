@@ -30,6 +30,11 @@ pub struct Session {
     pub injected_adds: u64,
     /// Lifetime WMEs retracted through `inject` (after draining).
     pub injected_removes: u64,
+    /// Rendered inject frames mirroring the queue, cleared on drain.
+    /// Only maintained when durability is on: a WAL compaction record
+    /// carries them so queued-but-undrained injects survive log
+    /// truncation.
+    pending_lines: Vec<String>,
 }
 
 impl Session {
@@ -43,6 +48,7 @@ impl Session {
             cap,
             injected_adds: 0,
             injected_removes: 0,
+            pending_lines: Vec::new(),
         }
     }
 
@@ -69,6 +75,19 @@ impl Session {
         Ok(n)
     }
 
+    /// Records the rendered inject frame backing the most recent
+    /// [`Session::enqueue`] (durability bookkeeping; see
+    /// [`Session::pending_lines`]).
+    pub fn note_pending(&mut self, line: String) {
+        self.pending_lines.push(line);
+    }
+
+    /// The rendered inject frames still queued (for WAL compaction
+    /// records).
+    pub fn pending_lines(&self) -> &[String] {
+        &self.pending_lines
+    }
+
     /// Applies every queued delta through the kernel's incremental
     /// inject path, FIFO. Returns the number of changes drained.
     pub fn drain(&mut self) -> usize {
@@ -79,6 +98,7 @@ impl Session {
             self.injected_removes += removed.len() as u64;
         }
         self.depth = 0;
+        self.pending_lines.clear();
         drained
     }
 

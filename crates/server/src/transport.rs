@@ -8,36 +8,104 @@
 //! connection on its own thread against a `Mutex`-shared server: frames
 //! from concurrent clients interleave at frame granularity, which is
 //! exactly the protocol's unit of atomicity.
+//!
+//! ## Graceful shutdown
+//!
+//! The socket transports install SIGTERM/SIGINT handlers that only set
+//! an atomic flag; the accept loop (which already wakes every 10ms) and
+//! the per-connection pumps (which read with a short timeout) poll it.
+//! On a signal the server's [`Server::persist_all`] runs — every live
+//! session's WAL is compacted to a snapshot record and fsynced — before
+//! the process exits, so a politely-killed daemon recovers exactly like
+//! a `kill -9`'d one, just without replay. The stdio transport does
+//! *not* install handlers: its natural shutdown is EOF, and Ctrl-C
+//! should keep killing an interactive pipe immediately.
 
 use crate::server::{Server, ServerConfig};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+/// Set by the SIGTERM/SIGINT handler; polled by accept loops and pumps.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been received (only ever true after
+/// [`install_signal_handlers`] ran).
+pub fn signal_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a single atomic store, nothing else.
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs flag-setting handlers for SIGTERM and SIGINT. Uses libc's
+/// `signal(2)` directly — std already links it, and glibc's `signal`
+/// gives BSD semantics (the handler stays installed). Idempotent.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// How long a socket read blocks before the pump rechecks the shutdown
+/// flags. Bounds graceful-shutdown latency for idle connections.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// Pumps one line-delimited stream through `server` until EOF or
 /// shutdown. The stdio transport, and the building block the socket
 /// transports run per connection.
+///
+/// Tolerates timed-out reads (sockets with a read timeout use them to
+/// poll for shutdown): a timeout mid-line keeps the partial line and
+/// resumes reading it.
 pub fn serve_lines<R: BufRead, W: Write>(
     server: &Arc<Mutex<Server>>,
-    input: R,
+    mut input: R,
     output: &mut W,
 ) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        let mut locked = server.lock().expect("server lock poisoned");
-        let response = locked.handle_line(&line);
-        let done = locked.shutting_down();
-        drop(locked);
-        if let Some(response) = response {
-            output.write_all(response.as_bytes())?;
-            output.write_all(b"\n")?;
-            output.flush()?;
-        }
-        if done {
-            break;
+    let mut line = String::new();
+    loop {
+        match input.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let mut locked = server.lock().expect("server lock poisoned");
+                let response = locked.handle_line(&line);
+                let done = locked.shutting_down();
+                drop(locked);
+                line.clear();
+                if let Some(response) = response {
+                    output.write_all(response.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                }
+                if done {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if server.lock().expect("server lock poisoned").shutting_down()
+                    || signal_requested()
+                {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
     Ok(())
@@ -45,16 +113,27 @@ pub fn serve_lines<R: BufRead, W: Write>(
 
 /// Serves the process's stdin/stdout until EOF or a `shutdown` frame.
 pub fn serve_stdio(config: ServerConfig) -> io::Result<()> {
-    let server = Arc::new(Mutex::new(Server::new(config)));
+    serve_stdio_with(Arc::new(Mutex::new(Server::new(config))))
+}
+
+/// [`serve_stdio`] over a prebuilt (possibly recovered) server.
+pub fn serve_stdio_with(server: Arc<Mutex<Server>>) -> io::Result<()> {
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     serve_lines(&server, stdin.lock(), &mut stdout)
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:7466` or `127.0.0.1:0`) and serves TCP
-/// connections until a `shutdown` frame arrives. Blocks the caller.
+/// connections until a `shutdown` frame or SIGTERM/SIGINT arrives.
+/// Blocks the caller.
 pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<SocketAddr> {
-    let server = Arc::new(Mutex::new(Server::new(config)));
+    serve_tcp_with(Arc::new(Mutex::new(Server::new(config))), addr)
+}
+
+/// [`serve_tcp`] over a prebuilt (possibly recovered) server. Installs
+/// the graceful-shutdown signal handlers.
+pub fn serve_tcp_with(server: Arc<Mutex<Server>>, addr: &str) -> io::Result<SocketAddr> {
+    install_signal_handlers();
     let (bound, handle) = spawn_tcp(server, addr)?;
     handle.join().expect("tcp accept thread panicked");
     Ok(bound)
@@ -62,7 +141,8 @@ pub fn serve_tcp(config: ServerConfig, addr: &str) -> io::Result<SocketAddr> {
 
 /// Binds `addr` and serves TCP connections on a background accept
 /// thread. Returns the bound address (resolving port 0) and the accept
-/// thread's handle, which finishes once a `shutdown` frame is served.
+/// thread's handle, which finishes once a `shutdown` frame is served or
+/// a handled signal arrives.
 pub fn spawn_tcp(
     server: Arc<Mutex<Server>>,
     addr: &str,
@@ -81,7 +161,7 @@ pub fn spawn_tcp(
                     connections.push(thread::spawn(move || serve_tcp_conn(server, stream)));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if server.lock().expect("server lock poisoned").shutting_down() {
+                    if poll_shutdown(&server) {
                         break;
                     }
                     thread::sleep(Duration::from_millis(10));
@@ -96,10 +176,26 @@ pub fn spawn_tcp(
     Ok((bound, handle))
 }
 
+/// One accept-loop tick: reacts to a handled signal by persisting every
+/// session's WAL and marking the server down; reports whether the loop
+/// should exit.
+fn poll_shutdown(server: &Arc<Mutex<Server>>) -> bool {
+    let mut locked = server.lock().expect("server lock poisoned");
+    if signal_requested() && !locked.shutting_down() {
+        let persisted = locked.graceful_shutdown();
+        if persisted > 0 {
+            eprintln!("parulel serve: signal received; persisted {persisted} session(s)");
+        }
+    }
+    locked.shutting_down()
+}
+
 fn serve_tcp_conn(server: Arc<Mutex<Server>>, stream: TcpStream) {
     // One-line request/response frames: Nagle's algorithm only adds
     // delayed-ACK stalls here.
     let _ = stream.set_nodelay(true);
+    // Bounded reads so idle connections notice shutdown.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -109,9 +205,16 @@ fn serve_tcp_conn(server: Arc<Mutex<Server>>, stream: TcpStream) {
 }
 
 /// Binds a Unix socket at `path` (removing a stale socket file first)
-/// and serves connections until a `shutdown` frame arrives.
+/// and serves connections until a `shutdown` frame or SIGTERM/SIGINT
+/// arrives.
 pub fn serve_unix(config: ServerConfig, path: &str) -> io::Result<()> {
-    let server = Arc::new(Mutex::new(Server::new(config)));
+    serve_unix_with(Arc::new(Mutex::new(Server::new(config))), path)
+}
+
+/// [`serve_unix`] over a prebuilt (possibly recovered) server. Installs
+/// the graceful-shutdown signal handlers.
+pub fn serve_unix_with(server: Arc<Mutex<Server>>, path: &str) -> io::Result<()> {
+    install_signal_handlers();
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
@@ -123,7 +226,7 @@ pub fn serve_unix(config: ServerConfig, path: &str) -> io::Result<()> {
                 connections.push(thread::spawn(move || serve_unix_conn(server, stream)));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if server.lock().expect("server lock poisoned").shutting_down() {
+                if poll_shutdown(&server) {
                     break;
                 }
                 thread::sleep(Duration::from_millis(10));
@@ -139,6 +242,7 @@ pub fn serve_unix(config: ServerConfig, path: &str) -> io::Result<()> {
 }
 
 fn serve_unix_conn(server: Arc<Mutex<Server>>, stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,

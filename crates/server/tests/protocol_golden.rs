@@ -233,6 +233,62 @@ fn snapshot_restore_roundtrip_over_the_wire() {
 }
 
 #[test]
+fn malformed_restore_payloads_leave_prior_state_intact() {
+    let mut server = Server::new(ServerConfig::default());
+    server.handle_line(&open_frame("s1")).unwrap();
+    let run = server.handle_line(r#"{"op":"run","session":"s1"}"#).unwrap();
+    let fingerprint = parulel_engine::Json::parse(&run)
+        .unwrap()
+        .get("fingerprint")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let snap = server
+        .handle_line(r#"{"op":"snapshot","session":"s1"}"#)
+        .unwrap();
+    let hex = parulel_engine::Json::parse(&snap)
+        .unwrap()
+        .get("snapshot")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    // A gallery of broken payloads: odd-length hex, non-hex characters,
+    // a truncated (but even-length, valid-hex) snapshot, a snapshot
+    // whose magic is wrong, a missing field, and a payload of the wrong
+    // type.
+    let truncated = &hex[..hex.len() / 2 - (hex.len() / 2) % 2];
+    let corrupted = format!("00{}", &hex[2..]);
+    let cases = vec![
+        (r#"{"op":"restore","session":"s1","snapshot":"abc"}"#.to_string(), "snapshot"),
+        (r#"{"op":"restore","session":"s1","snapshot":"zz"}"#.to_string(), "snapshot"),
+        (
+            format!(r#"{{"op":"restore","session":"s1","snapshot":"{truncated}"}}"#),
+            "snapshot",
+        ),
+        (
+            format!(r#"{{"op":"restore","session":"s1","snapshot":"{corrupted}"}}"#),
+            "snapshot",
+        ),
+        (r#"{"op":"restore","session":"s1"}"#.to_string(), "protocol"),
+        (r#"{"op":"restore","session":"s1","snapshot":17}"#.to_string(), "protocol"),
+    ];
+    for (frame, want_kind) in cases {
+        let r = server.handle_line(&frame).unwrap();
+        assert_eq!(error_kind(&r), want_kind, "frame: {frame}");
+        // Prior state intact after every refusal.
+        let m = server.handle_line(r#"{"op":"metrics","session":"s1"}"#).unwrap();
+        assert!(m.contains(&fingerprint), "state lost after {frame}: {m}");
+    }
+    // And the session still accepts a *valid* restore afterwards.
+    let r = server
+        .handle_line(&format!(r#"{{"op":"restore","session":"s1","snapshot":"{hex}"}}"#))
+        .unwrap();
+    assert!(r.starts_with(r#"{"ok":true"#), "{r}");
+}
+
+#[test]
 fn metrics_report_and_trace_are_available_per_session() {
     let mut server = Server::new(ServerConfig::default());
     server.handle_line(&open_frame("s1")).unwrap();

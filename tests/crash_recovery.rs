@@ -1,0 +1,238 @@
+//! The durability headline proof, end to end through the real binary:
+//! start `parulel serve` with a WAL directory, drive a workload over
+//! TCP, `kill -9` the daemon mid-stream, restart it on the same
+//! directory, and require the recovered session's WM fingerprint to
+//! equal an uninterrupted reference run — plus the same proof for a
+//! polite SIGTERM, which must persist sessions on the way out.
+//!
+//! `--wal-sync always` makes the contract exact: every frame the daemon
+//! *acknowledged* is fsynced before the response is written, so the
+//! state recovered after SIGKILL must reflect every acked frame, not
+//! just most of them.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PROGRAM: &str = "(literalize edge from to)\
+(literalize reach from to)\
+(p seed (edge ^from <a> ^to <b>) -(reach ^from <a> ^to <b>) --> (make reach ^from <a> ^to <b>))\
+(p close (reach ^from <a> ^to <b>) (edge ^from <b> ^to <c>) -(reach ^from <a> ^to <c>) --> (make reach ^from <a> ^to <c>))";
+
+type Edges = Vec<(i64, i64)>;
+
+/// A chain of edges split into two waves; the crash lands between them.
+fn edge_waves() -> (Edges, Edges) {
+    let edges: Edges = (1..=16).map(|i| (i, i + 1)).collect();
+    let mid = edges.len() / 2;
+    (edges[..mid].to_vec(), edges[mid..].to_vec())
+}
+
+fn open_frame(session: &str) -> String {
+    format!(
+        r#"{{"op":"open","session":"{session}","program":"{}"}}"#,
+        PROGRAM.replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
+fn inject_frame(session: &str, edges: &[(i64, i64)]) -> String {
+    let adds: Vec<String> = edges
+        .iter()
+        .map(|(a, b)| format!(r#"{{"class":"edge","fields":[{a},{b}]}}"#))
+        .collect();
+    format!(
+        r#"{{"op":"inject","session":"{session}","adds":[{}]}}"#,
+        adds.join(",")
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "parulel-crash-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running daemon plus the address it printed.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn start_daemon(wal_dir: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_parulel"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+            "--wal-sync",
+            "always",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn parulel serve");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("listening banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on tcp ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+/// One connected protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        // The listener is already bound when the banner prints, but be
+        // tolerant of scheduler lag anyway.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let reader = BufReader::new(stream.try_clone().unwrap());
+                    return Client { reader, writer: stream };
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("connect {addr}: {e}"),
+            }
+        }
+    }
+
+    /// Sends one frame, requires `ok:true`, returns the raw response.
+    fn send_ok(&mut self, frame: &str) -> String {
+        self.writer.write_all(frame.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        assert!(response.starts_with(r#"{"ok":true"#), "{frame} -> {response}");
+        response
+    }
+}
+
+fn field<'a>(response: &'a str, key: &str) -> &'a str {
+    let tag = format!("\"{key}\":\"");
+    let start = response.find(&tag).unwrap_or_else(|| panic!("no {key} in {response}")) + tag.len();
+    let end = start + response[start..].find('"').unwrap();
+    &response[start..end]
+}
+
+fn wait_for_exit(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => return,
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            None => {
+                let _ = child.kill();
+                panic!("daemon did not exit in time");
+            }
+        }
+    }
+}
+
+/// The uninterrupted reference: the same frames against one daemon that
+/// never dies.
+fn reference_fingerprint() -> String {
+    let (wave1, wave2) = edge_waves();
+    let dir = tmp_dir("reference");
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    client.send_ok(&open_frame("ref"));
+    client.send_ok(&inject_frame("ref", &wave1));
+    client.send_ok(r#"{"op":"run","session":"ref"}"#);
+    client.send_ok(&inject_frame("ref", &wave2));
+    let run = client.send_ok(r#"{"op":"run","session":"ref"}"#);
+    let fingerprint = field(&run, "fingerprint").to_string();
+    client.send_ok(r#"{"op":"shutdown"}"#);
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_dir_all(&dir);
+    fingerprint
+}
+
+#[test]
+fn kill_dash_nine_then_restart_yields_identical_fingerprint() {
+    let expected = reference_fingerprint();
+    let (wave1, wave2) = edge_waves();
+    let dir = tmp_dir("sigkill");
+
+    // Phase 1: drive the first wave, then die without warning.
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    client.send_ok(&open_frame("victim"));
+    client.send_ok(&inject_frame("victim", &wave1));
+    client.send_ok(r#"{"op":"run","session":"victim"}"#);
+    // Queue the second wave but do NOT drain it: the crash must preserve
+    // queued injects too, not just applied state.
+    client.send_ok(&inject_frame("victim", &wave2));
+    // kill -9: SIGKILL, no handler, no flush, no goodbye.
+    daemon.child.kill().expect("SIGKILL");
+    wait_for_exit(&mut daemon.child);
+
+    // Phase 2: restart on the same WAL dir; the session must be back.
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    let ping = client.send_ok(r#"{"op":"ping"}"#);
+    assert!(ping.contains(r#""recovered_sessions":1"#), "{ping}");
+    let run = client.send_ok(r#"{"op":"run","session":"victim"}"#);
+    assert_eq!(
+        field(&run, "fingerprint"),
+        expected,
+        "recovered state diverged from the uninterrupted run"
+    );
+    client.send_ok(r#"{"op":"shutdown"}"#);
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_persists_sessions_and_restart_recovers_them() {
+    let expected = reference_fingerprint();
+    let (wave1, wave2) = edge_waves();
+    let dir = tmp_dir("sigterm");
+
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    client.send_ok(&open_frame("polite"));
+    client.send_ok(&inject_frame("polite", &wave1));
+    client.send_ok(r#"{"op":"run","session":"polite"}"#);
+    client.send_ok(&inject_frame("polite", &wave2));
+    // Graceful shutdown: the signal handler persists every session's
+    // WAL (compact + fsync) before the process exits.
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    wait_for_exit(&mut daemon.child);
+
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    let ping = client.send_ok(r#"{"op":"ping"}"#);
+    assert!(ping.contains(r#""recovered_sessions":1"#), "{ping}");
+    let run = client.send_ok(r#"{"op":"run","session":"polite"}"#);
+    assert_eq!(field(&run, "fingerprint"), expected);
+    client.send_ok(r#"{"op":"shutdown"}"#);
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
