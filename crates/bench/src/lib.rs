@@ -13,6 +13,7 @@
 //! | `table3` | cycle-phase breakdown & redaction cost (claim C3) |
 //! | `fig3` | copy-and-constrain (claim C4) |
 //! | `table4` | interference guard vs meta-rules |
+//! | `joinbench` | match hot path under skew: join throughput per matcher/shard count, incremental vs rebuilt conflict-set union, auto copy-and-constrain |
 //!
 //! Criterion microbenches live in `benches/micro.rs`.
 

@@ -204,6 +204,16 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             expect_num(row, "predicted_speedup").map_err(ctx)?;
             continue;
         }
+        // Match-layer micro-bench rows (joinbench) drive matchers
+        // directly — no engine run, so no cycle/firing/phase columns.
+        // `mode` names the conflict-set merge path that was measured.
+        if row.get("adds_per_sec").is_some() {
+            expect_str(row, "mode").map_err(ctx)?;
+            for key in ["shards", "adds_per_sec", "removes_per_sec", "wmes", "cs_peak"] {
+                expect_num(row, key).map_err(ctx)?;
+            }
+            continue;
+        }
         for key in [
             "shards",
             "cycles",
@@ -344,6 +354,35 @@ mod tests {
         validate_bench_json(&doc(wal_row(true))).unwrap();
         let err = validate_bench_json(&doc(wal_row(false))).unwrap_err();
         assert!(err.contains("recovery_ms"), "{err}");
+    }
+
+    #[test]
+    fn joinbench_rows_use_the_micro_bench_fields() {
+        let row = |complete: bool| {
+            let mut row = Json::obj()
+                .set("workload", "hotjoin")
+                .set("matcher", "partitioned-rete")
+                .set("mode", "incremental")
+                .set("shards", 4usize)
+                .set("adds_per_sec", 100000.0)
+                .set("removes_per_sec", 90000.0)
+                .set("wmes", 1200usize);
+            if complete {
+                row = row.set("cs_peak", 30000usize);
+            }
+            row
+        };
+        let doc = |row: Json| {
+            Json::obj()
+                .set("schema", BENCH_SCHEMA)
+                .set("id", "joinbench")
+                .set("title", "joinbench")
+                .set("host_threads", 1usize)
+                .set("rows", vec![row])
+        };
+        validate_bench_json(&doc(row(true))).unwrap();
+        let err = validate_bench_json(&doc(row(false))).unwrap_err();
+        assert!(err.contains("cs_peak"), "{err}");
     }
 
     #[test]

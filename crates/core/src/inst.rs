@@ -90,14 +90,31 @@ impl Instantiation {
     }
 }
 
+/// One membership change of a [`ConflictSet`], recorded by the optional
+/// journal. Consumers replaying a journal in order against the final set
+/// reconstruct exactly the sequence of insertions and removals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsEvent {
+    /// The key was inserted (it was not present before).
+    Insert(InstKey),
+    /// The key was removed (it was present before).
+    Remove(InstKey),
+}
+
 /// The conflict set: all current instantiations, indexed by identity.
 ///
 /// Maintains a by-rule index so meta-rule evaluation can enumerate
 /// candidates for a [`MetaCe`](crate::ir::MetaCe) without scanning
 /// everything.
+///
+/// An optional **journal** records membership changes as [`CsEvent`]s once
+/// [`drain_journal_or_enable`](Self::drain_journal_or_enable) has been
+/// called; the partitioned matcher uses it to patch its merged union
+/// instead of rebuilding it.
 #[derive(Clone, Debug, Default)]
 pub struct ConflictSet {
     by_key: FxHashMap<InstKey, Instantiation>,
+    journal: Option<Vec<CsEvent>>,
 }
 
 impl ConflictSet {
@@ -108,12 +125,25 @@ impl ConflictSet {
 
     /// Inserts an instantiation. Returns false if it was already present.
     pub fn insert(&mut self, inst: Instantiation) -> bool {
-        self.by_key.insert(inst.key(), inst).is_none()
+        let key = inst.key();
+        let fresh = self.by_key.insert(key.clone(), inst).is_none();
+        if fresh {
+            if let Some(j) = &mut self.journal {
+                j.push(CsEvent::Insert(key));
+            }
+        }
+        fresh
     }
 
     /// Removes by key. Returns the instantiation if it was present.
     pub fn remove(&mut self, key: &InstKey) -> Option<Instantiation> {
-        self.by_key.remove(key)
+        let gone = self.by_key.remove(key);
+        if gone.is_some() {
+            if let Some(j) = &mut self.journal {
+                j.push(CsEvent::Remove(key.clone()));
+            }
+        }
+        gone
     }
 
     /// True iff the key is present.
@@ -146,8 +176,34 @@ impl ConflictSet {
     /// were removed.
     pub fn retract_wme(&mut self, id: WmeId) -> usize {
         let before = self.by_key.len();
-        self.by_key.retain(|_, inst| !inst.uses_wme(id));
+        match &mut self.journal {
+            None => self.by_key.retain(|_, inst| !inst.uses_wme(id)),
+            Some(j) => self.by_key.retain(|k, inst| {
+                let keep = !inst.uses_wme(id);
+                if !keep {
+                    j.push(CsEvent::Remove(k.clone()));
+                }
+                keep
+            }),
+        }
         before - self.by_key.len()
+    }
+
+    /// Drains the journal, enabling it on first call.
+    ///
+    /// Returns `None` when journaling was not yet active — membership
+    /// changes before this call were unrecorded, so the caller must treat
+    /// the set as wholly unknown (one full read) before relying on the
+    /// events of subsequent drains. After the first call every
+    /// insert/remove/retract is recorded until the next drain.
+    pub fn drain_journal_or_enable(&mut self) -> Option<Vec<CsEvent>> {
+        match &mut self.journal {
+            None => {
+                self.journal = Some(Vec::new());
+                None
+            }
+            Some(j) => Some(std::mem::take(j)),
+        }
     }
 
     /// A deterministic, sorted snapshot of the instantiations (by key).
@@ -251,6 +307,40 @@ mod tests {
         let mut expect = keys.clone();
         expect.sort();
         assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn journal_records_only_real_membership_changes() {
+        let mut cs = ConflictSet::new();
+        assert!(cs.drain_journal_or_enable().is_none(), "first drain enables");
+        cs.insert(inst(1, &[1]));
+        cs.insert(inst(1, &[1])); // duplicate: no event
+        cs.remove(&inst(9, &[9]).key()); // absent: no event
+        cs.remove(&inst(1, &[1]).key());
+        let events = cs.drain_journal_or_enable().unwrap();
+        assert_eq!(
+            events,
+            vec![
+                CsEvent::Insert(inst(1, &[1]).key()),
+                CsEvent::Remove(inst(1, &[1]).key()),
+            ]
+        );
+        assert!(
+            cs.drain_journal_or_enable().unwrap().is_empty(),
+            "drain resets the journal"
+        );
+    }
+
+    #[test]
+    fn journal_covers_retract_wme() {
+        let mut cs = ConflictSet::new();
+        cs.drain_journal_or_enable();
+        cs.insert(inst(1, &[1, 2]));
+        cs.insert(inst(2, &[3]));
+        cs.drain_journal_or_enable();
+        cs.retract_wme(WmeId(2));
+        let events = cs.drain_journal_or_enable().unwrap();
+        assert_eq!(events, vec![CsEvent::Remove(inst(1, &[1, 2]).key())]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! (a meta CE on the original rule must be able to bind any copy).
 
 use parulel_core::ir::{FieldCheck, FieldTest, MetaCe, MetaRule, Polarity, Rule};
-use parulel_core::{Program, Symbol};
+use parulel_core::{Program, RuleId, Symbol};
 use std::fmt;
 
 /// Errors from the transform.
@@ -149,6 +149,120 @@ pub fn copy_and_constrain(program: &Program, rule_name: &str, k: u32) -> Result<
     Ok(out)
 }
 
+/// [`copy_and_constrain`] with **stable rule ids**: the residue-0 copy
+/// replaces the target *in place* (keeping its `RuleId` and, therefore,
+/// every later rule's id), and the remaining `k - 1` copies are appended
+/// at the end of the program. Returns the rewritten program plus the
+/// appended copies' ids.
+///
+/// This is the variant the *running* engine uses for metrics-driven
+/// splitting: because no pre-existing rule id moves, matcher nets for
+/// untouched rules, refraction keys, and per-rule metrics all stay valid —
+/// only the split rule (and the new copies) need rebuilding.
+pub fn copy_and_constrain_appending(
+    program: &Program,
+    rule_name: &str,
+    k: u32,
+) -> Result<(Program, Vec<RuleId>), CccError> {
+    if k == 0 {
+        return Err(CccError::BadFactor);
+    }
+    let target_id = program
+        .interner
+        .get(rule_name)
+        .and_then(|s| program.rule_by_name(s))
+        .ok_or_else(|| CccError::UnknownRule(rule_name.to_string()))?;
+    let target = program.rule(target_id);
+    let slot = split_slot(program, target)
+        .ok_or_else(|| CccError::NoSplitField(rule_name.to_string()))?;
+    let first_pos = target
+        .positive_ce_indices()
+        .next()
+        .ok_or_else(|| CccError::NoSplitField(rule_name.to_string()))?;
+
+    let make_copy = |residue: u32| {
+        let mut copy = target.clone();
+        copy.name = program
+            .interner
+            .intern(&format!("{rule_name}~{residue}"));
+        copy.ces[first_pos].tests.push(FieldTest {
+            slot,
+            check: FieldCheck::HashMod { divisor: k, residue },
+        });
+        copy
+    };
+
+    let mut out = Program::new(program.interner.clone(), program.classes.clone());
+    let mut copies_of: Vec<Vec<Symbol>> = Vec::with_capacity(program.rules().len());
+    for rule in program.rules() {
+        if rule.id == target_id {
+            let copy = make_copy(0);
+            copies_of.push(vec![copy.name]);
+            out.add_rule(copy)
+                .map_err(|e| CccError::Internal(e.to_string()))?;
+        } else {
+            copies_of.push(vec![rule.name]);
+            out.add_rule(rule.clone())
+                .map_err(|e| CccError::Internal(e.to_string()))?;
+        }
+    }
+    let mut appended = Vec::with_capacity(k as usize - 1);
+    for residue in 1..k {
+        let copy = make_copy(residue);
+        copies_of[target_id.index()].push(copy.name);
+        appended.push(
+            out.add_rule(copy)
+                .map_err(|e| CccError::Internal(e.to_string()))?,
+        );
+    }
+
+    for meta in program.metas() {
+        let choice_lists: Vec<&[Symbol]> = meta
+            .ces
+            .iter()
+            .map(|ce| copies_of[ce.rule.index()].as_slice())
+            .collect();
+        for (combo_idx, combo) in cartesian(&choice_lists).into_iter().enumerate() {
+            let ces: Vec<MetaCe> = meta
+                .ces
+                .iter()
+                .zip(&combo)
+                .map(|(ce, name)| {
+                    let rule = out.rule_by_name(**name).ok_or_else(|| {
+                        CccError::Internal(format!(
+                            "copy '{}' missing from rebuilt program",
+                            out.interner.resolve(**name)
+                        ))
+                    })?;
+                    Ok(MetaCe {
+                        rule,
+                        pats: ce.pats.clone(),
+                    })
+                })
+                .collect::<Result<_, CccError>>()?;
+            let name = if choice_lists.iter().all(|l| l.len() == 1) {
+                meta.name
+            } else {
+                program.interner.intern(&format!(
+                    "{}~{combo_idx}",
+                    program.interner.resolve(meta.name)
+                ))
+            };
+            let expanded = MetaRule {
+                id: meta.id,
+                name,
+                ces,
+                tests: meta.tests.clone(),
+                actions: meta.actions.clone(),
+                num_vars: meta.num_vars,
+            };
+            out.add_meta(expanded)
+                .map_err(|e| CccError::Internal(e.to_string()))?;
+        }
+    }
+    Ok((out, appended))
+}
+
 /// Picks the slot to constrain: the first `Bind` in the first positive CE,
 /// else slot 0 if the class has any fields.
 fn split_slot(program: &Program, rule: &Rule) -> Option<u16> {
@@ -257,6 +371,108 @@ mod tests {
         let mut e = ParallelEngine::new(&split, wm, EngineOptions::default());
         let out = e.run().unwrap();
         assert_eq!(out.cycles, 3, "min-prio serialization survives the split");
+    }
+
+    #[test]
+    fn appending_variant_keeps_ids_stable_and_semantics() {
+        let p = compile(CLOSURE).unwrap();
+        let seed_id = p.rule_by_name(p.interner.get("seed").unwrap()).unwrap();
+        let close_id = p.rule_by_name(p.interner.get("close").unwrap()).unwrap();
+
+        let (split, appended) = copy_and_constrain_appending(&p, "seed", 3).unwrap();
+        assert_eq!(split.rules().len(), 4);
+        assert_eq!(appended.len(), 2);
+        // Copy 0 reuses the target's id; `close` keeps its id; the extra
+        // copies land after every pre-existing rule.
+        assert_eq!(&*split.interner.resolve(split.rule(seed_id).name), "seed~0");
+        assert_eq!(split.rule(close_id).name, p.rule(close_id).name);
+        for (i, id) in appended.iter().enumerate() {
+            assert_eq!(id.index(), p.rules().len() + i);
+            assert_eq!(
+                &*split.interner.resolve(split.rule(*id).name),
+                format!("seed~{}", i + 1)
+            );
+        }
+
+        // Same fixpoint as the id-shifting variant.
+        let mut base = ParallelEngine::new(&p, closure_wm(&p), EngineOptions::default());
+        base.run().unwrap();
+        let mut e = ParallelEngine::new(&split, closure_wm(&split), EngineOptions::default());
+        e.run().unwrap();
+        assert_eq!(e.wm().canonical_facts(), base.wm().canonical_facts());
+    }
+
+    #[test]
+    fn appending_variant_expands_metas() {
+        let src = "
+            (literalize req id prio)
+            (p serve (req ^id <i> ^prio <p>) --> (remove 1))
+            (mp keep-best
+              (inst serve (req ^prio <p1>))
+              (inst serve (req ^prio <p2>))
+              (test (> <p1> <p2>))
+             --> (redact 1))";
+        let p = compile(src).unwrap();
+        let (split, appended) = copy_and_constrain_appending(&p, "serve", 2).unwrap();
+        assert_eq!(split.rules().len(), 2);
+        assert_eq!(appended.len(), 1);
+        assert_eq!(split.metas().len(), 4, "2 CEs x 2 copies = 4 expansions");
+    }
+
+    #[test]
+    fn auto_ccc_splits_preserving_semantics_and_determinism() {
+        use crate::{AutoCcc, MatcherKind};
+        let p = compile(CLOSURE).unwrap();
+        let mut base = ParallelEngine::new(&p, closure_wm(&p), EngineOptions::default());
+        base.run().unwrap();
+        let want = base.wm().canonical_facts();
+
+        let run = || {
+            let opts = EngineOptions {
+                matcher: MatcherKind::PartitionedRete(2),
+                auto_ccc: Some(AutoCcc {
+                    after_cycles: 1,
+                    min_imbalance: 1.0, // always split: pins the mechanism, not the heuristic
+                    factor: 2,
+                }),
+                ..EngineOptions::default()
+            };
+            let mut e = ParallelEngine::new(&p, closure_wm(&p), opts);
+            let out = e.run().unwrap();
+            (
+                out.cycles,
+                out.firings,
+                e.log().to_vec(),
+                e.wm().canonical_facts(),
+            )
+        };
+        let a = run();
+        assert_eq!(a.3, want, "split run reaches the same fixpoint");
+        assert!(
+            a.2.iter().any(|l| l.starts_with("auto-ccc: split rule")),
+            "split must be logged: {:?}",
+            a.2
+        );
+        let b = run();
+        assert_eq!(a, b, "auto-ccc runs are bit-identically reproducible");
+    }
+
+    #[test]
+    fn auto_ccc_is_inert_for_monolithic_matchers() {
+        use crate::AutoCcc;
+        let p = compile(CLOSURE).unwrap();
+        let opts = EngineOptions {
+            auto_ccc: Some(AutoCcc {
+                after_cycles: 0,
+                min_imbalance: 1.0,
+                factor: 4,
+            }),
+            ..EngineOptions::default()
+        };
+        let mut e = ParallelEngine::new(&p, closure_wm(&p), opts);
+        e.run().unwrap();
+        assert!(e.log().iter().all(|l| !l.starts_with("auto-ccc")));
+        assert_eq!(e.program().rules().len(), 2, "program untouched");
     }
 
     #[test]

@@ -21,14 +21,15 @@
 //! nothing would loop forever, so it counts as quiescence), when a `halt`
 //! fires, or at the cycle limit.
 
+use crate::ccc::copy_and_constrain_appending;
 use crate::fire::{self, EngineError, FireResult};
-use crate::metrics::{EngineMetrics, Phase, TraceBuffer, TraceEvent};
+use crate::metrics::{EngineMetrics, Phase, RuleMetrics, TraceBuffer, TraceEvent};
 use crate::policy::{counts_by_rule, FiringPolicy};
 use crate::refraction::Refraction;
 use crate::snapshot::{SnapKey, SnapValue, SnapWme, Snapshot, SnapshotError};
 use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
 use crate::EngineOptions;
-use parulel_core::{InstKey, Instantiation, Program, Value, Wme, WmeId, WorkingMemory};
+use parulel_core::{InstKey, Instantiation, Program, RuleId, Value, Wme, WmeId, WorkingMemory};
 use parulel_match::{Matcher, MatcherMetrics};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -49,6 +50,7 @@ pub struct Engine {
     latest_checkpoint: Option<Snapshot>,
     metrics: EngineMetrics,
     trace_buf: Option<TraceBuffer>,
+    auto_ccc_done: bool,
 }
 
 impl Engine {
@@ -93,6 +95,7 @@ impl Engine {
             latest_checkpoint: None,
             metrics,
             trace_buf,
+            auto_ccc_done: false,
         }
     }
 
@@ -180,6 +183,7 @@ impl Engine {
             latest_checkpoint: None,
             metrics,
             trace_buf,
+            auto_ccc_done: false,
         })
     }
 
@@ -216,6 +220,7 @@ impl Engine {
         self.latest_checkpoint = None;
         self.metrics = EngineMetrics::new(self.opts.metrics, self.program.rules().len());
         self.trace_buf = self.opts.trace_events.map(TraceBuffer::new);
+        self.auto_ccc_done = false;
     }
 
     /// Captures the engine's state as a portable [`Snapshot`]. Valid at
@@ -366,6 +371,89 @@ impl Engine {
         (removed, added)
     }
 
+    /// Metrics-driven copy-and-constrain (see [`crate::AutoCcc`]): at most
+    /// once per run, after the configured number of cycles, split the
+    /// heaviest rule on the heaviest shard and rebuild only its match
+    /// state.
+    ///
+    /// Determinism: every input is a deterministic function of the run so
+    /// far (match-state populations; never wall-clock), ties break to the
+    /// lowest shard index / rule id, and the transform itself is
+    /// deterministic — so two identical runs split identically.
+    fn maybe_auto_ccc(&mut self) {
+        let Some(cfg) = self.opts.auto_ccc else {
+            return;
+        };
+        if self.auto_ccc_done || self.stats.cycles < cfg.after_cycles {
+            return;
+        }
+        // One decision per run, taken or not — re-sampling every later
+        // cycle would pay the metrics walk for nothing.
+        self.auto_ccc_done = true;
+        let sample = self.matcher.metrics();
+        let imbalance = sample.imbalance();
+        if imbalance < cfg.min_imbalance {
+            return;
+        }
+        let factor = if cfg.factor == 0 {
+            sample.shards as u32
+        } else {
+            cfg.factor
+        };
+        if factor < 2 {
+            return;
+        }
+        // First-max keeps ties on the lowest shard index; per_rule_work is
+        // sorted by rule id, so first-max there is the lowest rule id.
+        let mut hot_shard: Option<&MatcherMetrics> = None;
+        for s in sample.per_shard.iter().filter(|s| s.rules > 0) {
+            if hot_shard.is_none_or(|b| s.work() > b.work()) {
+                hot_shard = Some(s);
+            }
+        }
+        let Some(shard) = hot_shard else { return };
+        let mut hot_rule: Option<(u32, usize)> = None;
+        for &(rule, work) in &shard.per_rule_work {
+            if hot_rule.is_none_or(|(_, w)| work > w) {
+                hot_rule = Some((rule, work));
+            }
+        }
+        let Some((rule_raw, _)) = hot_rule else { return };
+        let old_id = RuleId(rule_raw);
+        let name = self.program.rule_name(old_id);
+        match copy_and_constrain_appending(&self.program, &name, factor) {
+            Err(e) => self.log.push(format!("auto-ccc: skipped: {e}")),
+            Ok((split, appended)) => {
+                let new_program = Arc::new(split);
+                let mut add = vec![old_id];
+                add.extend(appended.iter().copied());
+                // The split rule's id is in both lists: its definition
+                // changed (copy 0 gained the residue test), so its net is
+                // rebuilt; every other rule's state is untouched.
+                if !self
+                    .matcher
+                    .replace_rules(&new_program, &[old_id], &add, &self.wm)
+                {
+                    let mut m = self.opts.matcher.build(new_program.clone());
+                    m.seed(&self.wm);
+                    self.matcher = m;
+                }
+                self.refraction.expand_rule(old_id, &appended);
+                self.refraction.prune(self.matcher.conflict_set());
+                self.program = new_program;
+                if self.opts.metrics.per_rule() {
+                    self.metrics
+                        .per_rule
+                        .resize(self.program.rules().len(), RuleMetrics::default());
+                }
+                self.log.push(format!(
+                    "auto-ccc: split rule '{name}' x{factor} after cycle {} (imbalance {imbalance:.2})",
+                    self.stats.cycles
+                ));
+            }
+        }
+    }
+
     /// Executes one cycle. Returns `Ok(true)` if at least one
     /// instantiation fired, `Ok(false)` on quiescence.
     ///
@@ -378,6 +466,7 @@ impl Engine {
     /// stores a [`Snapshot`] in
     /// [`latest_checkpoint`](Self::latest_checkpoint).
     pub fn step(&mut self) -> Result<bool, EngineError> {
+        self.maybe_auto_ccc();
         let cycle_no = self.stats.cycles + 1;
         #[cfg(feature = "fault-inject")]
         self.opts

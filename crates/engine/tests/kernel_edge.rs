@@ -83,6 +83,29 @@ fn empty_wm_quiesces_then_inject_after_fixpoint_resumes_matching() {
 }
 
 #[test]
+fn zero_ce_rules_are_rejected_at_compile_never_reaching_a_matcher() {
+    // RETE's net builder indexes the first join level unconditionally, so
+    // a rule with no positive CE must never survive to matcher build.
+    // Both front doors reject it with a structured error: the parser
+    // refuses an empty LHS outright, and the IR layer refuses a LHS
+    // whose every CE is negative.
+    let err = parulel_lang::compile("(literalize item x) (p nop --> (halt))")
+        .expect_err("empty LHS must not compile");
+    assert!(
+        err.to_string().contains("empty LHS"),
+        "structured parse error, got: {err}"
+    );
+
+    let err =
+        parulel_lang::compile("(literalize item x) (p shadow -(item ^x 1) --> (halt))")
+            .expect_err("negative-only LHS must not compile");
+    assert!(
+        err.to_string().contains("no positive condition element"),
+        "structured IR error, got: {err}"
+    );
+}
+
+#[test]
 fn meta_rule_redacting_the_entire_conflict_set_is_quiescence() {
     // The redact-everything meta-rule: every instantiation of `grow`
     // matches the unconditional (inst grow) CE. Firing nothing forever

@@ -40,7 +40,8 @@ pub use partitioned::Partitioned;
 pub use rete::Rete;
 pub use treat::Treat;
 
-use parulel_core::{ConflictSet, Wme, WorkingMemory};
+use parulel_core::{ConflictSet, CsEvent, Program, RuleId, Wme, WorkingMemory};
+use std::sync::Arc;
 
 /// A point-in-time report of a matcher's internal population, for the
 /// engine's observability layer. Cheap to produce (a walk over the
@@ -74,6 +75,12 @@ pub struct MatcherMetrics {
     pub reenumerations: u64,
     /// Lifetime count of full conflict-set recomputes (naive only).
     pub recomputes: u64,
+    /// Per-rule share of [`work`](Self::work): `(rule id, alpha + beta +
+    /// conflict-set entries attributable to that rule)`, sorted by rule
+    /// id. Populated by RETE and TREAT (and concatenated across shards by
+    /// the partitioned matcher); empty for naive. Metrics-driven
+    /// copy-and-constrain reads this to find the hottest rule.
+    pub per_rule_work: Vec<(u32, usize)>,
     /// Per-worker reports (partitioned matchers only).
     pub per_shard: Vec<MatcherMetrics>,
 }
@@ -90,6 +97,7 @@ impl Default for MatcherMetrics {
             negative_counts: 0,
             reenumerations: 0,
             recomputes: 0,
+            per_rule_work: Vec::new(),
             per_shard: Vec::new(),
         }
     }
@@ -105,11 +113,21 @@ impl MatcherMetrics {
     /// perfectly balanced (or unpartitioned/idle); 2.0 means the hottest
     /// shard carries twice the average — the skew copy-and-constrain
     /// exists to fix.
+    ///
+    /// Only shards that own at least one rule participate: with more
+    /// workers than rules (a legal configuration) the surplus shards can
+    /// never carry work, and counting their zeros would report huge
+    /// imbalance for a perfectly balanced program.
     pub fn imbalance(&self) -> f64 {
-        if self.per_shard.len() < 2 {
+        let works: Vec<f64> = self
+            .per_shard
+            .iter()
+            .filter(|s| s.rules > 0)
+            .map(|s| s.work() as f64)
+            .collect();
+        if works.len() < 2 {
             return 1.0;
         }
-        let works: Vec<f64> = self.per_shard.iter().map(|s| s.work() as f64).collect();
         let mean = works.iter().sum::<f64>() / works.len() as f64;
         if mean == 0.0 {
             return 1.0;
@@ -149,9 +167,88 @@ pub trait Matcher: Send {
     /// The current conflict set.
     fn conflict_set(&mut self) -> &ConflictSet;
 
+    /// Drains the conflict-set change events recorded since the last
+    /// drain, enabling recording on first call.
+    ///
+    /// `None` means this matcher does not track deltas (or had not yet
+    /// started recording): the caller must read the full conflict set once
+    /// before relying on subsequent drains. The partitioned matcher uses
+    /// this to patch its merged union incrementally. The default keeps
+    /// matchers delta-blind.
+    fn drain_cs_events(&mut self) -> Option<Vec<CsEvent>> {
+        None
+    }
+
     /// A snapshot of the matcher's internal population. The default is an
     /// empty report; the four shipped matchers all override it.
     fn metrics(&self) -> MatcherMetrics {
         MatcherMetrics::default()
+    }
+
+    /// Surgically swaps a set of rules for another against the *new*
+    /// program `_program`: nets/memories for `_remove` are dropped (their
+    /// conflict-set entries purged) and nets for `_add` are built and
+    /// seeded from `_wm`. Both lists name rules by their ids **in the new
+    /// program**; a rule id appearing in both lists is rebuilt (its
+    /// definition changed). Returns `false` when the matcher does not
+    /// support in-place replacement — the caller must then rebuild the
+    /// whole matcher. Used by metrics-driven copy-and-constrain, which
+    /// splits one hot rule without touching the others' state.
+    fn replace_rules(
+        &mut self,
+        _program: &Arc<Program>,
+        _remove: &[RuleId],
+        _add: &[RuleId],
+        _wm: &WorkingMemory,
+    ) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::MatcherMetrics;
+
+    fn shard(rules: usize, work: usize) -> MatcherMetrics {
+        MatcherMetrics {
+            rules,
+            alpha_wmes: work,
+            ..Default::default()
+        }
+    }
+
+    fn with_shards(per_shard: Vec<MatcherMetrics>) -> MatcherMetrics {
+        MatcherMetrics {
+            per_shard,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn imbalance_ignores_rule_less_shards() {
+        // 4 rules spread over 64 workers, perfectly balanced: the 60
+        // zero-work shards must not drag the mean down.
+        let m = with_shards(
+            (0..64)
+                .map(|i| shard(usize::from(i < 4), if i < 4 { 10 } else { 0 }))
+                .collect(),
+        );
+        assert_eq!(m.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_still_sees_real_skew() {
+        let m = with_shards(vec![shard(1, 30), shard(1, 10), shard(0, 0)]);
+        assert!((m.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases_are_balanced() {
+        let m = MatcherMetrics::default();
+        assert_eq!(m.imbalance(), 1.0, "unpartitioned");
+        let m = with_shards(vec![shard(1, 0), shard(1, 0)]);
+        assert_eq!(m.imbalance(), 1.0, "idle shards");
+        let m = with_shards(vec![shard(1, 5), shard(0, 0)]);
+        assert_eq!(m.imbalance(), 1.0, "only one shard owns rules");
     }
 }

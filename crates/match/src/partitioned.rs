@@ -13,16 +13,37 @@
 //! addresses by splitting hot rules into hash-disjoint copies first.
 
 use crate::{Matcher, Rete, Treat};
-use parulel_core::{ConflictSet, Program, RuleId, Wme};
+use parulel_core::{ConflictSet, CsEvent, Program, RuleId, Wme, WorkingMemory};
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A matcher that distributes rules across `n` inner matchers and applies
 /// deltas to them in parallel.
+///
+/// The merged conflict set is maintained **incrementally**: after every
+/// delta each worker's conflict-set journal ([`Matcher::drain_cs_events`])
+/// is absorbed, and `conflict_set()` replays the buffered events against
+/// the merged set instead of re-unioning every worker's set from scratch.
+/// Rule partitions are disjoint, so workers can never disagree about a
+/// key and in-order replay yields exactly the union. Workers that don't
+/// journal (the trait default) force a full rebuild, as does
+/// [`replace_rules`](Matcher::replace_rules).
 pub struct Partitioned<M: Matcher> {
     workers: Vec<M>,
+    /// Which rules each worker owns (parallel to `workers`).
+    assignments: Vec<Vec<RuleId>>,
     merged: ConflictSet,
+    /// Buffered journal events per worker, not yet replayed into `merged`.
+    pending: Vec<Vec<CsEvent>>,
     dirty: bool,
+    /// The merged set cannot be patched (journals unavailable or state
+    /// replaced wholesale); rebuild it from the workers' sets.
+    rebuild: bool,
+    /// Diagnostic toggle: treat every merge as a rebuild (the pre-journal
+    /// behavior). Exists so benchmarks can price the difference.
+    force_full: bool,
+    merge_rebuilds: u64,
+    merge_patch_events: u64,
 }
 
 /// Round-robin rule partition: rule *i* goes to worker *i mod n*.
@@ -51,20 +72,61 @@ impl<M: Matcher> Partitioned<M> {
         make: impl Fn(Arc<Program>, Vec<RuleId>) -> M,
     ) -> Self {
         let parts = round_robin(program.rules().len(), n);
-        let workers = parts
-            .into_iter()
-            .map(|rules| make(program.clone(), rules))
+        let workers: Vec<M> = parts
+            .iter()
+            .map(|rules| make(program.clone(), rules.clone()))
             .collect();
+        let n = workers.len();
         Partitioned {
             workers,
+            assignments: parts,
             merged: ConflictSet::new(),
+            pending: vec![Vec::new(); n],
             dirty: true,
+            rebuild: true,
+            force_full: false,
+            merge_rebuilds: 0,
+            merge_patch_events: 0,
         }
     }
 
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// When set, every merge falls back to the full per-worker re-union
+    /// (the pre-incremental behavior). For benchmarking the incremental
+    /// union against its predecessor; leave off otherwise.
+    pub fn set_force_full_merge(&mut self, on: bool) {
+        self.force_full = on;
+    }
+
+    /// Lifetime merge counters: `(full rebuilds, journal events replayed)`.
+    pub fn merge_stats(&self) -> (u64, u64) {
+        (self.merge_rebuilds, self.merge_patch_events)
+    }
+
+    /// Absorbs each worker's conflict-set journal into the per-worker
+    /// pending buffers. A worker with no journal support forces a rebuild;
+    /// a worker with an empty journal contributes nothing — in particular,
+    /// a quiescent delta leaves the merged set clean (`dirty` stays
+    /// false), so `conflict_set()` is free.
+    fn absorb_deltas(&mut self) {
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            match w.drain_cs_events() {
+                None => {
+                    self.rebuild = true;
+                    self.dirty = true;
+                }
+                Some(events) => {
+                    if !events.is_empty() {
+                        self.dirty = true;
+                        self.pending[i].extend(events);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -87,45 +149,129 @@ impl<M: Matcher> Matcher for Partitioned<M> {
         for w in &mut self.workers {
             w.add_wme(wme);
         }
-        self.dirty = true;
+        self.absorb_deltas();
     }
 
     fn remove_wme(&mut self, wme: &Wme) {
         for w in &mut self.workers {
             w.remove_wme(wme);
         }
-        self.dirty = true;
+        self.absorb_deltas();
     }
 
     fn apply(&mut self, removed: &[Wme], added: &[Wme]) {
         self.workers.par_iter_mut().for_each(|w| {
             w.apply(removed, added);
         });
-        self.dirty = true;
+        self.absorb_deltas();
     }
 
-    fn seed(&mut self, wm: &parulel_core::WorkingMemory) {
+    fn seed(&mut self, wm: &WorkingMemory) {
         let all: Vec<Wme> = wm.iter().cloned().collect();
         self.workers.par_iter_mut().for_each(|w| {
             for wme in &all {
                 w.add_wme(wme);
             }
         });
-        self.dirty = true;
+        self.absorb_deltas();
     }
 
     fn conflict_set(&mut self) -> &ConflictSet {
-        if self.dirty {
+        if self.rebuild || (self.dirty && self.force_full) {
             let mut merged = ConflictSet::new();
-            for w in &mut self.workers {
+            for (i, w) in self.workers.iter_mut().enumerate() {
+                // Discard any buffered/journaled events: the full read
+                // re-establishes the baseline they patched.
+                self.pending[i].clear();
+                let _ = w.drain_cs_events();
                 for inst in w.conflict_set().iter() {
                     merged.insert(inst.clone());
                 }
             }
             self.merged = merged;
+            self.merge_rebuilds += 1;
+            self.rebuild = false;
+            self.dirty = false;
+        } else if self.dirty {
+            let Partitioned {
+                workers,
+                merged,
+                pending,
+                merge_patch_events,
+                ..
+            } = self;
+            for (i, w) in workers.iter_mut().enumerate() {
+                let events = std::mem::take(&mut pending[i]);
+                if events.is_empty() {
+                    continue;
+                }
+                *merge_patch_events += events.len() as u64;
+                let cs = w.conflict_set();
+                for ev in events {
+                    match ev {
+                        // An inserted key that is absent from the final
+                        // set was removed by a later event; skipping it
+                        // here and letting that Remove no-op keeps replay
+                        // order-correct.
+                        CsEvent::Insert(key) => {
+                            if let Some(inst) = cs.get(&key) {
+                                merged.insert(inst.clone());
+                            }
+                        }
+                        CsEvent::Remove(key) => {
+                            merged.remove(&key);
+                        }
+                    }
+                }
+            }
             self.dirty = false;
         }
         &self.merged
+    }
+
+    fn replace_rules(
+        &mut self,
+        program: &Arc<Program>,
+        remove: &[RuleId],
+        add: &[RuleId],
+        wm: &WorkingMemory,
+    ) -> bool {
+        // Every removed rule keeps pointing at its owner; added rules are
+        // spread from the first removed rule's owner onward so the new
+        // copies land on distinct workers (the whole point of the split).
+        let owner_of = |rid: RuleId| {
+            self.assignments
+                .iter()
+                .position(|rules| rules.contains(&rid))
+        };
+        let Some(base) = remove.first().copied().and_then(owner_of) else {
+            return false;
+        };
+        let n = self.workers.len();
+        let mut per_worker: Vec<(Vec<RuleId>, Vec<RuleId>)> = vec![Default::default(); n];
+        for &rid in remove {
+            let Some(owner) = owner_of(rid) else {
+                return false;
+            };
+            per_worker[owner].0.push(rid);
+        }
+        for (j, &rid) in add.iter().enumerate() {
+            per_worker[(base + j) % n].1.push(rid);
+        }
+        for (i, (rm, ad)) in per_worker.iter().enumerate() {
+            if rm.is_empty() && ad.is_empty() {
+                continue;
+            }
+            if !self.workers[i].replace_rules(program, rm, ad, wm) {
+                return false;
+            }
+            self.assignments[i].retain(|r| !rm.contains(r));
+            self.assignments[i].extend(ad.iter().copied());
+            self.assignments[i].sort();
+        }
+        self.rebuild = true;
+        self.dirty = true;
+        true
     }
 
     fn metrics(&self) -> crate::MatcherMetrics {
@@ -148,6 +294,16 @@ impl<M: Matcher> Matcher for Partitioned<M> {
             negative_counts: per_shard.iter().map(|s| s.negative_counts).sum(),
             reenumerations: per_shard.iter().map(|s| s.reenumerations).sum(),
             recomputes: per_shard.iter().map(|s| s.recomputes).sum(),
+            per_rule_work: {
+                // Disjoint partitions: concatenating and sorting yields
+                // the exact per-rule totals.
+                let mut prw: Vec<(u32, usize)> = per_shard
+                    .iter()
+                    .flat_map(|s| s.per_rule_work.iter().copied())
+                    .collect();
+                prw.sort_unstable();
+                prw
+            },
             per_shard: Vec::new(),
         };
         m.per_shard = per_shard;
@@ -244,5 +400,91 @@ mod tests {
         m.seed(&wm);
         assert!(!m.conflict_set().is_empty());
         assert_eq!(m.num_workers(), 64);
+        // S1 regression: round-robin over 64 workers leaves 60 shards
+        // rule-less; they must not count as imbalance.
+        let imb = m.metrics().imbalance();
+        assert!(imb < 10.0, "rule-less shards inflated imbalance: {imb}");
+    }
+
+    #[test]
+    fn incremental_union_tracks_per_delta_changes() {
+        let (p, wm) = setup();
+        let all: Vec<Wme> = wm.sorted_snapshot();
+        let mut inc = Partitioned::rete(p.clone(), 3);
+        let mut full = Partitioned::rete(p.clone(), 3);
+        full.set_force_full_merge(true);
+        inc.seed(&wm);
+        full.seed(&wm);
+        assert_eq!(
+            inc.conflict_set().sorted_keys(),
+            full.conflict_set().sorted_keys()
+        );
+        // Interleave adds/removes, comparing after every delta.
+        for w in &all {
+            inc.remove_wme(w);
+            full.remove_wme(w);
+            assert_eq!(
+                inc.conflict_set().sorted_keys(),
+                full.conflict_set().sorted_keys()
+            );
+            inc.add_wme(w);
+            full.add_wme(w);
+            assert_eq!(
+                inc.conflict_set().sorted_keys(),
+                full.conflict_set().sorted_keys()
+            );
+        }
+        let (rebuilds, patched) = inc.merge_stats();
+        assert_eq!(rebuilds, 1, "only the seed-time baseline rebuild");
+        assert!(patched > 0, "later merges were journal replays");
+        let (full_rebuilds, full_patched) = full.merge_stats();
+        assert!(full_rebuilds > 1);
+        assert_eq!(full_patched, 0);
+    }
+
+    #[test]
+    fn quiescent_delta_leaves_merged_set_clean() {
+        // S2: a delta that changes no worker's conflict set must not
+        // force merged-set work on the next conflict_set() call.
+        let src = "
+            (literalize a x)
+            (literalize inert x)
+            (p r (a ^x <v>) (a ^x <v>) --> (halt))";
+        let p = Arc::new(compile(src).unwrap());
+        let mut wm = WorkingMemory::new(&p.classes);
+        let a = p.classes.id_of(p.interner.intern("a")).unwrap();
+        let inert = p.classes.id_of(p.interner.intern("inert")).unwrap();
+        wm.insert(a, vec![Value::Int(1)]);
+        let mut m = Partitioned::rete(p.clone(), 2);
+        m.seed(&wm);
+        assert_eq!(m.conflict_set().len(), 1);
+        let (rebuilds, patched) = m.merge_stats();
+        // `inert` matches no rule: conflict sets are untouched.
+        let w = wm.insert(inert, vec![Value::Int(9)]);
+        m.apply(&[], std::slice::from_ref(&w));
+        assert_eq!(m.conflict_set().len(), 1);
+        m.apply(&[w], &[]);
+        assert_eq!(m.conflict_set().len(), 1);
+        assert_eq!(
+            m.merge_stats(),
+            (rebuilds, patched),
+            "quiescent deltas must not rebuild or patch the merged set"
+        );
+    }
+
+    #[test]
+    fn replace_rules_is_equivalent_to_fresh_build() {
+        // Swap r3 for itself against the same program: state must match a
+        // freshly-built matcher exactly.
+        let (p, wm) = setup();
+        let mut m = Partitioned::rete(p.clone(), 2);
+        m.seed(&wm);
+        let want = m.conflict_set().sorted_keys();
+        assert!(m.replace_rules(&p, &[RuleId(2)], &[RuleId(2)], &wm));
+        assert_eq!(m.conflict_set().sorted_keys(), want);
+        let mut t = Partitioned::treat(p.clone(), 2);
+        t.seed(&wm);
+        assert!(t.replace_rules(&p, &[RuleId(2)], &[RuleId(2)], &wm));
+        assert_eq!(t.conflict_set().sorted_keys(), want);
     }
 }

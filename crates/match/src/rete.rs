@@ -30,21 +30,24 @@
 
 use crate::Matcher;
 use parulel_core::{
-    ConditionElement, ConflictSet, FxHashMap, FxHashSet, InstKey, Instantiation, Polarity, Program,
-    RuleId, TestExpr, Value, VarId, Wme, WmeId,
+    ConditionElement, ConflictSet, CsEvent, FxHashMap, FxHashSet, InstKey, Instantiation, Polarity,
+    Program, RuleId, TestExpr, Value, VarId, Wme, WmeId, WorkingMemory,
 };
 use std::sync::Arc;
 
 type TokKey = Arc<[WmeId]>;
 type KeyVals = Box<[Value]>;
+/// Alpha memories and tokens share one allocation per WME per add:
+/// propagation clones the `Arc`, never the WME payload.
+type AWme = Arc<Wme>;
 
 /// A partial match: the first `k` CEs of a rule, satisfied consistently.
 #[derive(Clone, Debug)]
 struct Token {
     /// Ids of the positive WMEs matched so far (the identity).
     key: TokKey,
-    /// The matched positive WMEs.
-    wmes: Vec<Wme>,
+    /// The matched positive WMEs (shared, not cloned, per level).
+    wmes: Vec<AWme>,
     /// Variable bindings (full rule width).
     env: Box<[Value]>,
 }
@@ -57,7 +60,7 @@ struct Level {
     /// Equality join keys: `(slot, var)`.
     keys: Vec<(u16, VarId)>,
     /// Alpha memory: WMEs passing class + constant tests.
-    alpha: FxHashMap<WmeId, Wme>,
+    alpha: FxHashMap<WmeId, AWme>,
     /// Alpha memory indexed by join-key values.
     alpha_index: FxHashMap<KeyVals, FxHashSet<WmeId>>,
     /// Input tokens (previous level's outputs) indexed by this level's
@@ -142,56 +145,203 @@ impl Rete {
         let mut nets = Vec::with_capacity(rules.len());
         let mut cs = ConflictSet::new();
         for rid in rules {
-            let rule = program.rule(rid);
-            let mut levels: Vec<Level> = rule
-                .ces
-                .iter()
-                .enumerate()
-                .map(|(k, ce)| Level {
-                    ce: ce.clone(),
-                    tests: rule
-                        .tests
-                        .iter()
-                        .filter(|t| t.anchor == k)
-                        .map(|t| t.test.clone())
-                        .collect(),
-                    keys: ce.eq_join_keys(rule.vars_bound_by(k)),
-                    alpha: FxHashMap::default(),
-                    alpha_index: FxHashMap::default(),
-                    left_index: FxHashMap::default(),
-                    tokens: FxHashMap::default(),
-                    neg_counts: FxHashMap::default(),
-                    by_wme: FxHashMap::default(),
-                    children: FxHashMap::default(),
-                })
-                .collect();
-            let root = Token {
-                key: Arc::from(Vec::new()),
-                wmes: Vec::new(),
-                env: vec![Value::NIL; rule.num_vars as usize].into(),
-            };
-            // Register the root token as input to level 0 and let it flow
-            // through any leading negative levels (alphas are empty now).
-            let kv = levels[0].token_keyvals(&root);
-            levels[0]
-                .left_index
-                .entry(kv)
-                .or_default()
-                .insert(root.key.clone());
-            let mut net = RuleNet {
-                rule: rid,
-                levels,
-                root,
-            };
-            if net.levels[0].is_negative() {
-                net.levels[0].neg_counts.insert(net.root.key.clone(), 0);
-                let tok = net.root.clone();
-                net.insert_token(0, tok, &mut cs);
-            }
-            nets.push(net);
+            nets.push(build_net(&program, rid, &mut cs));
         }
         Rete { nets, cs }
     }
+}
+
+#[cfg(debug_assertions)]
+impl Rete {
+    /// Verifies every cross-index of the network agrees (debug builds
+    /// only; the differential suite calls this after each batch so index
+    /// leaks/desyncs surface at the op that caused them, not as a wrong
+    /// conflict set much later). Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        for net in &self.nets {
+            let rule = net.rule.0;
+            for (k, level) in net.levels.iter().enumerate() {
+                // Alpha memory and its index mirror each other exactly.
+                let mut indexed = 0usize;
+                for (kv, bucket) in &level.alpha_index {
+                    assert!(!bucket.is_empty(), "r{rule} L{k}: empty alpha bucket");
+                    for wid in bucket {
+                        let wme = level
+                            .alpha
+                            .get(wid)
+                            .unwrap_or_else(|| panic!("r{rule} L{k}: indexed {wid} not in alpha"));
+                        assert_eq!(
+                            &level.wme_keyvals(wme),
+                            kv,
+                            "r{rule} L{k}: {wid} filed under wrong key"
+                        );
+                        indexed += 1;
+                    }
+                }
+                assert_eq!(indexed, level.alpha.len(), "r{rule} L{k}: alpha_index desync");
+                // Tokens and their removal/cascade indexes agree.
+                for (key, tok) in &level.tokens {
+                    assert_eq!(key, &tok.key, "r{rule} L{k}: token filed under wrong key");
+                    for id in key.iter() {
+                        assert!(
+                            level.by_wme.get(id).is_some_and(|s| s.contains(key)),
+                            "r{rule} L{k}: token missing from by_wme[{id}]"
+                        );
+                    }
+                }
+                for (id, keys) in &level.by_wme {
+                    assert!(!keys.is_empty(), "r{rule} L{k}: empty by_wme[{id}] bucket");
+                    for key in keys {
+                        assert!(
+                            level.tokens.contains_key(key),
+                            "r{rule} L{k}: by_wme[{id}] points at dead token"
+                        );
+                    }
+                }
+                for (parent, kids) in &level.children {
+                    assert!(!kids.is_empty(), "r{rule} L{k}: empty children bucket");
+                    for kid in kids {
+                        assert!(
+                            level.tokens.contains_key(kid),
+                            "r{rule} L{k}: children points at dead token"
+                        );
+                        assert_eq!(
+                            &level.parent_key(kid),
+                            parent,
+                            "r{rule} L{k}: child filed under wrong parent"
+                        );
+                    }
+                }
+                // Left inputs are live tokens of the previous level (or
+                // the permanent root entry at level 0).
+                let mut left_keys: FxHashSet<&TokKey> = FxHashSet::default();
+                for (kv, bucket) in &level.left_index {
+                    assert!(!bucket.is_empty(), "r{rule} L{k}: empty left bucket");
+                    for tkey in bucket {
+                        let tok = if k == 0 {
+                            assert!(tkey.is_empty(), "r{rule} L0: non-root left input");
+                            net.root.clone()
+                        } else {
+                            net.levels[k - 1]
+                                .tokens
+                                .get(tkey)
+                                .unwrap_or_else(|| {
+                                    panic!("r{rule} L{k}: left input not live upstream")
+                                })
+                                .clone()
+                        };
+                        assert_eq!(
+                            &level.token_keyvals(&tok),
+                            kv,
+                            "r{rule} L{k}: left input under wrong key"
+                        );
+                        left_keys.insert(tkey);
+                    }
+                }
+                if level.is_negative() {
+                    // Every live input has exactly one count; no orphans.
+                    assert_eq!(
+                        left_keys.len(),
+                        level.neg_counts.len(),
+                        "r{rule} L{k}: neg_counts/left_index desync"
+                    );
+                    for tkey in level.neg_counts.keys() {
+                        assert!(
+                            left_keys.contains(tkey),
+                            "r{rule} L{k}: orphaned negative count"
+                        );
+                    }
+                }
+            }
+            // The last level's outputs are exactly this rule's
+            // conflict-set entries.
+            if let Some(last) = net.levels.last() {
+                for key in last.tokens.keys() {
+                    let ik = InstKey {
+                        rule: net.rule,
+                        wmes: key.clone(),
+                    };
+                    assert!(
+                        self.cs.contains(&ik),
+                        "r{rule}: final token missing from conflict set"
+                    );
+                }
+                let in_cs = self.cs.iter().filter(|i| i.rule == net.rule).count();
+                assert_eq!(
+                    in_cs,
+                    last.tokens.len(),
+                    "r{rule}: conflict set/final level desync"
+                );
+            }
+        }
+    }
+}
+
+/// Builds one rule's (empty) network, inserting into `cs` anything the
+/// empty network already derives (a leading-negative rule matches the root
+/// token; a zero-CE rule has exactly one vacuous instantiation, matching
+/// what enumeration-based matchers produce).
+fn build_net(program: &Program, rid: RuleId, cs: &mut ConflictSet) -> RuleNet {
+    let rule = program.rule(rid);
+    let mut levels: Vec<Level> = rule
+        .ces
+        .iter()
+        .enumerate()
+        .map(|(k, ce)| Level {
+            ce: ce.clone(),
+            tests: rule
+                .tests
+                .iter()
+                .filter(|t| t.anchor == k)
+                .map(|t| t.test.clone())
+                .collect(),
+            keys: ce.eq_join_keys(rule.vars_bound_by(k)),
+            alpha: FxHashMap::default(),
+            alpha_index: FxHashMap::default(),
+            left_index: FxHashMap::default(),
+            tokens: FxHashMap::default(),
+            neg_counts: FxHashMap::default(),
+            by_wme: FxHashMap::default(),
+            children: FxHashMap::default(),
+        })
+        .collect();
+    let root = Token {
+        key: Arc::from(Vec::new()),
+        wmes: Vec::new(),
+        env: vec![Value::NIL; rule.num_vars as usize].into(),
+    };
+    if levels.is_empty() {
+        // No CEs at all: both the `parulel-lang` parser (empty LHS) and
+        // `Program::add_rule` (no positive CE) reject such rules, so this
+        // is unreachable through the public pipeline — but match
+        // vacuously (once, like enumeration-based matchers would) rather
+        // than leave a latent `levels[0]` panic below.
+        cs.insert(Instantiation::new(rid, Vec::<Wme>::new(), root.env.to_vec()));
+        return RuleNet {
+            rule: rid,
+            levels,
+            root,
+        };
+    }
+    // Register the root token as input to level 0 and let it flow
+    // through any leading negative levels (alphas are empty now).
+    let kv = levels[0].token_keyvals(&root);
+    levels[0]
+        .left_index
+        .entry(kv)
+        .or_default()
+        .insert(root.key.clone());
+    let mut net = RuleNet {
+        rule: rid,
+        levels,
+        root,
+    };
+    if net.levels[0].is_negative() {
+        net.levels[0].neg_counts.insert(net.root.key.clone(), 0);
+        let tok = net.root.clone();
+        net.insert_token(0, tok, cs);
+    }
+    net
 }
 
 impl RuleNet {
@@ -201,7 +351,8 @@ impl RuleNet {
     }
 
     /// Extends `tok` with `wme` at positive level `k`, if consistent.
-    fn extend(&self, k: usize, tok: &Token, wme: &Wme) -> Option<Token> {
+    /// Clones the `Arc`, not the WME.
+    fn extend(&self, k: usize, tok: &Token, wme: &AWme) -> Option<Token> {
         let level = &self.levels[k];
         let mut env = tok.env.clone();
         if !level.ce.run_beta(wme, &mut env) {
@@ -250,11 +401,10 @@ impl RuleNet {
             .or_default()
             .insert(tok.key.clone());
         if k + 1 == self.depth() {
-            cs.insert(Instantiation::new(
-                self.rule,
-                tok.wmes.clone(),
-                tok.env.to_vec(),
-            ));
+            // The only place full WME payloads are cloned: materializing
+            // the instantiation handed to the conflict set.
+            let wmes: Vec<Wme> = tok.wmes.iter().map(|w| (**w).clone()).collect();
+            cs.insert(Instantiation::new(self.rule, wmes, tok.env.to_vec()));
             return;
         }
         let next = k + 1;
@@ -280,7 +430,10 @@ impl RuleNet {
                 self.insert_token(next, tok, cs);
             }
         } else {
-            let candidates: Vec<Wme> = match self.levels[next].alpha_index.get(&kv) {
+            // Arc clones only — candidate payloads stay in the alpha
+            // memory; this Vec exists to end the borrow of `self.levels`
+            // before the recursive insert below.
+            let candidates: Vec<AWme> = match self.levels[next].alpha_index.get(&kv) {
                 Some(bucket) => {
                     let level = &self.levels[next];
                     bucket.iter().map(|wid| level.alpha[wid].clone()).collect()
@@ -364,7 +517,9 @@ impl RuleNet {
         }
     }
 
-    fn add_wme(&mut self, wme: &Wme, cs: &mut ConflictSet) {
+    /// Feeds one WME (as a shared `Arc`) through this net: every alpha
+    /// memory stores the same allocation.
+    fn add_wme(&mut self, wme: &AWme, cs: &mut ConflictSet) {
         for k in 0..self.depth() {
             if !self.levels[k].ce.passes_alpha(wme) {
                 continue;
@@ -486,8 +641,11 @@ impl RuleNet {
 
 impl Matcher for Rete {
     fn add_wme(&mut self, wme: &Wme) {
+        // One allocation per add, shared by every net's alpha memories
+        // and every token that matches it.
+        let wme: AWme = Arc::new(wme.clone());
         for net in &mut self.nets {
-            net.add_wme(wme, &mut self.cs);
+            net.add_wme(&wme, &mut self.cs);
         }
     }
 
@@ -501,6 +659,10 @@ impl Matcher for Rete {
         &self.cs
     }
 
+    fn drain_cs_events(&mut self) -> Option<Vec<CsEvent>> {
+        self.cs.drain_journal_or_enable()
+    }
+
     fn metrics(&self) -> crate::MatcherMetrics {
         let mut m = crate::MatcherMetrics {
             kind: "rete",
@@ -508,14 +670,55 @@ impl Matcher for Rete {
             conflict_set: self.cs.len(),
             ..Default::default()
         };
+        let mut cs_by_rule: FxHashMap<u32, usize> = FxHashMap::default();
+        for inst in self.cs.iter() {
+            *cs_by_rule.entry(inst.rule.0).or_default() += 1;
+        }
         for net in &self.nets {
+            let mut work = cs_by_rule.get(&net.rule.0).copied().unwrap_or(0);
             for level in &net.levels {
                 m.alpha_wmes += level.alpha.len();
                 m.beta_tokens += level.tokens.len();
                 m.negative_counts += level.neg_counts.len();
+                work += level.alpha.len() + level.tokens.len();
+            }
+            m.per_rule_work.push((net.rule.0, work));
+        }
+        m.per_rule_work.sort_unstable();
+        m
+    }
+
+    fn replace_rules(
+        &mut self,
+        program: &Arc<Program>,
+        remove: &[RuleId],
+        add: &[RuleId],
+        wm: &WorkingMemory,
+    ) -> bool {
+        for &rid in remove {
+            self.nets.retain(|n| n.rule != rid);
+            let stale: Vec<InstKey> = self
+                .cs
+                .iter()
+                .filter(|i| i.rule == rid)
+                .map(|i| i.key())
+                .collect();
+            for k in stale {
+                self.cs.remove(&k);
             }
         }
-        m
+        for &rid in add {
+            let mut net = build_net(program, rid, &mut self.cs);
+            for w in wm.iter() {
+                let aw: AWme = Arc::new(w.clone());
+                net.add_wme(&aw, &mut self.cs);
+            }
+            self.nets.push(net);
+        }
+        // Net order is not semantically observable (the conflict set is a
+        // set), but keep it sorted so metrics read deterministically.
+        self.nets.sort_by_key(|n| n.rule);
+        true
     }
 }
 
@@ -746,7 +949,45 @@ mod tests {
                 assert!(level.alpha_index.is_empty());
                 assert!(level.by_wme.is_empty(), "level {k} wme index leaked");
                 assert!(level.children.is_empty(), "level {k} child index leaked");
+                // The only permanent entry is the root token registered as
+                // level 0's input (plus its count when level 0 is
+                // negative) — everything else must drain.
+                if k == 0 {
+                    let entries: usize = level.left_index.values().map(|b| b.len()).sum();
+                    assert_eq!(entries, 1, "level 0 must keep exactly the root input");
+                    assert!(
+                        level.left_index.values().flatten().all(|t| t.is_empty()),
+                        "level 0 left input is not the root token"
+                    );
+                    let want_counts = usize::from(level.is_negative());
+                    assert_eq!(level.neg_counts.len(), want_counts, "level 0 neg_counts");
+                } else {
+                    assert!(level.left_index.is_empty(), "level {k} left index leaked");
+                    assert!(level.neg_counts.is_empty(), "level {k} neg counts leaked");
+                }
             }
         }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn replace_rules_swap_matches_fresh_build() {
+        let p = prog(
+            "(literalize edge from to)
+             (p hop (edge ^from <a> ^to <b>) (edge ^from <b> ^to <c>) --> (halt))",
+        );
+        let mut wm = WorkingMemory::new(&p.classes);
+        let edge = p.classes.id_of(p.interner.intern("edge")).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            wm.insert(edge, vec![Value::Int(a), Value::Int(b)]);
+        }
+        let mut m = Rete::new(p.clone());
+        for w in wm.iter() {
+            m.add_wme(w);
+        }
+        let want = m.conflict_set().sorted_keys();
+        assert!(m.replace_rules(&p, &[RuleId(0)], &[RuleId(0)], &wm));
+        assert_eq!(m.conflict_set().sorted_keys(), want);
+        m.check_invariants();
     }
 }

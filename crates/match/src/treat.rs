@@ -21,7 +21,9 @@
 
 use crate::enumerate::enumerate_rule;
 use crate::Matcher;
-use parulel_core::{ConflictSet, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WmeId};
+use parulel_core::{
+    ConflictSet, CsEvent, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WmeId, WorkingMemory,
+};
 use std::sync::Arc;
 
 /// Per-rule alpha memories.
@@ -183,7 +185,27 @@ impl Matcher for Treat {
         &self.cs
     }
 
+    fn drain_cs_events(&mut self) -> Option<Vec<CsEvent>> {
+        self.cs.drain_journal_or_enable()
+    }
+
     fn metrics(&self) -> crate::MatcherMetrics {
+        let mut cs_by_rule: FxHashMap<u32, usize> = FxHashMap::default();
+        for inst in self.cs.iter() {
+            *cs_by_rule.entry(inst.rule.0).or_default() += 1;
+        }
+        let mut per_rule_work: Vec<(u32, usize)> = self
+            .rules
+            .iter()
+            .map(|ra| {
+                let alphas: usize = ra.mems.iter().map(|m| m.len()).sum();
+                (
+                    ra.rule.0,
+                    alphas + cs_by_rule.get(&ra.rule.0).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        per_rule_work.sort_unstable();
         crate::MatcherMetrics {
             kind: "treat",
             rules: self.rules.len(),
@@ -194,8 +216,56 @@ impl Matcher for Treat {
                 .map(|ra| ra.mems.iter().map(|m| m.len()).sum::<usize>())
                 .sum(),
             reenumerations: self.reenumerations,
+            per_rule_work,
             ..Default::default()
         }
+    }
+
+    fn replace_rules(
+        &mut self,
+        program: &Arc<Program>,
+        remove: &[RuleId],
+        add: &[RuleId],
+        wm: &WorkingMemory,
+    ) -> bool {
+        // Rule ids are stable across the transform, so swapping the
+        // program under the untouched rules is sound: their definitions
+        // are identical in the new program.
+        self.program = program.clone();
+        for &rid in remove {
+            self.rules.retain(|ra| ra.rule != rid);
+            let stale: Vec<InstKey> = self
+                .cs
+                .iter()
+                .filter(|i| i.rule == rid)
+                .map(|i| i.key())
+                .collect();
+            for k in stale {
+                self.cs.remove(&k);
+            }
+        }
+        for &rid in add {
+            let rule = program.rule(rid);
+            let mut ra = RuleAlphas {
+                rule: rid,
+                mems: vec![FxHashMap::default(); rule.ces.len()],
+            };
+            for w in wm.iter() {
+                for (ci, ce) in rule.ces.iter().enumerate() {
+                    if ce.passes_alpha(w) {
+                        ra.mems[ci].insert(w.id, w.clone());
+                    }
+                }
+            }
+            let mut found = Vec::new();
+            enumerate_rule(rule, &|ce| ra.mems[ce].values().cloned().collect(), None, &mut found);
+            for inst in found {
+                self.cs.insert(inst);
+            }
+            self.rules.push(ra);
+        }
+        self.rules.sort_by_key(|ra| ra.rule);
+        true
     }
 }
 

@@ -86,6 +86,12 @@ fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers
             Box::new(Partitioned::treat(program.clone(), workers)),
         ),
     ];
+    // A concrete RETE twin rides along so the debug-only structural
+    // invariants (index mirrors, token cross-references, left_index and
+    // neg_counts hygiene) are checked at the batch that violates them —
+    // the boxed instances only get compared by conflict set.
+    #[cfg(debug_assertions)]
+    let mut rete_chk = Rete::new(program.clone());
 
     for (step, batch) in batches.into_iter().enumerate() {
         let (removed, added) = materialize(&mut wm, &mut live, batch);
@@ -101,6 +107,11 @@ fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers
                 removed.len(),
                 added.len()
             );
+        }
+        #[cfg(debug_assertions)]
+        {
+            rete_chk.apply(&removed, &added);
+            rete_chk.check_invariants();
         }
     }
 }
@@ -141,6 +152,11 @@ fn run_apply_vs_per_op(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers: usi
         ),
     ];
 
+    // Invariant-checked RETE twin on the *per-WME* path, so leaks
+    // reachable only through add_wme/remove_wme (not apply) surface too.
+    #[cfg(debug_assertions)]
+    let mut rete_chk = Rete::new(program.clone());
+
     for (step, batch) in batches.into_iter().enumerate() {
         let (removed, added) = materialize(&mut wm, &mut live, batch);
         for (name, batched, per_op) in pairs.iter_mut() {
@@ -156,6 +172,16 @@ fn run_apply_vs_per_op(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers: usi
                 per_op.conflict_set().sorted_keys(),
                 "{name}: apply() and the per-WME loop diverged at batch {step}"
             );
+        }
+        #[cfg(debug_assertions)]
+        {
+            for w in &removed {
+                rete_chk.remove_wme(w);
+            }
+            for w in &added {
+                rete_chk.add_wme(w);
+            }
+            rete_chk.check_invariants();
         }
     }
 }

@@ -334,6 +334,68 @@ fn golden_lock_in_both_engines_and_all_strategies() {
     }
 }
 
+/// Auto copy-and-constrain lock-in, both directions:
+///
+/// * **Off by default**: `EngineOptions::default().auto_ccc` is `None`,
+///   so `golden_lock_in_both_engines_and_all_strategies` above — whose
+///   constants predate the feature — already proves the default path is
+///   bit-identical to pre-flag behavior. The assert here keeps the
+///   default from silently flipping.
+/// * **On**: the mid-run split is a pure function of (program, WM,
+///   options) — the decision reads only matcher state populations — so
+///   two runs agree bit-for-bit, the split announces itself in the log,
+///   and every *semantic* observable (stats, outcome flags, final WM
+///   fingerprint) equals the unsplit golden: the transform may only
+///   rebalance work, never change the answer.
+#[test]
+fn auto_ccc_runs_are_bit_identical_and_semantics_locked() {
+    assert!(
+        EngineOptions::default().auto_ccc.is_none(),
+        "auto-ccc must stay opt-in"
+    );
+
+    let s = golden_scenario("closure(n=12,e=20)");
+    let run = || {
+        let mut e = ParallelEngine::new(
+            s.program(),
+            s.initial_wm(),
+            EngineOptions {
+                matcher: MatcherKind::PartitionedRete(2),
+                auto_ccc: Some(AutoCcc {
+                    after_cycles: 1,
+                    min_imbalance: 1.0,
+                    factor: 2,
+                }),
+                ..Default::default()
+            },
+        );
+        let out = e.run().unwrap();
+        (
+            observe(&out, e.stats(), e.wm()),
+            e.log().to_vec(),
+            e.wm().sorted_snapshot(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "auto-ccc runs must be bit-identical");
+
+    let (got, log, _) = a;
+    assert!(
+        log.iter().any(|l| l.starts_with("auto-ccc: split rule")),
+        "the split must be logged, got {log:?}"
+    );
+    let want = goldens()
+        .into_iter()
+        .find(|(name, arm, _)| *name == "closure(n=12,e=20)" && *arm == "fire-all")
+        .map(|(_, _, g)| g)
+        .unwrap();
+    assert_eq!(
+        got, want,
+        "auto-ccc changed an observable beyond load balance"
+    );
+}
+
 #[test]
 fn stepping_equals_running() {
     for s in scenarios() {
