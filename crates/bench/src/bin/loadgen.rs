@@ -25,17 +25,34 @@
 //! `wal_bytes`, `wal_overhead_pct` (throughput cost of `always` vs
 //! `never`), and `recovery_ms`.
 //!
+//! A third phase measures **contention**: one session runs a long
+//! closure while seven neighbors keep pinging and injecting. It is
+//! driven twice — against the legacy single-mutex thread-per-connection
+//! transport, then against the sharded step-quantum scheduler — and
+//! both rows carry the neighbors' p50/p99 frame latency, so the
+//! scheduler's fairness win is a number, not a claim.
+//!
+//! A fourth phase measures **scale**: 100/1k/10k resident sessions
+//! multiplexed over 16 connections against the sharded scheduler, with
+//! frame-latency percentiles and a fairness metric (max/mean
+//! per-session cycle share — 1.0 is perfectly even service).
+//!
 //! ```text
-//! loadgen [SESSIONS]   # default 8 concurrent sessions per workload
+//! loadgen [SESSIONS] [--scale N,N,...]
+//!   SESSIONS   concurrent sessions per workload in phases 1-2  [8]
+//!   --scale    session counts for the scaling phase  [100,1000,10000]
 //! ```
 
 use parulel_bench::{BenchReport, Table};
 use parulel_engine::Json;
-use parulel_server::{Server, ServerConfig, SyncPolicy, WalConfig};
+use parulel_server::{
+    spawn_sched_tcp, EventLoopOpts, Server, ServerConfig, SyncPolicy, WalConfig,
+};
 use parulel_workloads::{Closure, LabelProp, Market, Scenario};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -291,11 +308,313 @@ fn durable_leg(
     }
 }
 
+// ---------------------------------------------------------------------
+// Phases 3-4: contention and scale, driven against the sharded
+// scheduler (and, for contention, the legacy mutex transport it
+// replaced as the serving default).
+
+/// The transitive-closure program the contention/scaling phases drive:
+/// a chain of edges makes run length directly proportional to chain
+/// length, so victim runs are long and scaling runs are short by
+/// construction.
+const CHAIN_PROGRAM: &str = "(literalize edge from to)\
+(literalize reach from to)\
+(p seed (edge ^from <a> ^to <b>) -(reach ^from <a> ^to <b>) --> (make reach ^from <a> ^to <b>))\
+(p close (reach ^from <a> ^to <b>) (edge ^from <b> ^to <c>) -(reach ^from <a> ^to <c>) --> (make reach ^from <a> ^to <c>))";
+
+/// `inject` batches adding the chain `from->from+1->...->to`.
+fn chain_batches(from: i64, to: i64) -> Vec<String> {
+    let adds: Vec<String> = (from..to)
+        .map(|i| format!(r#"{{"class":"edge","fields":[{i},{}]}}"#, i + 1))
+        .collect();
+    adds.chunks(BATCH)
+        .map(|chunk| format!(r#"[{}]"#, chunk.join(",")))
+        .collect()
+}
+
+/// A minimal protocol client for the contention/scaling phases.
+struct Wire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Wire {
+    fn connect(addr: std::net::SocketAddr) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Wire {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    /// One frame round trip; panics on a refused frame.
+    fn call(&mut self, frame: &str) -> Json {
+        self.writer.write_all(frame.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read");
+        let doc = Json::parse(response.trim()).expect("response is JSON");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{frame} -> {response}");
+        doc
+    }
+
+    /// `call` with the round trip recorded in milliseconds.
+    fn timed(&mut self, frame: &str, latencies_ms: &mut Vec<f64>) -> Json {
+        let start = Instant::now();
+        let doc = self.call(frame);
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        doc
+    }
+}
+
+fn open_chain_frame(session: &str) -> String {
+    format!(
+        r#"{{"op":"open","session":"{session}","program":"{}"}}"#,
+        escape(CHAIN_PROGRAM)
+    )
+}
+
+/// What one contention leg measured.
+struct ContentionLeg {
+    victim_run_ms: f64,
+    victim_cycles: f64,
+    victim_firings: f64,
+    neighbor_p50_ms: f64,
+    neighbor_p99_ms: f64,
+    neighbor_frames: usize,
+}
+
+/// Runs the contention workload against a daemon at `addr`: one victim
+/// session runs a `chain`-length closure; `neighbors` sessions ping and
+/// inject until the run completes.
+fn contention_leg(addr: std::net::SocketAddr, chain: i64, neighbors: usize) -> ContentionLeg {
+    let mut victim = Wire::connect(addr);
+    victim.call(&open_chain_frame("victim"));
+    for batch in chain_batches(1, chain) {
+        victim.call(&format!(r#"{{"op":"inject","session":"victim","adds":{batch}}}"#));
+    }
+
+    // Neighbors probe on a fixed schedule and only *record* while the
+    // victim's run is in flight. Latency is measured against the
+    // intended send time, with one sample backfilled per missed slot —
+    // otherwise a neighbor stalled for seconds behind the run yields a
+    // single slow sample and the percentiles hide exactly the stall
+    // this phase exists to expose (coordinated omission).
+    const PROBE_INTERVAL: Duration = Duration::from_millis(5);
+    let start = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let neighbor_threads: Vec<_> = (0..neighbors)
+        .map(|i| {
+            let (start, done) = (Arc::clone(&start), Arc::clone(&done));
+            std::thread::spawn(move || {
+                let name = format!("n{i}");
+                let mut wire = Wire::connect(addr);
+                wire.call(&open_chain_frame(&name));
+                while !start.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let mut latencies_ms = Vec::new();
+                let mut next = 1i64;
+                let mut intended = Instant::now();
+                while !done.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now < intended {
+                        std::thread::sleep(intended - now);
+                    }
+                    // Alternate the two frame kinds the satellite asks
+                    // for: state-changing inject, stateless ping.
+                    if next % 2 == 0 {
+                        wire.call(&format!(
+                            r#"{{"op":"inject","session":"{name}","adds":[{{"class":"edge","fields":[{next},{}]}}]}}"#,
+                            next + 1
+                        ));
+                    } else {
+                        wire.call(r#"{"op":"ping"}"#);
+                    }
+                    next += 1;
+                    let now = Instant::now();
+                    latencies_ms.push(now.duration_since(intended).as_secs_f64() * 1e3);
+                    intended += PROBE_INTERVAL;
+                    // Backfill: every probe slot this response straddled
+                    // counts as a sample at its own (still unserved) age.
+                    while now > intended {
+                        latencies_ms.push(now.duration_since(intended).as_secs_f64() * 1e3);
+                        intended += PROBE_INTERVAL;
+                    }
+                }
+                wire.call(&format!(r#"{{"op":"close","session":"{name}"}}"#));
+                latencies_ms
+            })
+        })
+        .collect();
+
+    // Give the neighbors a beat to connect and open, then fire the run
+    // and release them at the same instant.
+    std::thread::sleep(Duration::from_millis(150));
+    let run_started = Instant::now();
+    start.store(true, Ordering::SeqCst);
+    let run = victim.call(r#"{"op":"run","session":"victim"}"#);
+    let victim_run_ms = run_started.elapsed().as_secs_f64() * 1e3;
+    done.store(true, Ordering::SeqCst);
+
+    let mut latencies: Vec<f64> = neighbor_threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("neighbor"))
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    victim.call(r#"{"op":"close","session":"victim"}"#);
+    ContentionLeg {
+        victim_run_ms,
+        victim_cycles: num(&run, "cycles"),
+        victim_firings: num(&run, "firings"),
+        neighbor_p50_ms: percentile(&latencies, 0.50),
+        neighbor_p99_ms: percentile(&latencies, 0.99),
+        neighbor_frames: latencies.len(),
+    }
+}
+
+/// Zero-valued measured columns for rows where per-phase engine timings
+/// are not collected (`metrics_level: "off"`): the scheduler phases
+/// measure *serving* latency, not kernel phase splits.
+fn zeroed_phase_columns(row: Json) -> Json {
+    row.set("match_ms", 0.0)
+        .set("redact_ms", 0.0)
+        .set("fire_ms", 0.0)
+        .set("apply_ms", 0.0)
+        .set("peak_conflict_set", 0.0)
+        .set("metrics_level", "off")
+        .set("top_rules", Vec::<Json>::new())
+}
+
+/// One scaling row: `total` sessions multiplexed over `conns`
+/// connections against a sharded daemon.
+struct ScaleRow {
+    wall: Duration,
+    frames: usize,
+    p50: f64,
+    p99: f64,
+    cycles: f64,
+    firings: f64,
+    peak_wm: f64,
+    fairness: f64,
+    peak_sessions: f64,
+}
+
+fn scale_leg(workers: usize, quantum: u64, total: usize, conns: usize) -> ScaleRow {
+    let mut servers: Vec<Server> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let mut server = Server::new(ServerConfig {
+            max_sessions: total + conns,
+            metrics: parulel_engine::MetricsLevel::Off,
+            ..ServerConfig::default()
+        });
+        if let Some(first) = servers.first() {
+            server.share_admission(first.admission_gauge(), first.shutdown_signal());
+        }
+        servers.push(server);
+    }
+    let (addr, daemon) =
+        spawn_sched_tcp(servers, quantum, 256, "127.0.0.1:0", EventLoopOpts::default())
+            .expect("bind scheduler");
+
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut wire = Wire::connect(addr);
+                let mut latencies_ms = Vec::new();
+                let mut cycles = Vec::new();
+                let mut firings = 0.0;
+                let mut peak_wm = 0.0f64;
+                let mine = (c..total).step_by(conns);
+                // Open every owned session first (peak residency =
+                // `total`), then run them all, then close them all.
+                for s in mine.clone() {
+                    let name = format!("s{s}");
+                    wire.timed(&open_chain_frame(&name), &mut latencies_ms);
+                    for batch in chain_batches(1, 8) {
+                        wire.timed(
+                            &format!(r#"{{"op":"inject","session":"{name}","adds":{batch}}}"#),
+                            &mut latencies_ms,
+                        );
+                    }
+                }
+                for s in mine.clone() {
+                    let run = wire.timed(
+                        &format!(r#"{{"op":"run","session":"s{s}"}}"#),
+                        &mut latencies_ms,
+                    );
+                    cycles.push(num(&run, "cycles"));
+                    firings += num(&run, "firings");
+                    peak_wm = peak_wm.max(num(&run, "wm"));
+                }
+                for s in mine {
+                    wire.timed(
+                        &format!(r#"{{"op":"close","session":"s{s}"}}"#),
+                        &mut latencies_ms,
+                    );
+                }
+                (latencies_ms, cycles, firings, peak_wm)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut cycles: Vec<f64> = Vec::new();
+    let mut firings = 0.0;
+    let mut peak_wm = 0.0f64;
+    for driver in drivers {
+        let (l, c, f, w) = driver.join().expect("driver");
+        latencies.extend(l);
+        cycles.extend(c);
+        firings += f;
+        peak_wm = peak_wm.max(w);
+    }
+    let wall = started.elapsed();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let mut control = Wire::connect(addr);
+    let metrics = control.call(r#"{"op":"metrics"}"#);
+    let peak_sessions = num(&metrics, "peak_sessions");
+    control.call(r#"{"op":"shutdown"}"#);
+    daemon.join().expect("daemon exits");
+
+    // Fairness: max/mean per-session cycle share. Sessions run the same
+    // workload, so perfectly even service is exactly 1.0; a starved or
+    // favored session shows up as a skewed max.
+    let mean = cycles.iter().sum::<f64>() / (cycles.len() as f64).max(1.0);
+    let fairness = cycles.iter().copied().fold(0.0, f64::max) / mean.max(1e-9);
+
+    ScaleRow {
+        wall,
+        frames: latencies.len(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        cycles: cycles.iter().sum(),
+        firings,
+        peak_wm,
+        fairness,
+        peak_sessions,
+    }
+}
+
 fn main() {
-    let sessions: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("SESSIONS must be an integer"))
-        .unwrap_or(8);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sessions: usize = 8;
+    let mut scale: Vec<usize> = vec![100, 1000, 10_000];
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--scale" {
+            let list = it.next().expect("--scale needs N,N,...");
+            scale = list
+                .split(',')
+                .map(|n| n.trim().parse().expect("--scale entries must be integers"))
+                .collect();
+        } else {
+            sessions = arg.parse().expect("SESSIONS must be an integer");
+        }
+    }
 
     let scenarios: Vec<Box<dyn Scenario>> = vec![
         Box::new(Closure::new(32, 64, 7)),
@@ -498,6 +817,153 @@ fn main() {
         );
     }
     dt.print();
+
+    // ---- Phase 3: contention. One long closure run, 7 neighbors
+    // pinging and injecting. The mutex transport serializes everything
+    // behind the run; the sharded scheduler time-slices it. Both rows
+    // land in the report so the improvement is auditable.
+    const NEIGHBORS: usize = 7;
+    const CHAIN: i64 = 448;
+    const WORKERS: usize = 4;
+    const QUANTUM: u64 = 32;
+    println!(
+        "\ncontention: 1 long closure run (chain {CHAIN}) vs {NEIGHBORS} \
+         ping+inject neighbors\n"
+    );
+
+    let mutex_leg = {
+        let server = Arc::new(Mutex::new(Server::new(ServerConfig {
+            max_sessions: NEIGHBORS + 2,
+            metrics: parulel_engine::MetricsLevel::Off,
+            ..ServerConfig::default()
+        })));
+        let (addr, accept) =
+            parulel_server::spawn_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let leg = contention_leg(addr, CHAIN, NEIGHBORS);
+        server.lock().expect("lock").handle_line(r#"{"op":"shutdown"}"#);
+        accept.join().expect("accept thread");
+        leg
+    };
+
+    let sched_leg = {
+        let mut servers: Vec<Server> = Vec::with_capacity(WORKERS);
+        for _ in 0..WORKERS {
+            let mut server = Server::new(ServerConfig {
+                max_sessions: NEIGHBORS + 2,
+                metrics: parulel_engine::MetricsLevel::Off,
+                ..ServerConfig::default()
+            });
+            if let Some(first) = servers.first() {
+                server.share_admission(first.admission_gauge(), first.shutdown_signal());
+            }
+            servers.push(server);
+        }
+        let (addr, daemon) =
+            spawn_sched_tcp(servers, QUANTUM, 256, "127.0.0.1:0", EventLoopOpts::default())
+                .expect("bind scheduler");
+        let leg = contention_leg(addr, CHAIN, NEIGHBORS);
+        Wire::connect(addr).call(r#"{"op":"shutdown"}"#);
+        daemon.join().expect("daemon exits");
+        leg
+    };
+
+    let improvement = mutex_leg.neighbor_p99_ms / sched_leg.neighbor_p99_ms.max(1e-9);
+    let mut ct = Table::new(&[
+        "scheduler",
+        "workers",
+        "victim run ms",
+        "neighbor p50 ms",
+        "neighbor p99 ms",
+        "neighbor frames",
+    ]);
+    for (tag, workers, leg) in [
+        ("mutex", 1usize, &mutex_leg),
+        ("sharded", WORKERS, &sched_leg),
+    ] {
+        ct.row(vec![
+            tag.to_string(),
+            workers.to_string(),
+            format!("{:.1}", leg.victim_run_ms),
+            format!("{:.3}", leg.neighbor_p50_ms),
+            format!("{:.3}", leg.neighbor_p99_ms),
+            leg.neighbor_frames.to_string(),
+        ]);
+        let mut row = zeroed_phase_columns(
+            Json::obj()
+                .set("workload", "contention")
+                .set("matcher", "rete")
+                .set("shards", 1usize)
+                .set("cycles", leg.victim_cycles)
+                .set("firings", leg.victim_firings)
+                .set("wall_ms", leg.victim_run_ms)
+                .set("peak_wm", (CHAIN * (CHAIN - 1)) as f64 / 2.0),
+        )
+        .set("transport", "tcp")
+        .set("scheduler", tag)
+        .set("workers", workers)
+        .set("run_quantum", if tag == "mutex" { 0u64 } else { QUANTUM })
+        .set("sessions", NEIGHBORS + 1)
+        .set("victim_run_ms", leg.victim_run_ms)
+        .set("neighbor_p50_ms", leg.neighbor_p50_ms)
+        .set("neighbor_p99_ms", leg.neighbor_p99_ms)
+        .set("neighbor_frames", leg.neighbor_frames);
+        if tag == "sharded" {
+            row = row.set("p99_improvement_x", improvement);
+        }
+        rep.push(row);
+    }
+    ct.print();
+    println!("\nneighbor p99 improvement (mutex -> sharded): {improvement:.1}x\n");
+
+    // ---- Phase 4: scale. Resident-session counts well past anything
+    // the mutex transport was asked to hold, multiplexed over 16
+    // connections against the sharded scheduler.
+    const CONNS: usize = 16;
+    println!("scaling: sessions resident over {CONNS} connections, workers={WORKERS}\n");
+    let mut st = Table::new(&[
+        "sessions",
+        "frames/s",
+        "p50 ms",
+        "p99 ms",
+        "fairness max/mean",
+        "peak resident",
+    ]);
+    for &total in &scale {
+        let row = scale_leg(WORKERS, QUANTUM, total, CONNS.min(total));
+        let frames_per_sec = row.frames as f64 / row.wall.as_secs_f64().max(1e-9);
+        st.row(vec![
+            total.to_string(),
+            format!("{frames_per_sec:.0}"),
+            format!("{:.3}", row.p50),
+            format!("{:.3}", row.p99),
+            format!("{:.3}", row.fairness),
+            format!("{:.0}", row.peak_sessions),
+        ]);
+        rep.push(
+            zeroed_phase_columns(
+                Json::obj()
+                    .set("workload", "scaling")
+                    .set("matcher", "rete")
+                    .set("shards", 1usize)
+                    .set("cycles", row.cycles)
+                    .set("firings", row.firings)
+                    .set("wall_ms", row.wall.as_secs_f64() * 1e3)
+                    .set("peak_wm", row.peak_wm),
+            )
+            .set("transport", "tcp")
+            .set("scheduler", "sharded")
+            .set("workers", WORKERS)
+            .set("run_quantum", QUANTUM)
+            .set("sessions", total)
+            .set("frames", row.frames)
+            .set("frames_per_sec", frames_per_sec)
+            .set("p50_frame_ms", row.p50)
+            .set("p99_frame_ms", row.p99)
+            .set("fairness_max_over_mean", row.fairness)
+            .set("peak_sessions", row.peak_sessions),
+        );
+    }
+    st.print();
 
     rep.emit();
 }

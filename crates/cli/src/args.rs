@@ -58,6 +58,12 @@ SERVE OPTIONS:
                                 WAL fsync policy                 [always]
   --snapshot-every N            compact a session's WAL after N logged
                                 frames (0 disables)              [64]
+  --workers N                   shard sessions across N shared-nothing
+                                scheduler threads (needs --tcp or
+                                --socket)                        [1]
+  --run-quantum N               slice long runs into N-cycle quanta so
+                                sessions sharing a shard interleave
+                                (0 = unsliced)                   [32]
   --timeout / --max-wm / --max-cs / --max-delta
                                 default per-session budgets (an open
                                 frame may override them)";
@@ -144,6 +150,15 @@ pub struct ServeOpts {
     /// Compact a session's WAL after this many logged frames (0
     /// disables automatic compaction).
     pub snapshot_every: u64,
+    /// Scheduler worker threads: sessions shard across this many
+    /// shared-nothing workers (socket transports only; 1 = the
+    /// single-threaded scheduler, still byte-compatible with the
+    /// legacy single-lock server).
+    pub workers: usize,
+    /// Step quantum: a long `run` executes in slices of this many
+    /// cycles so neighbor sessions on the same shard interleave
+    /// (0 = unsliced, a run occupies its shard to completion).
+    pub run_quantum: u64,
 }
 
 impl Default for ServeOpts {
@@ -158,6 +173,8 @@ impl Default for ServeOpts {
             wal_dir: None,
             wal_sync: "always".to_string(),
             snapshot_every: 64,
+            workers: 1,
+            run_quantum: 32,
         }
     }
 }
@@ -362,6 +379,17 @@ impl Command {
                                 .parse()
                                 .map_err(|_| "--snapshot-every needs an integer".to_string())?
                         }
+                        "--workers" => {
+                            opts.workers = parse_count(&mut it, flag)?;
+                            if opts.workers == 0 {
+                                return Err("--workers must be at least 1".into());
+                            }
+                        }
+                        "--run-quantum" => {
+                            opts.run_quantum = next_val(&mut it, flag)?
+                                .parse()
+                                .map_err(|_| "--run-quantum needs an integer".to_string())?
+                        }
                         other => return Err(format!("unknown option '{other}'")),
                     }
                 }
@@ -369,6 +397,12 @@ impl Command {
                     && (opts.wal_sync != "always" || opts.snapshot_every != 64)
                 {
                     return Err("--wal-sync/--snapshot-every need --wal-dir".into());
+                }
+                if opts.transport == ServeTransport::Stdio && opts.workers > 1 {
+                    // Stdio is one synchronous pipe — there is nothing to
+                    // shard, and pretending otherwise would silently serve
+                    // different semantics than the flag promises.
+                    return Err("--workers needs --tcp or --socket".into());
                 }
                 Ok(Command::Serve(Box::new(opts)))
             }
@@ -634,6 +668,45 @@ mod tests {
         assert_eq!(o.wal_dir, None);
         assert_eq!(o.wal_sync, "always");
         assert_eq!(o.snapshot_every, 64);
+        assert_eq!(o.workers, 1);
+        assert_eq!(o.run_quantum, 32);
+    }
+
+    #[test]
+    fn serve_scheduler_flags_parse() {
+        let Ok(Command::Serve(o)) = parse(&[
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--run-quantum",
+            "8",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.run_quantum, 8);
+        // `--run-quantum 0` means unsliced runs; still legal.
+        let Ok(Command::Serve(o)) =
+            parse(&["serve", "--socket", "/tmp/s.sock", "--run-quantum", "0"])
+        else {
+            panic!()
+        };
+        assert_eq!(o.run_quantum, 0);
+        // Quantum without extra workers is fine on stdio (there is a
+        // scheduler of one behind sockets, none behind stdio).
+        assert!(parse(&["serve", "--workers", "1"]).is_ok());
+    }
+
+    #[test]
+    fn serve_scheduler_flags_reject_bad_values() {
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--workers", "some"]).is_err());
+        assert!(parse(&["serve", "--run-quantum", "fast"]).is_err());
+        // Sharding stdin across threads is meaningless; refuse loudly.
+        assert!(parse(&["serve", "--workers", "4"]).is_err());
+        assert!(parse(&["serve", "--stdio", "--workers", "2"]).is_err());
     }
 
     #[test]

@@ -330,32 +330,72 @@ pub(crate) fn server_config(opts: &ServeOpts) -> parulel_server::ServerConfig {
     }
 }
 
-/// Builds the daemon — durable when `--wal-dir` was given, in which case
-/// crash recovery runs here, before any transport accepts a frame.
-fn build_server(opts: &ServeOpts) -> Result<parulel_server::Server, String> {
-    let config = server_config(opts);
+/// Capacity of each scheduler shard's frame inbox: frames queued beyond
+/// this come back as backpressure error frames (the inject-queue
+/// pattern applied to the scheduling layer).
+const SHARD_INBOX: usize = 256;
+
+/// Resolves the `--wal-dir`/`--wal-sync`/`--snapshot-every` flags into
+/// a WAL config (`None` without `--wal-dir`).
+fn wal_config(opts: &ServeOpts) -> Result<Option<parulel_server::WalConfig>, String> {
     let Some(dir) = &opts.wal_dir else {
-        return Ok(parulel_server::Server::new(config));
+        return Ok(None);
     };
     let sync = parulel_server::SyncPolicy::parse(&opts.wal_sync)?;
     let mut wal = parulel_server::WalConfig::new(dir, sync);
     wal.snapshot_every = opts.snapshot_every;
-    let mut server = parulel_server::Server::with_wal(config, wal.clone());
-    let report = parulel_server::recover(&mut server, &wal);
-    eprintln!("parulel serve: recovery: {}", report.summary());
-    for note in &report.notes {
-        eprintln!("parulel serve: recovery: {note}");
+    Ok(Some(wal))
+}
+
+/// Builds one server per scheduler shard. All shards share one
+/// admission gauge (so `--max-sessions` bounds the daemon, not each
+/// shard) and one shutdown flag. With `--wal-dir`, each shard recovers
+/// exactly the WAL files whose sessions hash to it — the same
+/// partition the scheduler routes live frames by — before any
+/// transport accepts a frame.
+fn build_shard_servers(opts: &ServeOpts) -> Result<Vec<parulel_server::Server>, String> {
+    let config = server_config(opts);
+    let wal = wal_config(opts)?;
+    let mut servers: Vec<parulel_server::Server> = Vec::with_capacity(opts.workers);
+    let mut recovery = parulel_server::RecoveryReport::default();
+    for shard in 0..opts.workers {
+        let mut server = match &wal {
+            Some(w) => parulel_server::Server::with_wal(config.clone(), w.clone()),
+            None => parulel_server::Server::new(config.clone()),
+        };
+        if let Some(first) = servers.first() {
+            server.share_admission(first.admission_gauge(), first.shutdown_signal());
+        }
+        if let Some(w) = &wal {
+            let report = parulel_server::recover_shard(&mut server, w, shard, opts.workers);
+            recovery.sessions_recovered += report.sessions_recovered;
+            recovery.sessions_skipped += report.sessions_skipped;
+            recovery.frames_replayed += report.frames_replayed;
+            recovery.torn_records += report.torn_records;
+            recovery.notes.extend(report.notes);
+        }
+        servers.push(server);
     }
-    Ok(server)
+    if wal.is_some() {
+        eprintln!("parulel serve: recovery: {}", recovery.summary());
+        for note in &recovery.notes {
+            eprintln!("parulel serve: recovery: {note}");
+        }
+    }
+    Ok(servers)
 }
 
 /// `parulel serve …` — run the rule-serving daemon until a `shutdown`
 /// frame (or, on the socket transports, SIGTERM/SIGINT) arrives.
 /// Listener announcements go to `out`; on the stdio transport stdout
 /// *is* the protocol stream, so the banner goes to stderr instead.
+///
+/// The socket transports serve through the sharded scheduler and its
+/// `poll(2)` dispatcher (`--workers` shards, `--run-quantum`-cycle run
+/// slices); stdio stays the plain synchronous pump.
 pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
-    let server = match build_server(opts) {
-        Ok(server) => std::sync::Arc::new(std::sync::Mutex::new(server)),
+    let servers = match build_shard_servers(opts) {
+        Ok(servers) => servers,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
             return 1;
@@ -368,18 +408,29 @@ pub fn serve(opts: &ServeOpts, out: &mut dyn Write) -> i32 {
                  send {{\"op\":\"shutdown\"}} to stop",
                 opts.max_sessions
             );
-            parulel_server::serve_stdio_with(server)
+            let server = servers.into_iter().next().expect("one stdio server");
+            parulel_server::serve_stdio_with(std::sync::Arc::new(std::sync::Mutex::new(server)))
         }
-        ServeTransport::Tcp(addr) => {
-            parulel_server::transport::install_signal_handlers();
-            parulel_server::spawn_tcp(server, addr).map(|(bound, accept)| {
-                let _ = writeln!(out, "listening on tcp {bound}");
-                let _ = accept.join();
-            })
-        }
+        ServeTransport::Tcp(addr) => parulel_server::spawn_sched_tcp(
+            servers,
+            opts.run_quantum,
+            SHARD_INBOX,
+            addr,
+            parulel_server::EventLoopOpts::default(),
+        )
+        .map(|(bound, dispatcher)| {
+            let _ = writeln!(out, "listening on tcp {bound}");
+            let _ = dispatcher.join();
+        }),
         ServeTransport::Unix(path) => {
             let _ = writeln!(out, "listening on unix {path}");
-            parulel_server::serve_unix_with(server, path)
+            parulel_server::serve_sched_unix(
+                servers,
+                opts.run_quantum,
+                SHARD_INBOX,
+                path,
+                parulel_server::EventLoopOpts::default(),
+            )
         }
     };
     match result {

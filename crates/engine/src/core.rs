@@ -673,7 +673,48 @@ impl Engine {
     /// checkpoints (`EngineOptions::checkpoint_every`) are captured after
     /// each completed cycle.
     pub fn run(&mut self) -> Result<Outcome, EngineError> {
-        let start = Instant::now();
+        let outcome = self.run_bounded(self.opts.max_cycles, Instant::now())?;
+        self.note_run_end(outcome.cycles, outcome.firings, outcome.status());
+        Ok(outcome)
+    }
+
+    /// One cooperative slice of a (possibly longer) run: at most `limit`
+    /// cycles, with the wall-clock budget measured from `run_started` —
+    /// the moment the *whole* run was admitted, so a run sliced across
+    /// many quanta sees the same deadline as an uninterrupted one,
+    /// including time spent parked between slices.
+    ///
+    /// Unlike [`run`](Self::run), no `RunEnd` trace event is emitted:
+    /// the scheduler driving the slices calls
+    /// [`note_run_end`](Self::note_run_end) exactly once when the run
+    /// completes, so the trace ring is identical to an unsliced run.
+    /// The returned [`Outcome`] counts this slice's cycles/firings only;
+    /// `hit_cycle_limit` means `limit` was exhausted (the caller decides
+    /// whether that ends the run or parks it for another slice).
+    pub fn run_quantum(&mut self, limit: u64, run_started: Instant) -> Result<Outcome, EngineError> {
+        self.run_bounded(limit, run_started)
+    }
+
+    /// Emits the `RunEnd` trace event for a run completed via
+    /// [`run_quantum`](Self::run_quantum) slices (aggregate numbers, one
+    /// event — exactly what an unsliced [`run`](Self::run) records).
+    pub fn note_run_end(&mut self, cycles: u64, firings: u64, status: &'static str) {
+        if let Some(buf) = &mut self.trace_buf {
+            buf.push(TraceEvent::RunEnd {
+                cycles,
+                firings,
+                status,
+            });
+        }
+    }
+
+    /// The configured per-`run` cycle limit (`EngineOptions::max_cycles`):
+    /// the run-level cap a scheduler must enforce across quantum slices.
+    pub fn max_cycles(&self) -> u64 {
+        self.opts.max_cycles
+    }
+
+    fn run_bounded(&mut self, limit: u64, start: Instant) -> Result<Outcome, EngineError> {
         let mut quiescent = false;
         let mut hit_cycle_limit = false;
         let first_cycle = self.stats.cycles;
@@ -682,7 +723,7 @@ impl Engine {
             if self.halted {
                 break;
             }
-            if self.stats.cycles - first_cycle >= self.opts.max_cycles {
+            if self.stats.cycles - first_cycle >= limit {
                 hit_cycle_limit = true;
                 break;
             }
@@ -709,27 +750,13 @@ impl Engine {
         // Per-call numbers: a caller that injects facts and runs again
         // gets this continuation's cycles, not the lifetime total (which
         // lives in `stats`).
-        let outcome = Outcome {
+        Ok(Outcome {
             cycles: self.stats.cycles - first_cycle,
             firings: self.stats.firings - first_firings,
             halted: self.halted,
             quiescent,
             hit_cycle_limit,
             wall: start.elapsed(),
-        };
-        if let Some(buf) = &mut self.trace_buf {
-            buf.push(TraceEvent::RunEnd {
-                cycles: outcome.cycles,
-                firings: outcome.firings,
-                status: if outcome.halted {
-                    "halted"
-                } else if outcome.hit_cycle_limit {
-                    "cycle-limit"
-                } else {
-                    "quiescent"
-                },
-            });
-        }
-        Ok(outcome)
+        })
     }
 }

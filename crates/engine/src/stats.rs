@@ -149,6 +149,21 @@ pub struct Outcome {
     pub wall: Duration,
 }
 
+impl Outcome {
+    /// The run's terminal status tag, as reported in trace events and
+    /// the serve protocol: `halted` wins over `cycle-limit` wins over
+    /// `quiescent`.
+    pub fn status(&self) -> &'static str {
+        if self.halted {
+            "halted"
+        } else if self.hit_cycle_limit {
+            "cycle-limit"
+        } else {
+            "quiescent"
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,9 +18,18 @@
 //!   `EngineError` machinery, and graceful degradation — a budget trip,
 //!   RHS failure, or panic kills one session with a structured error
 //!   frame, never the daemon.
-//! * [`transport`] — stdin/stdout, TCP, and Unix-socket line pumps over
-//!   the same core, with graceful SIGTERM/SIGINT shutdown for the socket
-//!   transports.
+//! * [`sched`] — the sharded session scheduler: sessions hash across N
+//!   shared-nothing worker threads, each owning a whole [`Server`]; long
+//!   `run` frames execute in cooperative step-quantum slices so neighbor
+//!   sessions never wait behind a closure.
+//! * [`dispatch`] — the readiness-driven event loop (`poll(2)` + a
+//!   self-pipe): one dispatcher thread parses frames off every
+//!   connection, routes them to shard inboxes, and writes responses
+//!   back in per-connection request order.
+//! * [`transport`] — stdin/stdout line pump plus the legacy
+//!   thread-per-connection TCP/Unix transports over a `Mutex<Server>`
+//!   (kept as the single-lock baseline BENCH_serve compares against),
+//!   with graceful SIGTERM/SIGINT shutdown for the socket transports.
 //! * [`wal`] — the durability layer: a per-session write-ahead log of
 //!   accepted mutating frames (length-prefixed, CRC-checksummed,
 //!   log-before-apply) with configurable fsync policy and atomic
@@ -41,19 +50,23 @@
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod protocol;
 pub mod recovery;
+pub mod sched;
 pub mod server;
 pub mod session;
 pub mod transport;
 pub mod wal;
 
+pub use dispatch::{serve_sched_tcp, serve_sched_unix, spawn_sched_tcp, EventLoopOpts};
 pub use protocol::{fingerprint_hex, wm_fingerprint, Failure};
-pub use recovery::{recover, RecoveryReport};
-pub use server::{Server, ServerConfig};
+pub use recovery::{recover, recover_shard, RecoveryReport};
+pub use sched::{shard_of, Sched};
+pub use server::{Handled, Server, ServerConfig};
 pub use session::Session;
 pub use transport::{
     serve_lines, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, serve_unix,
-    serve_unix_with, spawn_tcp,
+    serve_unix_with, set_read_poll_interval, spawn_tcp,
 };
 pub use wal::{SyncPolicy, WalConfig};

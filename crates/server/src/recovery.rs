@@ -65,6 +65,23 @@ impl RecoveryReport {
 /// Scans `config.dir` and rebuilds every recoverable session into
 /// `server`. See the [module docs](self).
 pub fn recover(server: &mut Server, config: &WalConfig) -> RecoveryReport {
+    recover_shard(server, config, 0, 1)
+}
+
+/// [`recover`] restricted to the sessions one scheduler shard owns:
+/// only WAL files whose decoded session name hashes to `shard` (under
+/// [`crate::sched::shard_of`] with `shards` workers) are recovered into
+/// `server`; every other file is ignored — not skipped, not noted — so
+/// N shards scanning the same directory partition it exactly.
+///
+/// Undecodable file names are claimed by shard 0 (exactly one shard
+/// must report them).
+pub fn recover_shard(
+    server: &mut Server,
+    config: &WalConfig,
+    shard: usize,
+    shards: usize,
+) -> RecoveryReport {
     let mut report = RecoveryReport::default();
     let entries = match std::fs::read_dir(&config.dir) {
         Ok(entries) => entries,
@@ -80,6 +97,13 @@ pub fn recover(server: &mut Server, config: &WalConfig) -> RecoveryReport {
         .collect();
     files.sort();
     for (file_name, path) in files {
+        let owner = match wal::session_from_file_name(&file_name) {
+            Some(session) => crate::sched::shard_of(&session, shards),
+            None => 0,
+        };
+        if owner != shard {
+            continue;
+        }
         recover_file(server, config, &file_name, &path, &mut report);
     }
     report

@@ -30,7 +30,9 @@ use parulel_engine::{
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Server-wide policy knobs (CLI flags map onto this).
 #[derive(Clone, Debug)]
@@ -69,15 +71,58 @@ impl Default for ServerConfig {
 /// not exist until the open is accepted.
 const MUTATING_VERBS: [&str; 6] = ["inject", "step", "run", "run-to-fixpoint", "restore", "close"];
 
+/// Bookkeeping for a parked cooperative run: a `run`/`run-to-fixpoint`
+/// frame executing in step-quantum slices via
+/// [`Server::handle_line_coop`] / [`Server::resume_run`].
+struct ActiveRun {
+    /// The request's verb (`run` or `run-to-fixpoint`), echoed in error
+    /// frames exactly as the blocking path would.
+    op: String,
+    /// Injects drained when the run was admitted.
+    drained: usize,
+    /// The run-level cycle cap (the session's `max_cycles`), enforced
+    /// across slices.
+    cap: u64,
+    /// Cycles executed by completed slices.
+    cycles: u64,
+    /// Firings by completed slices.
+    firings: u64,
+    /// When the run was admitted. The wall-clock budget deadline is
+    /// measured from here — *including* time spent parked — so a sliced
+    /// run sees the same deadline as an uninterrupted one.
+    started: Instant,
+}
+
+/// The result of [`Server::handle_line_coop`].
+pub enum Handled {
+    /// The frame completed synchronously; `None` means a skipped blank
+    /// line (exactly [`Server::handle_line`]'s contract).
+    Done(Option<String>),
+    /// The frame started a cooperative run on the named session. The
+    /// caller owns driving it: call [`Server::resume_run`] with a
+    /// quantum until it yields the response frame.
+    Parked(String),
+}
+
 /// The daemon core. See the [module docs](self).
 pub struct Server {
     config: ServerConfig,
     /// `BTreeMap` so every listing renders in deterministic name order.
     sessions: BTreeMap<String, Session>,
+    /// Live sessions admitted against `config.max_sessions`. Shards of
+    /// one daemon share a single gauge ([`Server::share_admission`]) so
+    /// the limit stays global and a session closed on any shard frees
+    /// its slot immediately — `open` admission never counts
+    /// closed-but-not-yet-reaped sessions.
+    admission: Arc<AtomicUsize>,
+    /// Parked cooperative runs (same keys as `sessions` while parked).
+    runs: BTreeMap<String, ActiveRun>,
     peak_sessions: usize,
     frames: u64,
     errors: u64,
-    shutdown: bool,
+    /// Shared so transports can check for shutdown without taking a
+    /// lock around the whole server.
+    shutdown: Arc<AtomicBool>,
     /// Durability configuration; `None` means the daemon runs exactly as
     /// before and nothing below touches disk.
     wal: Option<WalConfig>,
@@ -102,10 +147,12 @@ impl Server {
         Server {
             config,
             sessions: BTreeMap::new(),
+            admission: Arc::new(AtomicUsize::new(0)),
+            runs: BTreeMap::new(),
             peak_sessions: 0,
             frames: 0,
             errors: 0,
-            shutdown: false,
+            shutdown: Arc::new(AtomicBool::new(false)),
             wal: None,
             wals: BTreeMap::new(),
             replaying: false,
@@ -155,10 +202,33 @@ impl Server {
     /// True once a `shutdown` frame has been accepted; transports stop
     /// pumping when they see it.
     pub fn shutting_down(&self) -> bool {
-        self.shutdown
+        self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Live session count.
+    /// A shared handle on the shutdown flag: transports clone it once
+    /// per connection and poll it lock-free instead of locking the
+    /// server just to check for shutdown.
+    pub fn shutdown_signal(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shared live-session gauge (admission control state).
+    pub fn admission_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.admission)
+    }
+
+    /// Makes this server admit sessions against `gauge` instead of its
+    /// private one. The scheduler shares one gauge (and one shutdown
+    /// flag, for symmetric transports) across every shard's server so
+    /// `max_sessions` bounds the *daemon*, not each shard. Call before
+    /// any session is opened or recovered.
+    pub fn share_admission(&mut self, gauge: Arc<AtomicUsize>, shutdown: Arc<AtomicBool>) {
+        debug_assert!(self.sessions.is_empty());
+        self.admission = gauge;
+        self.shutdown = shutdown;
+    }
+
+    /// Live session count on this server (one shard's view when sharded).
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
@@ -180,6 +250,160 @@ impl Server {
             self.errors += 1;
         }
         Some(response.render())
+    }
+
+    /// Like [`handle_line`](Self::handle_line), but admits `run` /
+    /// `run-to-fixpoint` frames as *cooperative* runs: the first
+    /// `quantum` cycles execute immediately and, if the run has not
+    /// finished, it parks — the caller round-robins it forward with
+    /// [`resume_run`](Self::resume_run) while other frames interleave.
+    /// `quantum == 0` disables slicing (byte-identical to
+    /// [`handle_line`](Self::handle_line) for every frame).
+    ///
+    /// WAL ordering is unchanged: the run frame is logged before its
+    /// first cycle executes (log-before-apply), regardless of how many
+    /// slices the run takes.
+    pub fn handle_line_coop(&mut self, line: &str, quantum: u64) -> Handled {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Handled::Done(None);
+        }
+        if quantum > 0 {
+            if let Ok(frame) = Json::parse(trimmed) {
+                let op = frame.get("op").and_then(|v| v.as_str()).unwrap_or("");
+                if matches!(op, "run" | "run-to-fixpoint") {
+                    if let Some(name) = frame
+                        .get("session")
+                        .and_then(|v| v.as_str())
+                        .filter(|n| self.sessions.contains_key(*n) && !self.runs.contains_key(*n))
+                    {
+                        return self.begin_run(op.to_string(), name.to_string(), &frame, quantum);
+                    }
+                }
+            }
+        }
+        Handled::Done(self.handle_line(line))
+    }
+
+    /// Admits a cooperative run: log-before-apply, drain the inject
+    /// queue, record the run-level cycle cap, and execute the first
+    /// slice.
+    fn begin_run(&mut self, op: String, name: String, frame: &Json, quantum: u64) -> Handled {
+        self.frames += 1;
+        if let Err(failure) = self.wal_append(&op, &name, frame) {
+            self.errors += 1;
+            return Handled::Done(Some(failure.to_frame(Some(&op), Some(&name)).render()));
+        }
+        let session = self.sessions.get_mut(&name).expect("caller checked existence");
+        let drained = session.drain();
+        let cap = session.engine.max_cycles();
+        self.runs.insert(
+            name.clone(),
+            ActiveRun {
+                op,
+                drained,
+                cap,
+                cycles: 0,
+                firings: 0,
+                started: Instant::now(),
+            },
+        );
+        match self.resume_run(&name, quantum) {
+            Some(response) => Handled::Done(Some(response)),
+            None => Handled::Parked(name),
+        }
+    }
+
+    /// Advances a parked cooperative run by at most `quantum` cycles.
+    /// Returns the rendered response frame when the run completes (or
+    /// kills its session), `None` while it stays parked. The response —
+    /// success fields, engine-failure obituaries, panic isolation, WAL
+    /// compaction, error accounting — is byte-identical to what the
+    /// blocking `run` path produces.
+    pub fn resume_run(&mut self, name: &str, quantum: u64) -> Option<String> {
+        let mut run = self.runs.remove(name)?;
+        let Some(mut session) = self.sessions.remove(name) else {
+            // Unreachable by construction (a parked session cannot be
+            // addressed by other frames), but degrade gracefully.
+            self.errors += 1;
+            let failure = Failure::new(kind::UNKNOWN_SESSION, format!("no session {name:?}"));
+            return Some(failure.to_frame(Some(&run.op), Some(name)).render());
+        };
+        let slice = quantum.min(run.cap - run.cycles);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            session.engine.run_quantum(slice, run.started)
+        }));
+        let response = match result {
+            Ok(Ok(outcome)) => {
+                run.cycles += outcome.cycles;
+                run.firings += outcome.firings;
+                if !(outcome.halted || outcome.quiescent || run.cycles >= run.cap) {
+                    self.sessions.insert(name.to_string(), session);
+                    self.runs.insert(name.to_string(), run);
+                    return None;
+                }
+                let status = if outcome.halted {
+                    "halted"
+                } else if outcome.quiescent {
+                    "quiescent"
+                } else {
+                    "cycle-limit"
+                };
+                session.engine.note_run_end(run.cycles, run.firings, status);
+                let response = ok_frame("run")
+                    .set("session", name)
+                    .set("drained", run.drained)
+                    .set("status", status)
+                    .set("cycles", run.cycles)
+                    .set("firings", run.firings)
+                    .set("wm", session.engine.wm().len())
+                    .set("fingerprint", session.fingerprint());
+                self.sessions.insert(name.to_string(), session);
+                response
+            }
+            // Graceful degradation, mirroring `session_verb`: an engine
+            // failure or escaped panic is the session's obituary — the
+            // session is dropped, the daemon (and shard) lives.
+            Ok(Err(e)) => engine_failure(&e).to_frame(Some(&run.op), Some(name)),
+            Err(_) => {
+                let mut failure = Failure::new(
+                    kind::ENGINE,
+                    format!("panic while serving {:?}; session {name:?} closed", run.op),
+                );
+                failure.engine = Some(("panic", 0));
+                failure.closed = true;
+                failure.to_frame(Some(&run.op), Some(name))
+            }
+        };
+        if !self.sessions.contains_key(name) {
+            self.admission.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.wal_after_verb(name);
+        if response.get("ok") != Some(&Json::Bool(true)) {
+            self.errors += 1;
+        }
+        Some(response.render())
+    }
+
+    /// Session names with a parked cooperative run, in name order.
+    pub fn parked_runs(&self) -> Vec<String> {
+        self.runs.keys().cloned().collect()
+    }
+
+    /// Drives every parked cooperative run to completion (one unbounded
+    /// slice each), returning `(session, response)` pairs in name order.
+    /// The scheduler calls this on shutdown so in-flight runs finish at
+    /// a cycle boundary and their responses are delivered *before* the
+    /// server persists — a shutdown never abandons a run mid-flight.
+    pub fn drain_runs(&mut self) -> Vec<(String, String)> {
+        let names: Vec<String> = self.runs.keys().cloned().collect();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let response = self.resume_run(&name, u64::MAX)?;
+                Some((name, response))
+            })
+            .collect()
     }
 
     /// Dispatches one parsed frame.
@@ -209,7 +433,12 @@ impl Server {
                 Ok(response)
             }
             "shutdown" => {
-                self.shutdown = true;
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Safety net for direct `handle_line` users: in-flight
+                // cooperative runs finish at a cycle boundary before
+                // anything persists. (The scheduler drains first via
+                // `drain_runs` so the responses are delivered too.)
+                let _ = self.drain_runs();
                 let closed = self.sessions.len();
                 let mut response = ok_frame("shutdown").set("sessions_closed", closed);
                 if self.wal.is_some() && !self.replaying {
@@ -218,6 +447,7 @@ impl Server {
                     // record and fsynced, so it recovers at restart.
                     response = response.set("persisted", self.persist_all());
                 }
+                self.admission.fetch_sub(closed, Ordering::SeqCst);
                 self.sessions.clear();
                 self.wals.clear();
                 Ok(response)
@@ -317,6 +547,11 @@ impl Server {
     /// the `shutdown` frame, and SIGTERM/SIGINT on socket transports).
     /// Returns how many sessions were persisted.
     pub fn persist_all(&mut self) -> usize {
+        // In-flight cooperative runs finish first: a snapshot captured
+        // mid-run would persist half-run state while the logged run
+        // frame replays *again* at recovery — the fingerprint would
+        // diverge from an uninterrupted run.
+        let _ = self.drain_runs();
         let names: Vec<String> = self.sessions.keys().cloned().collect();
         let mut persisted = 0;
         for name in names {
@@ -336,7 +571,8 @@ impl Server {
     /// WAL so the sessions recover at restart. Returns the number of
     /// sessions persisted.
     pub fn graceful_shutdown(&mut self) -> usize {
-        self.shutdown = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.drain_runs();
         if self.wal.is_some() {
             self.persist_all()
         } else {
@@ -416,7 +652,17 @@ impl Server {
                 format!("session {name:?} is already open"),
             ));
         }
-        if self.sessions.len() >= self.config.max_sessions {
+        // Admission: reserve a slot on the (possibly shared) gauge. Only
+        // *live* sessions hold slots — close/failure/shutdown release
+        // them immediately, so churn against the limit never refuses an
+        // open for a session that is already gone.
+        if self
+            .admission
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.config.max_sessions).then_some(n + 1)
+            })
+            .is_err()
+        {
             return Err(Failure::new(
                 kind::ADMISSION,
                 format!(
@@ -425,6 +671,16 @@ impl Server {
                 ),
             ));
         }
+        let result = self.open_reserved(frame, name);
+        if result.is_err() {
+            self.admission.fetch_sub(1, Ordering::SeqCst);
+        }
+        result
+    }
+
+    /// The fallible tail of `open`, running with an admission slot
+    /// already reserved (released by the caller on error).
+    fn open_reserved(&mut self, frame: &Json, name: &str) -> Result<Json, Failure> {
         let source = protocol::req_str(frame, "program")?;
         let (program, wm) = parulel_lang::compile_with_wm(source)
             .map_err(|e| Failure::new(kind::COMPILE, e.to_string()))?;
@@ -451,7 +707,9 @@ impl Server {
             .set("wm", engine.wm().len());
         self.sessions
             .insert(name.to_string(), Session::new(engine, self.config.inject_queue));
-        self.peak_sessions = self.peak_sessions.max(self.sessions.len());
+        // The gauge is the daemon-wide live count (it equals
+        // `sessions.len()` when this server stands alone).
+        self.peak_sessions = self.peak_sessions.max(self.admission.load(Ordering::SeqCst));
         Ok(response)
     }
 
@@ -513,7 +771,7 @@ impl Server {
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.run_session_verb(op, name, frame, &mut session)
         }));
-        match result {
+        let result = match result {
             Ok(Ok(response)) => {
                 if op != "close" {
                     self.sessions.insert(name.to_string(), session);
@@ -535,7 +793,14 @@ impl Server {
                 failure.closed = true;
                 Err(failure)
             }
+        };
+        // A session that did not survive the verb (closed, engine
+        // failure, panic) releases its admission slot right here — the
+        // gauge counts live sessions only.
+        if !self.sessions.contains_key(name) {
+            self.admission.fetch_sub(1, Ordering::SeqCst);
         }
+        result
     }
 
     fn run_session_verb(

@@ -25,7 +25,7 @@ use crate::server::{Server, ServerConfig};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -33,15 +33,37 @@ use std::time::Duration;
 /// Set by the SIGTERM/SIGINT handler; polled by accept loops and pumps.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
+/// A pipe write-end the signal handler pokes so a `poll(2)`-based
+/// dispatcher wakes immediately instead of waiting out its timeout.
+/// `-1` when no dispatcher is running.
+static SIGNAL_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
 /// True once SIGTERM or SIGINT has been received (only ever true after
 /// [`install_signal_handlers`] ran).
 pub fn signal_requested() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// Registers `fd` (a self-pipe write end) to be poked on
+/// SIGTERM/SIGINT. Pass `-1` to deregister (before closing the pipe).
+pub(crate) fn register_signal_wake(fd: i32) {
+    SIGNAL_WAKE_FD.store(fd, Ordering::SeqCst);
+}
+
 extern "C" fn on_signal(_signum: i32) {
-    // Async-signal-safe: a single atomic store, nothing else.
+    // Async-signal-safe: an atomic store and (when a dispatcher is
+    // registered) one write(2) — both on the POSIX safe list.
     SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    let fd = SIGNAL_WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        extern "C" {
+            fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        }
+        let byte = b"S";
+        unsafe {
+            let _ = write(fd, byte.as_ptr(), 1);
+        }
+    }
 }
 
 /// Installs flag-setting handlers for SIGTERM and SIGINT. Uses libc's
@@ -60,8 +82,22 @@ pub fn install_signal_handlers() {
 }
 
 /// How long a socket read blocks before the pump rechecks the shutdown
-/// flags. Bounds graceful-shutdown latency for idle connections.
-const READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// flags, in milliseconds. Bounds graceful-shutdown latency for idle
+/// connections on the legacy thread-per-connection transports (the
+/// scheduler's dispatcher has no per-connection timeouts at all — it
+/// sleeps in `poll(2)` and is woken by the signal handler's self-pipe).
+static READ_POLL_MS: AtomicU64 = AtomicU64::new(250);
+
+/// Overrides the legacy transports' read-poll interval (tests shrink it
+/// to keep shutdown-latency assertions fast; operators can stretch it —
+/// each wake is now just two atomic loads, never a server lock).
+pub fn set_read_poll_interval(interval: Duration) {
+    READ_POLL_MS.store(interval.as_millis().max(1) as u64, Ordering::SeqCst);
+}
+
+fn read_poll_interval() -> Duration {
+    Duration::from_millis(READ_POLL_MS.load(Ordering::SeqCst))
+}
 
 /// Pumps one line-delimited stream through `server` until EOF or
 /// shutdown. The stdio transport, and the building block the socket
@@ -75,6 +111,11 @@ pub fn serve_lines<R: BufRead, W: Write>(
     mut input: R,
     output: &mut W,
 ) -> io::Result<()> {
+    // The shared shutdown signal: timed-out reads check it lock-free,
+    // so an idle connection's periodic wake never contends on the
+    // server mutex (the old behavior locked the whole server 4×/s per
+    // idle connection just to read one flag).
+    let down = server.lock().expect("server lock poisoned").shutdown_signal();
     let mut line = String::new();
     loop {
         match input.read_line(&mut line) {
@@ -99,9 +140,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
                     || e.kind() == io::ErrorKind::TimedOut
                     || e.kind() == io::ErrorKind::Interrupted =>
             {
-                if server.lock().expect("server lock poisoned").shutting_down()
-                    || signal_requested()
-                {
+                if down.load(Ordering::SeqCst) || signal_requested() {
                     break;
                 }
             }
@@ -153,6 +192,7 @@ pub fn spawn_tcp(
     // connections (the daemon has no other wake-up source).
     listener.set_nonblocking(true)?;
     let handle = thread::spawn(move || {
+        let down = server.lock().expect("server lock poisoned").shutdown_signal();
         let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
         loop {
             match listener.accept() {
@@ -161,7 +201,7 @@ pub fn spawn_tcp(
                     connections.push(thread::spawn(move || serve_tcp_conn(server, stream)));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if poll_shutdown(&server) {
+                    if poll_shutdown(&server, &down) {
                         break;
                     }
                     thread::sleep(Duration::from_millis(10));
@@ -179,15 +219,19 @@ pub fn spawn_tcp(
 /// One accept-loop tick: reacts to a handled signal by persisting every
 /// session's WAL and marking the server down; reports whether the loop
 /// should exit.
-fn poll_shutdown(server: &Arc<Mutex<Server>>) -> bool {
-    let mut locked = server.lock().expect("server lock poisoned");
-    if signal_requested() && !locked.shutting_down() {
-        let persisted = locked.graceful_shutdown();
+fn poll_shutdown(server: &Arc<Mutex<Server>>, down: &AtomicBool) -> bool {
+    // Steady state is lock-free: the accept loop only takes the server
+    // lock once a signal actually arrives.
+    if signal_requested() && !down.load(Ordering::SeqCst) {
+        let persisted = server
+            .lock()
+            .expect("server lock poisoned")
+            .graceful_shutdown();
         if persisted > 0 {
             eprintln!("parulel serve: signal received; persisted {persisted} session(s)");
         }
     }
-    locked.shutting_down()
+    down.load(Ordering::SeqCst)
 }
 
 fn serve_tcp_conn(server: Arc<Mutex<Server>>, stream: TcpStream) {
@@ -195,7 +239,7 @@ fn serve_tcp_conn(server: Arc<Mutex<Server>>, stream: TcpStream) {
     // delayed-ACK stalls here.
     let _ = stream.set_nodelay(true);
     // Bounded reads so idle connections notice shutdown.
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(read_poll_interval()));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -218,6 +262,7 @@ pub fn serve_unix_with(server: Arc<Mutex<Server>>, path: &str) -> io::Result<()>
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
+    let down = server.lock().expect("server lock poisoned").shutdown_signal();
     let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
     loop {
         match listener.accept() {
@@ -226,7 +271,7 @@ pub fn serve_unix_with(server: Arc<Mutex<Server>>, path: &str) -> io::Result<()>
                 connections.push(thread::spawn(move || serve_unix_conn(server, stream)));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if poll_shutdown(&server) {
+                if poll_shutdown(&server, &down) {
                     break;
                 }
                 thread::sleep(Duration::from_millis(10));
@@ -242,7 +287,7 @@ pub fn serve_unix_with(server: Arc<Mutex<Server>>, path: &str) -> io::Result<()>
 }
 
 fn serve_unix_conn(server: Arc<Mutex<Server>>, stream: UnixStream) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(read_poll_interval()));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,

@@ -65,6 +65,14 @@ struct Daemon {
 }
 
 fn start_daemon(wal_dir: &Path) -> Daemon {
+    start_daemon_with_workers(wal_dir, 1)
+}
+
+/// Starts the daemon with the sharded scheduler at the given width.
+/// Crash recovery must hold at any `--workers` value: each shard
+/// recovers exactly the WAL files whose sessions hash to it.
+fn start_daemon_with_workers(wal_dir: &Path, workers: usize) -> Daemon {
+    let workers = workers.to_string();
     let mut child = Command::new(env!("CARGO_BIN_EXE_parulel"))
         .args([
             "serve",
@@ -74,6 +82,8 @@ fn start_daemon(wal_dir: &Path) -> Daemon {
             wal_dir.to_str().unwrap(),
             "--wal-sync",
             "always",
+            "--workers",
+            &workers,
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -200,6 +210,44 @@ fn kill_dash_nine_then_restart_yields_identical_fingerprint() {
         expected,
         "recovered state diverged from the uninterrupted run"
     );
+    client.send_ok(r#"{"op":"shutdown"}"#);
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_dash_nine_with_four_workers_recovers_every_shard() {
+    let expected = reference_fingerprint();
+    let (wave1, wave2) = edge_waves();
+    let dir = tmp_dir("sigkill-sharded");
+    let sessions = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+    // Phase 1: five sessions spread across four shards, all mid-stream.
+    let mut daemon = start_daemon_with_workers(&dir, 4);
+    let mut client = Client::connect(&daemon.addr);
+    for name in &sessions {
+        client.send_ok(&open_frame(name));
+        client.send_ok(&inject_frame(name, &wave1));
+        client.send_ok(&format!(r#"{{"op":"run","session":"{name}"}}"#));
+        client.send_ok(&inject_frame(name, &wave2));
+    }
+    daemon.child.kill().expect("SIGKILL");
+    wait_for_exit(&mut daemon.child);
+
+    // Phase 2: restart at the same width; every shard must recover its
+    // own sessions and merged ping must report all of them.
+    let mut daemon = start_daemon_with_workers(&dir, 4);
+    let mut client = Client::connect(&daemon.addr);
+    let ping = client.send_ok(r#"{"op":"ping"}"#);
+    assert!(ping.contains(r#""recovered_sessions":5"#), "{ping}");
+    for name in &sessions {
+        let run = client.send_ok(&format!(r#"{{"op":"run","session":"{name}"}}"#));
+        assert_eq!(
+            field(&run, "fingerprint"),
+            expected,
+            "session {name} diverged after sharded recovery"
+        );
+    }
     client.send_ok(r#"{"op":"shutdown"}"#);
     wait_for_exit(&mut daemon.child);
     let _ = std::fs::remove_dir_all(&dir);
