@@ -38,7 +38,7 @@ impl fmt::Display for BinOp {
 }
 
 /// Comparison predicates usable in field tests and `test` CEs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PredOp {
     /// `=` — symbols by identity, numbers numerically.
     Eq,

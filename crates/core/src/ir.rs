@@ -79,7 +79,11 @@ pub enum Polarity {
 }
 
 /// A single test applied to one field of a candidate WME.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// `Eq`/`Hash` are structural (floats compare bitwise via [`Value`]'s
+/// total order) so alpha-constant tests can key shared alpha-network
+/// nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum FieldCheck {
     /// Compare the field against a constant: `field OP value`.
     Const(PredOp, Value),
@@ -111,7 +115,7 @@ impl FieldCheck {
 }
 
 /// [`FieldCheck`] anchored at a field slot.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct FieldTest {
     /// Field slot the test reads.
     pub slot: u16,

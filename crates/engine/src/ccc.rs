@@ -458,6 +458,90 @@ mod tests {
     }
 
     #[test]
+    fn post_split_checkpoint_resumes_bit_identically() {
+        use crate::{AutoCcc, MatcherKind, RunStats, Snapshot};
+        // No negative CEs: fired instantiations stay in the conflict set,
+        // so the refraction table keeps their keys — after the split those
+        // keys name the `~k` copies, the exact binding that used to fail
+        // on resume with `UnknownRule`.
+        let src = "
+            (literalize edge from to)
+            (literalize reach from to)
+            (p mark (edge ^from <a> ^to <b>) --> (make reach ^from <a> ^to <b>))
+            (p close (reach ^from <a> ^to <b>) (reach ^from <b> ^to <c>)
+             --> (make reach ^from <a> ^to <c>))";
+        let p = compile(src).unwrap();
+        let opts = || EngineOptions {
+            matcher: MatcherKind::PartitionedRete(2),
+            auto_ccc: Some(AutoCcc {
+                after_cycles: 1,
+                min_imbalance: 1.0,
+                factor: 2,
+            }),
+            ..EngineOptions::default()
+        };
+        // The uninterrupted reference run.
+        let mut full = ParallelEngine::new(&p, closure_wm(&p), opts());
+        full.run().unwrap();
+
+        // Stop mid-run, after the split has been applied.
+        let mut part = ParallelEngine::new(&p, closure_wm(&p), opts());
+        for _ in 0..3 {
+            part.step().unwrap();
+        }
+        assert!(
+            part.log().iter().any(|l| l.starts_with("auto-ccc: split rule")),
+            "split must have happened before the capture: {:?}",
+            part.log()
+        );
+        let snap = Snapshot::from_bytes(&part.checkpoint().to_bytes()).unwrap();
+        assert_eq!(snap.splits.len(), 1, "one split recorded: {:?}", snap.splits);
+        assert!(
+            snap.refraction.iter().any(|k| k.rule.contains('~')),
+            "post-split refraction names the copies: {:?}",
+            snap.refraction.iter().map(|k| &k.rule).collect::<Vec<_>>()
+        );
+
+        // Resume against the ORIGINAL program: the recorded split is
+        // re-applied before the `name~k` refraction keys are bound, and
+        // the continuation must not split again.
+        let mut resumed = ParallelEngine::resume(&p, &snap, opts()).unwrap();
+        assert_eq!(resumed.program().rules().len(), 3, "split re-applied");
+        resumed.run().unwrap();
+        assert!(
+            resumed.log().iter().filter(|l| l.starts_with("auto-ccc: split rule")).count() == 1,
+            "the captured split is the only one: {:?}",
+            resumed.log()
+        );
+        assert_eq!(resumed.wm().canonical_facts(), full.wm().canonical_facts());
+        let counters = |s: &RunStats| {
+            (
+                s.cycles,
+                s.firings,
+                s.adds,
+                s.removes,
+                s.peak_eligible,
+                s.total_eligible,
+            )
+        };
+        // Counters are bit-identical; phase times are wall-clock and are
+        // deliberately not compared.
+        assert_eq!(counters(resumed.stats()), counters(full.stats()));
+        assert_eq!(resumed.log(), full.log());
+        // A re-checkpoint of the continuation still records the split.
+        assert_eq!(resumed.checkpoint().splits, snap.splits);
+
+        // Restoring onto an engine whose program is ALREADY split (the
+        // serve rewind path) skips the re-application instead of
+        // double-splitting.
+        let mut rewound = ParallelEngine::resume(&p, &snap, opts()).unwrap();
+        rewound.restore(&snap).unwrap();
+        assert_eq!(rewound.program().rules().len(), 3);
+        rewound.run().unwrap();
+        assert_eq!(rewound.wm().canonical_facts(), full.wm().canonical_facts());
+    }
+
+    #[test]
     fn auto_ccc_is_inert_for_monolithic_matchers() {
         use crate::AutoCcc;
         let p = compile(CLOSURE).unwrap();

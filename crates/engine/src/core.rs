@@ -51,6 +51,10 @@ pub struct Engine {
     metrics: EngineMetrics,
     trace_buf: Option<TraceBuffer>,
     auto_ccc_done: bool,
+    /// Copy-and-constrain splits applied this run, in order: `(original
+    /// rule name, factor)`. Recorded into checkpoints so a post-split
+    /// snapshot round-trips (resume re-applies the transform).
+    applied_splits: Vec<(String, u32)>,
 }
 
 impl Engine {
@@ -96,6 +100,7 @@ impl Engine {
             metrics,
             trace_buf,
             auto_ccc_done: false,
+            applied_splits: Vec::new(),
         }
     }
 
@@ -123,13 +128,34 @@ impl Engine {
     /// Fails with a structured error if the snapshot references classes
     /// or rules `program` does not define, or if its working memory does
     /// not validate.
+    ///
+    /// A snapshot captured after metrics-driven copy-and-constrain
+    /// records the applied splits; resume replays the transform against
+    /// `program` (skipping splits already present, so restoring onto an
+    /// engine whose program was already split is a no-op) before binding
+    /// refraction keys — the `name~k` copies the keys reference exist
+    /// again, and the continuation will not re-split.
     pub fn resume_with_policy(
         program: &Program,
         snapshot: &Snapshot,
         policy: FiringPolicy,
         opts: EngineOptions,
     ) -> Result<Self, SnapshotError> {
-        let program = Arc::new(program.clone());
+        let mut program = program.clone();
+        for (name, k) in &snapshot.splits {
+            let already = program
+                .interner
+                .get(&format!("{name}~0"))
+                .and_then(|s| program.rule_by_name(s))
+                .is_some();
+            if already {
+                continue;
+            }
+            let (split, _) = copy_and_constrain_appending(&program, name, *k)
+                .map_err(|e| SnapshotError::SplitFailed(e.to_string()))?;
+            program = split;
+        }
+        let program = Arc::new(program);
         let interner = &program.interner;
         let mut wmes = Vec::with_capacity(snapshot.wmes.len());
         for sw in &snapshot.wmes {
@@ -183,7 +209,11 @@ impl Engine {
             latest_checkpoint: None,
             metrics,
             trace_buf,
-            auto_ccc_done: false,
+            // A resumed post-split run must not split again: the one
+            // decision per run was already taken and is baked into the
+            // resumed program.
+            auto_ccc_done: !snapshot.splits.is_empty(),
+            applied_splits: snapshot.splits.clone(),
         })
     }
 
@@ -221,6 +251,9 @@ impl Engine {
         self.metrics = EngineMetrics::new(self.opts.metrics, self.program.rules().len());
         self.trace_buf = self.opts.trace_events.map(TraceBuffer::new);
         self.auto_ccc_done = false;
+        // `applied_splits` is deliberately kept: it describes the program
+        // (which reset retains), not the run — a checkpoint of the fresh
+        // run must still record how to rebuild the split rule set.
     }
 
     /// Captures the engine's state as a portable [`Snapshot`]. Valid at
@@ -268,6 +301,7 @@ impl Engine {
             stats: self.stats.clone(),
             log: self.log.clone(),
             traces: self.traces.clone(),
+            splits: self.applied_splits.clone(),
         }
     }
 
@@ -441,6 +475,7 @@ impl Engine {
                 self.refraction.expand_rule(old_id, &appended);
                 self.refraction.prune(self.matcher.conflict_set());
                 self.program = new_program;
+                self.applied_splits.push((name.clone(), factor));
                 if self.opts.metrics.per_rule() {
                     self.metrics
                         .per_rule

@@ -188,6 +188,9 @@ pub fn matcher_json(m: &MatcherMetrics) -> Json {
         .set("alpha_wmes", m.alpha_wmes)
         .set("beta_tokens", m.beta_tokens)
         .set("negative_counts", m.negative_counts)
+        .set("alpha_nodes", m.alpha_nodes)
+        .set("alpha_subscriptions", m.alpha_subscriptions)
+        .set("alpha_share_hits", m.alpha_share_hits)
         .set("reenumerations", m.reenumerations)
         .set("recomputes", m.recomputes)
         .set("imbalance", m.imbalance());
@@ -202,6 +205,8 @@ pub fn matcher_json(m: &MatcherMetrics) -> Json {
                     .set("conflict_set", s.conflict_set)
                     .set("alpha_wmes", s.alpha_wmes)
                     .set("beta_tokens", s.beta_tokens)
+                    .set("alpha_nodes", s.alpha_nodes)
+                    .set("alpha_share_hits", s.alpha_share_hits)
                     .set("reenumerations", s.reenumerations)
             })
             .collect();

@@ -31,7 +31,12 @@ use std::time::Duration;
 /// * v2 — adds the firing-policy tag right after the version field.
 ///   v1 files still decode; the policy migrates to `"fire-all"`, the
 ///   only policy that could have produced them.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// * v3 — appends the applied copy-and-constrain splits at the end of
+///   the stream, so a checkpoint taken after a metrics-driven split
+///   round-trips: resume re-applies the transform and the `name~k`
+///   refraction keys bind. v1/v2 files decode with no splits (none
+///   could have been recorded).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The 4-byte magic prefix of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PLSN";
@@ -94,6 +99,12 @@ pub struct Snapshot {
     pub log: Vec<String>,
     /// Collected cycle traces.
     pub traces: Vec<CycleTrace>,
+    /// Copy-and-constrain splits applied before the capture, in
+    /// application order: `(original rule name, factor)`. Resume replays
+    /// the transform against the target program so the split copies (and
+    /// the `name~k` refraction keys above) exist again. Empty for runs
+    /// that never split (and for v1/v2 files).
+    pub splits: Vec<(String, u32)>,
 }
 
 /// Why a snapshot failed to decode or re-bind.
@@ -116,6 +127,9 @@ pub enum SnapshotError {
     UnknownRule(String),
     /// The captured working memory failed validation on restore.
     BadWm(String),
+    /// Re-applying a recorded copy-and-constrain split failed on resume
+    /// (e.g. the target program no longer defines the split rule).
+    SplitFailed(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -136,6 +150,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::UnknownRule(r) => write!(f, "snapshot references unknown rule '{r}'"),
             SnapshotError::BadWm(why) => write!(f, "snapshot working memory invalid: {why}"),
+            SnapshotError::SplitFailed(why) => {
+                write!(f, "snapshot split re-application failed: {why}")
+            }
         }
     }
 }
@@ -214,6 +231,13 @@ impl Snapshot {
                 e.str(rule);
                 e.u64(*count as u64);
             }
+        }
+        // v3: applied splits, at the very end so older segments keep
+        // their offsets.
+        e.u64(self.splits.len() as u64);
+        for (name, k) in &self.splits {
+            e.str(name);
+            e.u32(*k);
         }
         e.buf
     }
@@ -306,6 +330,15 @@ impl Snapshot {
                 removes,
             });
         }
+        // v1/v2 predate recorded splits; none could have been applied.
+        let mut splits = Vec::new();
+        if version >= 3 {
+            let n_splits = d.len()?;
+            for _ in 0..n_splits {
+                let name = d.str()?;
+                splits.push((name, d.u32()?));
+            }
+        }
         if !d.done() {
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
@@ -319,6 +352,7 @@ impl Snapshot {
             stats,
             log,
             traces,
+            splits,
         })
     }
 }
@@ -455,7 +489,13 @@ mod tests {
                 adds: 3,
                 removes: 2,
             }],
+            splits: vec![("bump".into(), 2)],
         }
+    }
+
+    /// The byte length of `snap`'s trailing splits segment.
+    fn splits_tail_len(snap: &Snapshot) -> usize {
+        8 + snap.splits.iter().map(|(n, _)| 4 + n.len() + 4).sum::<usize>()
     }
 
     #[test]
@@ -516,19 +556,21 @@ mod tests {
 
     #[test]
     fn v1_snapshots_decode_with_fire_all_policy() {
-        // Rebuild the exact v1 byte stream from a v2 one: drop the
-        // policy segment and patch the version field back to 1. v1
-        // files predate policies, so decoding migrates to "fire-all".
+        // Rebuild the exact v1 byte stream from a v3 one: drop the
+        // policy segment and the splits tail, patch the version field
+        // back to 1. v1 files predate policies, so decoding migrates to
+        // "fire-all" (and no splits).
         let snap = sample();
-        let v2 = snap.to_bytes();
+        let v3 = snap.to_bytes();
         let mut v1 = Vec::new();
-        v1.extend_from_slice(&v2[..4]);
+        v1.extend_from_slice(&v3[..4]);
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&v2[8 + 4 + snap.policy.len()..]);
+        v1.extend_from_slice(&v3[8 + 4 + snap.policy.len()..v3.len() - splits_tail_len(&snap)]);
         let back = Snapshot::from_bytes(&v1).unwrap();
         assert_eq!(back.policy, "fire-all");
         let expect = Snapshot {
             policy: "fire-all".into(),
+            splits: Vec::new(),
             ..snap
         };
         assert_eq!(back, expect);
@@ -540,6 +582,23 @@ mod tests {
     }
 
     #[test]
+    fn v2_snapshots_decode_with_no_splits() {
+        // A v2 stream is a v3 stream minus the splits tail, with the
+        // version field patched back. Decoding yields the same capture
+        // with an empty split list.
+        let snap = sample();
+        let v3 = snap.to_bytes();
+        let mut v2 = v3[..v3.len() - splits_tail_len(&snap)].to_vec();
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let back = Snapshot::from_bytes(&v2).unwrap();
+        let expect = Snapshot {
+            splits: Vec::new(),
+            ..snap
+        };
+        assert_eq!(back, expect);
+    }
+
+    #[test]
     fn errors_render() {
         for (err, needle) in [
             (SnapshotError::BadMagic, "magic"),
@@ -547,6 +606,7 @@ mod tests {
             (SnapshotError::UnknownClass("goal".into()), "goal"),
             (SnapshotError::UnknownRule("r1".into()), "r1"),
             (SnapshotError::BadWm("dup".into()), "dup"),
+            (SnapshotError::SplitFailed("no rule".into()), "no rule"),
         ] {
             assert!(err.to_string().contains(needle), "{err:?}");
         }

@@ -1,0 +1,182 @@
+//! Flat generational arenas: the storage layer under the shared alpha
+//! network.
+//!
+//! The pre-arena matchers kept one `FxHashMap<WmeId, Arc<Wme>>` per
+//! (rule, CE) alpha memory and `Arc`'d every token payload — every join
+//! candidate read chased a hash bucket and an `Arc` indirection. An
+//! [`Arena`] stores payloads in one contiguous `Vec` slab: lookups are a
+//! bounds-checked index, freed slots are recycled through a free list,
+//! and iteration over live entries walks the slab densely in slot order.
+//!
+//! Handles are **generational** ([`WmeRef`]): each slot carries a
+//! generation counter bumped on free, so a stale handle held by a token
+//! after its WME was retracted can never silently read a recycled slot —
+//! `get` returns `None` (and the debug invariant checker treats a stale
+//! ref reachable from live state as a bug).
+
+/// A generational handle into an [`Arena`]. 8 bytes, `Copy`, hashable —
+/// tokens store these instead of `Arc<Wme>` payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WmeRef {
+    /// Slab slot index.
+    pub slot: u32,
+    /// Generation the slot had when this handle was issued.
+    pub gen: u32,
+}
+
+enum Slot<T> {
+    Occupied { gen: u32, value: T },
+    /// Freed; `gen` is the generation the *next* occupant will get.
+    Vacant { gen: u32 },
+}
+
+/// A flat slab with a free list and generational handles.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Slab capacity actually allocated (live + vacant slots); the
+    /// invariant checker compares this against the free list.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a value, recycling a freed slot if one exists.
+    pub fn insert(&mut self, value: T) -> WmeRef {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let gen = match self.slots[slot as usize] {
+                Slot::Vacant { gen } => gen,
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            self.slots[slot as usize] = Slot::Occupied { gen, value };
+            WmeRef { slot, gen }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("arena overflow");
+            self.slots.push(Slot::Occupied { gen: 0, value });
+            WmeRef { slot, gen: 0 }
+        }
+    }
+
+    /// The value behind `r`, unless the slot was freed since `r` was
+    /// issued (stale generation) — then `None`.
+    #[inline]
+    pub fn get(&self, r: WmeRef) -> Option<&T> {
+        match self.slots.get(r.slot as usize) {
+            Some(Slot::Occupied { gen, value }) if *gen == r.gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value behind `r`; `None` if already freed
+    /// or stale. The slot's generation is bumped so `r` (and any copy of
+    /// it) goes stale immediately.
+    pub fn remove(&mut self, r: WmeRef) -> Option<T> {
+        match self.slots.get_mut(r.slot as usize) {
+            Some(slot @ Slot::Occupied { .. }) => {
+                let Slot::Occupied { gen, .. } = *slot else {
+                    unreachable!()
+                };
+                if gen != r.gen {
+                    return None;
+                }
+                let Slot::Occupied { value, .. } =
+                    std::mem::replace(slot, Slot::Vacant { gen: gen.wrapping_add(1) })
+                else {
+                    unreachable!()
+                };
+                self.free.push(r.slot);
+                self.live -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Dense iteration over live entries in slot order (the cache-friendly
+    /// walk replace-rules reseeding and invariant checks use).
+    pub fn iter(&self) -> impl Iterator<Item = (WmeRef, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { gen, value } => Some((
+                WmeRef {
+                    slot: i as u32,
+                    gen: *gen,
+                },
+                value,
+            )),
+            Slot::Vacant { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let r1 = a.insert("one");
+        let r2 = a.insert("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(r1), Some(&"one"));
+        assert_eq!(a.get(r2), Some(&"two"));
+        assert_eq!(a.remove(r1), Some("one"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(r1), None, "freed handle is dead");
+        assert_eq!(a.remove(r1), None, "double free is a no-op");
+    }
+
+    #[test]
+    fn recycled_slot_gets_fresh_generation() {
+        let mut a = Arena::new();
+        let r1 = a.insert(10);
+        a.remove(r1);
+        let r2 = a.insert(20);
+        assert_eq!(r2.slot, r1.slot, "slot recycled via the free list");
+        assert_ne!(r2.gen, r1.gen, "generation bumped");
+        assert_eq!(a.get(r1), None, "stale handle cannot read new occupant");
+        assert_eq!(a.get(r2), Some(&20));
+    }
+
+    #[test]
+    fn dense_iteration_skips_vacant_slots() {
+        let mut a = Arena::new();
+        let refs: Vec<WmeRef> = (0..5).map(|i| a.insert(i)).collect();
+        a.remove(refs[1]);
+        a.remove(refs[3]);
+        let live: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec![0, 2, 4]);
+        for (r, v) in a.iter() {
+            assert_eq!(a.get(r), Some(v));
+        }
+    }
+}

@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alpha;
+pub mod arena;
 pub mod enumerate;
 pub mod naive;
 pub mod partitioned;
@@ -70,6 +72,18 @@ pub struct MatcherMetrics {
     pub beta_tokens: usize,
     /// Entries in counted-negative-node tables (RETE only).
     pub negative_counts: usize,
+    /// Live nodes in the shared alpha network: distinct (class,
+    /// constant-test) memories after deduplication (zero for naive,
+    /// which has no network).
+    pub alpha_nodes: usize,
+    /// Total (rule, CE) subscriptions across those nodes. With sharing
+    /// disabled this equals `alpha_nodes`; the gap is the state the
+    /// dedup layer avoids keeping.
+    pub alpha_subscriptions: usize,
+    /// Lifetime count of alpha test evaluations whose result was fanned
+    /// out to more than one subscriber — work the per-rule layout would
+    /// have repeated. `> 0` proves sharing is live.
+    pub alpha_share_hits: u64,
     /// Lifetime count of full per-rule re-enumerations (TREAT only:
     /// the cost paid when a negative blocker disappears).
     pub reenumerations: u64,
@@ -95,6 +109,9 @@ impl Default for MatcherMetrics {
             alpha_wmes: 0,
             beta_tokens: 0,
             negative_counts: 0,
+            alpha_nodes: 0,
+            alpha_subscriptions: 0,
+            alpha_share_hits: 0,
             reenumerations: 0,
             recomputes: 0,
             per_rule_work: Vec::new(),

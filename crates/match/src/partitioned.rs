@@ -292,6 +292,12 @@ impl<M: Matcher> Matcher for Partitioned<M> {
             alpha_wmes: per_shard.iter().map(|s| s.alpha_wmes).sum(),
             beta_tokens: per_shard.iter().map(|s| s.beta_tokens).sum(),
             negative_counts: per_shard.iter().map(|s| s.negative_counts).sum(),
+            // Shards share no alpha state, so node/subscription/share-hit
+            // totals are exact sums too (sharing only happens *within* a
+            // shard's rule subset).
+            alpha_nodes: per_shard.iter().map(|s| s.alpha_nodes).sum(),
+            alpha_subscriptions: per_shard.iter().map(|s| s.alpha_subscriptions).sum(),
+            alpha_share_hits: per_shard.iter().map(|s| s.alpha_share_hits).sum(),
             reenumerations: per_shard.iter().map(|s| s.reenumerations).sum(),
             recomputes: per_shard.iter().map(|s| s.recomputes).sum(),
             per_rule_work: {

@@ -3,19 +3,24 @@
 //!
 //! ## Structure
 //!
-//! One linear network per rule ("rule net"): level *k* of a net
-//! corresponds to condition element *k* in join order.
+//! The constant-test layer is the crate-wide [`AlphaNetwork`]: alpha
+//! memories are deduplicated by (class, constant-test) key and shared
+//! across rules, WME payloads live once in a flat generational arena, and
+//! a WME add runs each distinct test list once before fanning out to the
+//! subscribing (rule, CE) endpoints. The beta layer stays per rule:
 //!
-//! * Every level owns an **alpha memory**: the WMEs of the CE's class that
-//!   pass its constant (alpha) tests, hash-indexed by the level's
-//!   **equality join keys** (the `(slot, var)` pairs where the CE equates
-//!   a field with a variable bound by an earlier CE).
+//! * One linear network per rule ("rule net"): level *k* of a net
+//!   corresponds to condition element *k* in join order. Each level holds
+//!   a subscription to its shared alpha node plus a refcounted hash index
+//!   over its **equality join keys** (the `(slot, var)` pairs where the
+//!   CE equates a field with a variable bound by an earlier CE).
 //! * A **token** is a consistent match of the first *k* CEs: the matched
-//!   positive WMEs, their ids (the token key), and the variable bindings.
+//!   positive WMEs (as arena handles — 8 bytes each, no `Arc` chasing),
+//!   their ids (the token key), and the variable bindings.
 //! * Positive levels join input tokens (the previous level's outputs, or
-//!   the root token) with their alpha memory; candidates come from the
-//!   hash index, residual beta tests and anchored rule tests run per
-//!   candidate.
+//!   the root token) with their alpha node; candidates come from the
+//!   shared hash index, residual beta tests and anchored rule tests run
+//!   per candidate.
 //! * Negative levels are **counted**: for each input token the level
 //!   stores how many alpha WMEs are consistent with it; the token passes
 //!   through while the count is zero. Adding a blocker retracts the
@@ -23,31 +28,36 @@
 //! * The last level's outputs are the rule's instantiations, maintained
 //!   directly in the [`ConflictSet`].
 //!
-//! Alpha memories are *not* shared across rules. Sharing is a
-//! constant-factor optimization orthogonal to everything measured here,
-//! and per-rule networks are what the partitioned parallel matcher needs
-//! anyway (each worker owns whole rule nets).
+//! ## Delivery discipline
+//!
+//! Because the shared network inserts membership *before* any beta
+//! delivery, tokens created during an add compute negative counts that
+//! already include the new WME. Delivery therefore increments only input
+//! tokens captured in a pre-delivery snapshot of each hit negative
+//! level's count table; tokens created (or re-created) mid-add always
+//! carry the new WME's id, which no snapshot token can, so the two sets
+//! are provably disjoint and nothing is double-counted.
 
+use crate::alpha::{AlphaNetwork, KeyVals, NodeId};
+use crate::arena::WmeRef;
 use crate::Matcher;
 use parulel_core::{
     ConditionElement, ConflictSet, CsEvent, FxHashMap, FxHashSet, InstKey, Instantiation, Polarity,
-    Program, RuleId, TestExpr, Value, VarId, Wme, WmeId, WorkingMemory,
+    Program, RuleId, TestExpr, Value, VarId, Wme, WorkingMemory,
 };
 use std::sync::Arc;
 
 type TokKey = Arc<[WmeId]>;
-type KeyVals = Box<[Value]>;
-/// Alpha memories and tokens share one allocation per WME per add:
-/// propagation clones the `Arc`, never the WME payload.
-type AWme = Arc<Wme>;
+use parulel_core::WmeId;
 
 /// A partial match: the first `k` CEs of a rule, satisfied consistently.
 #[derive(Clone, Debug)]
 struct Token {
     /// Ids of the positive WMEs matched so far (the identity).
     key: TokKey,
-    /// The matched positive WMEs (shared, not cloned, per level).
-    wmes: Vec<AWme>,
+    /// Arena handles of the matched positive WMEs — payloads stay in the
+    /// shared store, tokens carry 8-byte refs.
+    wmes: Vec<WmeRef>,
     /// Variable bindings (full rule width).
     env: Box<[Value]>,
 }
@@ -59,10 +69,10 @@ struct Level {
     tests: Vec<TestExpr>,
     /// Equality join keys: `(slot, var)`.
     keys: Vec<(u16, VarId)>,
-    /// Alpha memory: WMEs passing class + constant tests.
-    alpha: FxHashMap<WmeId, AWme>,
-    /// Alpha memory indexed by join-key values.
-    alpha_index: FxHashMap<KeyVals, FxHashSet<WmeId>>,
+    /// The join-key field slots (the shared index this level probes).
+    slots: Box<[u16]>,
+    /// This level's subscription in the shared alpha network.
+    node: NodeId,
     /// Input tokens (previous level's outputs) indexed by this level's
     /// join-key values.
     left_index: FxHashMap<KeyVals, FxHashSet<TokKey>>,
@@ -90,9 +100,7 @@ impl Level {
             key[..key.len() - 1].into()
         }
     }
-}
 
-impl Level {
     fn is_negative(&self) -> bool {
         self.ce.polarity == Polarity::Negative
     }
@@ -119,69 +127,89 @@ impl Level {
     }
 }
 
-/// One rule's network.
+/// One rule's beta network.
 struct RuleNet {
     rule: RuleId,
     levels: Vec<Level>,
     root: Token,
 }
 
-/// The incremental RETE matcher.
+/// The incremental RETE matcher: shared alpha network + per-rule beta
+/// nets.
 pub struct Rete {
+    alpha: AlphaNetwork,
     nets: Vec<RuleNet>,
     cs: ConflictSet,
 }
 
 impl Rete {
-    /// Builds a network for every rule of `program`.
+    /// Builds a network for every rule of `program`, with alpha sharing.
     pub fn new(program: Arc<Program>) -> Self {
         let rules = (0..program.rules().len() as u32).map(RuleId).collect();
         Self::with_rules(program, rules)
     }
 
     /// Builds networks for a subset of rules (the partitioned matcher's
-    /// workers use this).
+    /// workers use this), with alpha sharing.
     pub fn with_rules(program: Arc<Program>, rules: Vec<RuleId>) -> Self {
+        Self::with_rules_sharing(program, rules, true)
+    }
+
+    /// Like [`with_rules`](Self::with_rules) but with alpha-memory
+    /// deduplication switchable — `dedup = false` keeps one node per
+    /// (rule, CE), the per-rule baseline the joinbench ablation measures
+    /// against.
+    pub fn with_rules_sharing(program: Arc<Program>, rules: Vec<RuleId>, dedup: bool) -> Self {
+        let mut alpha = AlphaNetwork::new(program.classes.len(), dedup);
         let mut nets = Vec::with_capacity(rules.len());
         let mut cs = ConflictSet::new();
         for rid in rules {
-            nets.push(build_net(&program, rid, &mut cs));
+            nets.push(build_net(&program, rid, &mut alpha, &mut cs));
         }
-        Rete { nets, cs }
+        Rete { alpha, nets, cs }
     }
 }
 
-#[cfg(debug_assertions)]
 impl Rete {
-    /// Verifies every cross-index of the network agrees (debug builds
-    /// only; the differential suite calls this after each batch so index
-    /// leaks/desyncs surface at the op that caused them, not as a wrong
-    /// conflict set much later). Panics with a description on violation.
+    /// Verifies every cross-index of the network agrees (the
+    /// differential suite calls this after each batch in debug builds so
+    /// index leaks/desyncs surface at the op that caused them, not as a
+    /// wrong conflict set much later). Panics with a description on
+    /// violation.
     pub fn check_invariants(&self) {
+        // Store/node/index/refcount agreement inside the shared layer.
+        self.alpha.check_invariants();
         for net in &self.nets {
             let rule = net.rule.0;
             for (k, level) in net.levels.iter().enumerate() {
-                // Alpha memory and its index mirror each other exactly.
-                let mut indexed = 0usize;
-                for (kv, bucket) in &level.alpha_index {
-                    assert!(!bucket.is_empty(), "r{rule} L{k}: empty alpha bucket");
-                    for wid in bucket {
-                        let wme = level
-                            .alpha
-                            .get(wid)
-                            .unwrap_or_else(|| panic!("r{rule} L{k}: indexed {wid} not in alpha"));
-                        assert_eq!(
-                            &level.wme_keyvals(wme),
-                            kv,
-                            "r{rule} L{k}: {wid} filed under wrong key"
-                        );
-                        indexed += 1;
-                    }
-                }
-                assert_eq!(indexed, level.alpha.len(), "r{rule} L{k}: alpha_index desync");
-                // Tokens and their removal/cascade indexes agree.
+                // The level's subscription and shared index exist.
+                assert!(
+                    self.alpha.endpoints(level.node).contains(&crate::alpha::Endpoint {
+                        rule: net.rule,
+                        ce: k as u32
+                    }),
+                    "r{rule} L{k}: endpoint missing from its alpha node"
+                );
+                assert!(
+                    self.alpha.index_len(level.node, &level.slots).is_some(),
+                    "r{rule} L{k}: join index missing from its alpha node"
+                );
+                // Tokens and their removal/cascade indexes agree, and
+                // every token ref resolves to the WME its key names.
                 for (key, tok) in &level.tokens {
                     assert_eq!(key, &tok.key, "r{rule} L{k}: token filed under wrong key");
+                    assert_eq!(
+                        tok.key.len(),
+                        tok.wmes.len(),
+                        "r{rule} L{k}: token key/refs width mismatch"
+                    );
+                    for (id, &wref) in tok.key.iter().zip(&tok.wmes) {
+                        let wme = self
+                            .alpha
+                            .try_wme(wref)
+                            .unwrap_or_else(|| panic!("r{rule} L{k}: token holds stale ref"));
+                        assert_eq!(wme.id, *id, "r{rule} L{k}: token ref/id mismatch");
+                    }
                     for id in key.iter() {
                         assert!(
                             level.by_wme.get(id).is_some_and(|s| s.contains(key)),
@@ -277,32 +305,49 @@ impl Rete {
     }
 }
 
-/// Builds one rule's (empty) network, inserting into `cs` anything the
-/// empty network already derives (a leading-negative rule matches the root
-/// token; a zero-CE rule has exactly one vacuous instantiation, matching
-/// what enumeration-based matchers produce).
-fn build_net(program: &Program, rid: RuleId, cs: &mut ConflictSet) -> RuleNet {
+/// Builds one rule's net — subscribing each level to the shared alpha
+/// network — and derives its complete token set from the current store in
+/// one batch pass (no per-WME replay: counts and joins are computed from
+/// full node membership). On an empty store this degenerates to the
+/// root-only state; `replace_rules` gets post-split nets for free.
+///
+/// Inserts into `cs` anything the net derives (a leading-negative rule
+/// with no blockers matches the root token; a zero-CE rule has exactly
+/// one vacuous instantiation, matching what enumeration-based matchers
+/// produce).
+fn build_net(
+    program: &Program,
+    rid: RuleId,
+    alpha: &mut AlphaNetwork,
+    cs: &mut ConflictSet,
+) -> RuleNet {
     let rule = program.rule(rid);
     let mut levels: Vec<Level> = rule
         .ces
         .iter()
         .enumerate()
-        .map(|(k, ce)| Level {
-            ce: ce.clone(),
-            tests: rule
-                .tests
-                .iter()
-                .filter(|t| t.anchor == k)
-                .map(|t| t.test.clone())
-                .collect(),
-            keys: ce.eq_join_keys(rule.vars_bound_by(k)),
-            alpha: FxHashMap::default(),
-            alpha_index: FxHashMap::default(),
-            left_index: FxHashMap::default(),
-            tokens: FxHashMap::default(),
-            neg_counts: FxHashMap::default(),
-            by_wme: FxHashMap::default(),
-            children: FxHashMap::default(),
+        .map(|(k, ce)| {
+            let keys = ce.eq_join_keys(rule.vars_bound_by(k));
+            let slots: Box<[u16]> = keys.iter().map(|&(slot, _)| slot).collect();
+            let node = alpha.subscribe(ce, rid, k);
+            alpha.subscribe_index(node, &slots);
+            Level {
+                ce: ce.clone(),
+                tests: rule
+                    .tests
+                    .iter()
+                    .filter(|t| t.anchor == k)
+                    .map(|t| t.test.clone())
+                    .collect(),
+                keys,
+                slots,
+                node,
+                left_index: FxHashMap::default(),
+                tokens: FxHashMap::default(),
+                neg_counts: FxHashMap::default(),
+                by_wme: FxHashMap::default(),
+                children: FxHashMap::default(),
+            }
         })
         .collect();
     let root = Token {
@@ -323,8 +368,8 @@ fn build_net(program: &Program, rid: RuleId, cs: &mut ConflictSet) -> RuleNet {
             root,
         };
     }
-    // Register the root token as input to level 0 and let it flow
-    // through any leading negative levels (alphas are empty now).
+    // Register the root token as input to level 0, then batch-derive the
+    // token set from whatever the store already holds.
     let kv = levels[0].token_keyvals(&root);
     levels[0]
         .left_index
@@ -336,11 +381,7 @@ fn build_net(program: &Program, rid: RuleId, cs: &mut ConflictSet) -> RuleNet {
         levels,
         root,
     };
-    if net.levels[0].is_negative() {
-        net.levels[0].neg_counts.insert(net.root.key.clone(), 0);
-        let tok = net.root.clone();
-        net.insert_token(0, tok, cs);
-    }
+    net.activate_root(alpha, cs);
     net
 }
 
@@ -350,10 +391,50 @@ impl RuleNet {
         self.levels.len()
     }
 
-    /// Extends `tok` with `wme` at positive level `k`, if consistent.
-    /// Clones the `Arc`, not the WME.
-    fn extend(&self, k: usize, tok: &Token, wme: &AWme) -> Option<Token> {
+    /// Drives the root token into level 0, computing counts/joins from
+    /// full node membership — the batch half of net construction.
+    fn activate_root(&mut self, alpha: &AlphaNetwork, cs: &mut ConflictSet) {
+        let root = self.root.clone();
+        if self.levels[0].is_negative() {
+            let count = self.blocker_count(0, &root, alpha);
+            self.levels[0].neg_counts.insert(root.key.clone(), count);
+            if count == 0 && self.neg_pass_tests(0, &root) {
+                self.insert_token(0, root, alpha, cs);
+            }
+        } else {
+            let kv = self.levels[0].token_keyvals(&root);
+            let candidates: Vec<WmeRef> =
+                match alpha.index_bucket(self.levels[0].node, &self.levels[0].slots, &kv) {
+                    Some(bucket) => bucket.iter().copied().collect(),
+                    None => Vec::new(),
+                };
+            for r in candidates {
+                if let Some(t2) = self.extend(0, &root, r, alpha) {
+                    self.insert_token(0, t2, alpha, cs);
+                }
+            }
+        }
+    }
+
+    /// How many members of negative level `k`'s alpha node are consistent
+    /// with `tok` (the level's count table value for a fresh input).
+    fn blocker_count(&self, k: usize, tok: &Token, alpha: &AlphaNetwork) -> u32 {
         let level = &self.levels[k];
+        let kv = level.token_keyvals(tok);
+        match alpha.index_bucket(level.node, &level.slots, &kv) {
+            Some(bucket) => bucket
+                .iter()
+                .filter(|&&r| level.beta_matches(tok, alpha.wme(r)))
+                .count() as u32,
+            None => 0,
+        }
+    }
+
+    /// Extends `tok` with the WME behind `wref` at positive level `k`, if
+    /// consistent. Copies the 8-byte handle, never the payload.
+    fn extend(&self, k: usize, tok: &Token, wref: WmeRef, alpha: &AlphaNetwork) -> Option<Token> {
+        let level = &self.levels[k];
+        let wme = alpha.wme(wref);
         let mut env = tok.env.clone();
         if !level.ce.run_beta(wme, &mut env) {
             return None;
@@ -364,7 +445,7 @@ impl RuleNet {
         let mut key: Vec<WmeId> = tok.key.to_vec();
         key.push(wme.id);
         let mut wmes = tok.wmes.clone();
-        wmes.push(wme.clone());
+        wmes.push(wref);
         Some(Token {
             key: key.into(),
             wmes,
@@ -379,7 +460,7 @@ impl RuleNet {
     }
 
     /// Inserts `tok` as an output of level `k` and propagates downstream.
-    fn insert_token(&mut self, k: usize, tok: Token, cs: &mut ConflictSet) {
+    fn insert_token(&mut self, k: usize, tok: Token, alpha: &AlphaNetwork, cs: &mut ConflictSet) {
         if self.levels[k]
             .tokens
             .insert(tok.key.clone(), tok.clone())
@@ -403,7 +484,7 @@ impl RuleNet {
         if k + 1 == self.depth() {
             // The only place full WME payloads are cloned: materializing
             // the instantiation handed to the conflict set.
-            let wmes: Vec<Wme> = tok.wmes.iter().map(|w| (**w).clone()).collect();
+            let wmes: Vec<Wme> = tok.wmes.iter().map(|&r| alpha.wme(r).clone()).collect();
             cs.insert(Instantiation::new(self.rule, wmes, tok.env.to_vec()));
             return;
         }
@@ -415,34 +496,23 @@ impl RuleNet {
             .or_default()
             .insert(tok.key.clone());
         if self.levels[next].is_negative() {
-            let count = match self.levels[next].alpha_index.get(&kv) {
-                Some(bucket) => {
-                    let level = &self.levels[next];
-                    bucket
-                        .iter()
-                        .filter(|wid| level.beta_matches(&tok, &level.alpha[wid]))
-                        .count() as u32
-                }
-                None => 0,
-            };
+            let count = self.blocker_count(next, &tok, alpha);
             self.levels[next].neg_counts.insert(tok.key.clone(), count);
             if count == 0 && self.neg_pass_tests(next, &tok) {
-                self.insert_token(next, tok, cs);
+                self.insert_token(next, tok, alpha, cs);
             }
         } else {
-            // Arc clones only — candidate payloads stay in the alpha
-            // memory; this Vec exists to end the borrow of `self.levels`
+            // Handle copies only — candidate payloads stay in the shared
+            // store; this Vec exists to end the borrow of `self.levels`
             // before the recursive insert below.
-            let candidates: Vec<AWme> = match self.levels[next].alpha_index.get(&kv) {
-                Some(bucket) => {
-                    let level = &self.levels[next];
-                    bucket.iter().map(|wid| level.alpha[wid].clone()).collect()
-                }
-                None => Vec::new(),
-            };
-            for w in candidates {
-                if let Some(t2) = self.extend(next, &tok, &w) {
-                    self.insert_token(next, t2, cs);
+            let candidates: Vec<WmeRef> =
+                match alpha.index_bucket(self.levels[next].node, &self.levels[next].slots, &kv) {
+                    Some(bucket) => bucket.iter().copied().collect(),
+                    None => Vec::new(),
+                };
+            for r in candidates {
+                if let Some(t2) = self.extend(next, &tok, r, alpha) {
+                    self.insert_token(next, t2, alpha, cs);
                 }
             }
         }
@@ -517,20 +587,26 @@ impl RuleNet {
         }
     }
 
-    /// Feeds one WME (as a shared `Arc`) through this net: every alpha
-    /// memory stores the same allocation.
-    fn add_wme(&mut self, wme: &AWme, cs: &mut ConflictSet) {
-        for k in 0..self.depth() {
-            if !self.levels[k].ce.passes_alpha(wme) {
-                continue;
-            }
+    /// Beta delivery for one added WME, at the levels (`hits`, ascending)
+    /// whose shared alpha nodes it entered.
+    fn deliver_add(
+        &mut self,
+        hits: &[usize],
+        wref: WmeRef,
+        wme: &Wme,
+        alpha: &AlphaNetwork,
+        cs: &mut ConflictSet,
+    ) {
+        // Node membership was updated before delivery, so any token
+        // created from here on computes counts that already include the
+        // new WME. Those freshly-built tokens are exactly the ones whose
+        // key carries the new WME's id (every insert during an add
+        // delivery descends from an extension with it, and the id is
+        // fresh), so they are skipped by inspecting the key — tokens that
+        // predate the add cannot reference the id. No per-delivery
+        // snapshot of the count table is needed.
+        for &k in hits {
             let kv = self.levels[k].wme_keyvals(wme);
-            self.levels[k].alpha.insert(wme.id, wme.clone());
-            self.levels[k]
-                .alpha_index
-                .entry(kv.clone())
-                .or_default()
-                .insert(wme.id);
             let left: Vec<TokKey> = self.levels[k]
                 .left_index
                 .get(&kv)
@@ -538,6 +614,9 @@ impl RuleNet {
                 .unwrap_or_default();
             if self.levels[k].is_negative() {
                 for tkey in left {
+                    if tkey.contains(&wme.id) {
+                        continue; // built during this delivery: fresh count
+                    }
                     let Some(tok) = self.input_token(k, &tkey) else {
                         continue;
                     };
@@ -557,44 +636,28 @@ impl RuleNet {
                     let Some(tok) = self.input_token(k, &tkey) else {
                         continue;
                     };
-                    if let Some(t2) = self.extend(k, &tok, wme) {
-                        self.insert_token(k, t2, cs);
+                    if let Some(t2) = self.extend(k, &tok, wref, alpha) {
+                        self.insert_token(k, t2, alpha, cs);
                     }
                 }
             }
         }
     }
 
-    fn remove_wme(&mut self, wme: &Wme, cs: &mut ConflictSet) {
-        // 1. Drop the WME from every alpha memory it sits in, remembering
-        //    the negative levels for the re-activation pass — together
-        //    with a snapshot of the input tokens whose counts *included*
-        //    this WME. Re-activation at a shallower level can re-insert
-        //    tokens here with fresh counts (computed from the already-
-        //    shrunk alpha memory); those must not be decremented again.
-        let mut negs: Vec<(usize, FxHashSet<TokKey>)> = Vec::new();
-        for k in 0..self.depth() {
-            if self.levels[k].alpha.remove(&wme.id).is_some() {
-                let kv = self.levels[k].wme_keyvals(wme);
-                let emptied = match self.levels[k].alpha_index.get_mut(&kv) {
-                    Some(bucket) => {
-                        bucket.remove(&wme.id);
-                        bucket.is_empty()
-                    }
-                    None => false,
-                };
-                if emptied {
-                    self.levels[k].alpha_index.remove(&kv);
-                }
-                if self.levels[k].is_negative() {
-                    negs.push((k, self.levels[k].neg_counts.keys().cloned().collect()));
-                }
-            }
-        }
-        // 2. Retract every token that positively matched the WME, straight
+    /// Beta retraction for one removed WME (already gone from the shared
+    /// store), at the levels whose nodes it left.
+    fn deliver_remove(
+        &mut self,
+        hits: &[usize],
+        wme: &Wme,
+        alpha: &AlphaNetwork,
+        cs: &mut ConflictSet,
+    ) {
+        // 1. Retract every token that positively matched the WME, straight
         //    from the per-WME index; scanning shallow-to-deep lets the
         //    cascade do most of the work (deeper entries are usually gone
-        //    by the time their level is reached).
+        //    by the time their level is reached). This phase only removes,
+        //    never inserts.
         for k in 0..self.depth() {
             let victims: Vec<TokKey> = self.levels[k]
                 .by_wme
@@ -605,12 +668,20 @@ impl RuleNet {
                 self.remove_output(k, &v, cs);
             }
         }
-        // 3. Negative re-activation: live input tokens that were blocked
-        //    only by this WME start passing. Only tokens from the phase-1
-        //    snapshot are decremented — entries created since then (by
-        //    re-activation cascades at shallower levels) never counted the
-        //    removed WME.
-        for (k, counted) in negs {
+        // 2. Negative re-activation, deepest level first: live input
+        //    tokens that were blocked only by this WME start passing.
+        //    A re-activation at level k only inserts tokens at levels
+        //    deeper than k — whose counts are computed fresh from the
+        //    already-shrunk membership and must not be decremented — and
+        //    deepest-first ordering guarantees those levels were already
+        //    handled, so every entry seen here predates the delivery and
+        //    its count included the WME.
+        let neg_hits: Vec<usize> = hits
+            .iter()
+            .copied()
+            .filter(|&k| self.levels[k].is_negative())
+            .collect();
+        for &k in neg_hits.iter().rev() {
             let kv = self.levels[k].wme_keyvals(wme);
             let left: Vec<TokKey> = self.levels[k]
                 .left_index
@@ -618,9 +689,6 @@ impl RuleNet {
                 .map(|b| b.iter().cloned().collect())
                 .unwrap_or_default();
             for tkey in left {
-                if !counted.contains(&tkey) {
-                    continue;
-                }
                 let Some(tok) = self.input_token(k, &tkey) else {
                     continue;
                 };
@@ -631,7 +699,7 @@ impl RuleNet {
                         .expect("input token without a negative count");
                     *count -= 1;
                     if *count == 0 && self.neg_pass_tests(k, &tok) {
-                        self.insert_token(k, tok, cs);
+                        self.insert_token(k, tok, alpha, cs);
                     }
                 }
             }
@@ -639,19 +707,44 @@ impl RuleNet {
     }
 }
 
+/// Groups the endpoints of `entered` alpha nodes by rule, yielding each
+/// rule's hit CE positions sorted ascending (the shallow-to-deep delivery
+/// order the beta pass relies on).
+fn hits_by_rule(alpha: &AlphaNetwork, entered: &[NodeId]) -> FxHashMap<RuleId, Vec<usize>> {
+    let mut by_rule: FxHashMap<RuleId, Vec<usize>> = FxHashMap::default();
+    for &nid in entered {
+        for ep in alpha.endpoints(nid) {
+            by_rule.entry(ep.rule).or_default().push(ep.ce as usize);
+        }
+    }
+    for hits in by_rule.values_mut() {
+        hits.sort_unstable();
+    }
+    by_rule
+}
+
 impl Matcher for Rete {
     fn add_wme(&mut self, wme: &Wme) {
-        // One allocation per add, shared by every net's alpha memories
-        // and every token that matches it.
-        let wme: AWme = Arc::new(wme.clone());
+        // The shared layer runs each distinct test list once and stores
+        // the payload once; beta delivery fans out to the subscribers.
+        let (wref, entered) = self.alpha.add(wme);
+        let mut by_rule = hits_by_rule(&self.alpha, &entered);
         for net in &mut self.nets {
-            net.add_wme(&wme, &mut self.cs);
+            if let Some(hits) = by_rule.remove(&net.rule) {
+                net.deliver_add(&hits, wref, wme, &self.alpha, &mut self.cs);
+            }
         }
     }
 
     fn remove_wme(&mut self, wme: &Wme) {
+        let Some((payload, left)) = self.alpha.remove(wme.id) else {
+            return; // never added — nothing can reference it
+        };
+        let mut by_rule = hits_by_rule(&self.alpha, &left);
         for net in &mut self.nets {
-            net.remove_wme(wme, &mut self.cs);
+            if let Some(hits) = by_rule.remove(&net.rule) {
+                net.deliver_remove(&hits, &payload, &self.alpha, &mut self.cs);
+            }
         }
     }
 
@@ -668,6 +761,9 @@ impl Matcher for Rete {
             kind: "rete",
             rules: self.nets.len(),
             conflict_set: self.cs.len(),
+            alpha_nodes: self.alpha.node_count(),
+            alpha_subscriptions: self.alpha.subscription_count(),
+            alpha_share_hits: self.alpha.share_hits(),
             ..Default::default()
         };
         let mut cs_by_rule: FxHashMap<u32, usize> = FxHashMap::default();
@@ -677,10 +773,15 @@ impl Matcher for Rete {
         for net in &self.nets {
             let mut work = cs_by_rule.get(&net.rule.0).copied().unwrap_or(0);
             for level in &net.levels {
-                m.alpha_wmes += level.alpha.len();
+                // Per-subscription accounting (a shared node counts once
+                // per subscribing level), so `alpha_wmes`, per-rule work
+                // and the imbalance signal keep their pre-sharing values
+                // and auto-ccc decisions are unchanged.
+                let members = self.alpha.members(level.node).len();
+                m.alpha_wmes += members;
                 m.beta_tokens += level.tokens.len();
                 m.negative_counts += level.neg_counts.len();
-                work += level.alpha.len() + level.tokens.len();
+                work += members + level.tokens.len();
             }
             m.per_rule_work.push((net.rule.0, work));
         }
@@ -693,10 +794,24 @@ impl Matcher for Rete {
         program: &Arc<Program>,
         remove: &[RuleId],
         add: &[RuleId],
-        wm: &WorkingMemory,
+        _wm: &WorkingMemory,
     ) -> bool {
         for &rid in remove {
-            self.nets.retain(|n| n.rule != rid);
+            let mut i = 0;
+            while i < self.nets.len() {
+                if self.nets[i].rule != rid {
+                    i += 1;
+                    continue;
+                }
+                let net = self.nets.remove(i);
+                // Release the shared subscriptions; nodes still used by
+                // other rules (a split rule's unchanged CEs) survive with
+                // their membership intact.
+                for (k, level) in net.levels.iter().enumerate() {
+                    self.alpha.unsubscribe_index(level.node, &level.slots);
+                    self.alpha.unsubscribe(level.node, net.rule, k);
+                }
+            }
             let stale: Vec<InstKey> = self
                 .cs
                 .iter()
@@ -708,11 +823,9 @@ impl Matcher for Rete {
             }
         }
         for &rid in add {
-            let mut net = build_net(program, rid, &mut self.cs);
-            for w in wm.iter() {
-                let aw: AWme = Arc::new(w.clone());
-                net.add_wme(&aw, &mut self.cs);
-            }
+            // build_net batch-derives the new net's tokens from the shared
+            // store — no per-WME replay of working memory.
+            let net = build_net(program, rid, &mut self.alpha, &mut self.cs);
             self.nets.push(net);
         }
         // Net order is not semantically observable (the conflict set is a
@@ -894,7 +1007,9 @@ mod tests {
         // levels without panicking or double-decrementing.
         m.remove_wme(&wb);
         assert_eq!(m.conflict_set().len(), 1);
-        // And re-adding it must retract again.
+        // And re-adding it must retract again. Both negative levels share
+        // one alpha node here, so this also exercises the add-side
+        // snapshot discipline.
         m.add_wme(&wb);
         assert_eq!(m.conflict_set().len(), 0);
     }
@@ -942,11 +1057,14 @@ mod tests {
             m.remove_wme(w);
         }
         assert_eq!(m.conflict_set().len(), 0);
+        assert_eq!(m.alpha.store_len(), 0, "arena did not drain");
         for net in &m.nets {
             for (k, level) in net.levels.iter().enumerate() {
-                assert!(level.alpha.is_empty(), "level {k} alpha not empty");
+                assert!(
+                    m.alpha.members(level.node).is_empty(),
+                    "level {k} node membership not empty"
+                );
                 assert!(level.tokens.is_empty(), "level {k} tokens not empty");
-                assert!(level.alpha_index.is_empty());
                 assert!(level.by_wme.is_empty(), "level {k} wme index leaked");
                 assert!(level.children.is_empty(), "level {k} child index leaked");
                 // The only permanent entry is the root token registered as
@@ -989,5 +1107,45 @@ mod tests {
         assert!(m.replace_rules(&p, &[RuleId(0)], &[RuleId(0)], &wm));
         assert_eq!(m.conflict_set().sorted_keys(), want);
         m.check_invariants();
+    }
+
+    #[test]
+    fn identical_ces_share_alpha_nodes_across_rules() {
+        // Three rules, all over class `n` with the same constant test on
+        // one CE: with sharing, the network keeps one node per distinct
+        // key and reports fan-out; without it, one node per subscription.
+        let src = "(literalize n v w)
+             (p r1 (n ^v 1 ^w <x>) (n ^v 1 ^w <y>) --> (halt))
+             (p r2 (n ^v 1 ^w <x>) --> (halt))
+             (p r3 (n ^v 2 ^w <x>) --> (halt))";
+        let p = prog(src);
+        let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+        let rules: Vec<RuleId> = (0..3).map(RuleId).collect();
+        let mut shared = Rete::with_rules_sharing(p.clone(), rules.clone(), true);
+        let mut solo = Rete::with_rules_sharing(p.clone(), rules, false);
+        let mut wm = WorkingMemory::new(&p.classes);
+        for v in [1, 1, 2] {
+            let w = wm.insert(n, vec![Value::Int(v), Value::Int(0)]);
+            shared.add_wme(&w);
+            solo.add_wme(&w);
+        }
+        assert_eq!(
+            shared.conflict_set().sorted_keys(),
+            solo.conflict_set().sorted_keys(),
+            "sharing must not change the conflict set"
+        );
+        let ms = shared.metrics();
+        let mp = solo.metrics();
+        assert_eq!(ms.alpha_subscriptions, 4, "4 (rule, CE) endpoints");
+        assert_eq!(ms.alpha_nodes, 2, "deduped to 2 distinct keys");
+        assert!(ms.alpha_share_hits > 0, "fan-out was recorded");
+        assert_eq!(mp.alpha_nodes, 4, "baseline keeps one node each");
+        assert_eq!(mp.alpha_share_hits, 0);
+        assert_eq!(
+            ms.alpha_wmes, mp.alpha_wmes,
+            "per-subscription accounting is layout-independent"
+        );
+        shared.check_invariants();
+        solo.check_invariants();
     }
 }

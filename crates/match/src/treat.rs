@@ -1,42 +1,51 @@
 //! The TREAT matcher (Miranker 1987): alpha memories only, no beta state.
 //!
-//! TREAT keeps one alpha memory per (rule, CE) and maintains the conflict
-//! set *directly*:
+//! TREAT keeps no join state beyond the conflict set itself; its alpha
+//! memories live in the crate-wide shared [`AlphaNetwork`], one
+//! subscription per (rule, CE):
 //!
-//! * **Add** — the WME enters every alpha memory whose constant tests it
-//!   passes; then, for each *positive* CE position it entered, the rule is
+//! * **Add** — the shared network routes the WME through its class
+//!   bucket, running each *distinct* constant-test list once, and returns
+//!   the nodes it entered; the subscribing (rule, CE) endpoints are read
+//!   off those nodes. For each positive CE position hit, the rule is
 //!   enumerated with that position pinned to the new WME (so only matches
-//!   involving it are computed). If it entered a *negative* CE's alpha,
+//!   involving it are computed). If a *negative* CE's node was entered,
 //!   existing instantiations of that rule consistent with the new blocker
-//!   are deleted.
-//! * **Remove** — the WME leaves its alpha memories; every conflict-set
-//!   entry that positively matched it is deleted (an O(conflict set)
-//!   sweep, which is exactly TREAT's bet: conflict sets are small).
-//!   If it left a negative CE's alpha, the rule is re-enumerated (some
-//!   matches it was blocking may now exist).
+//!   are deleted. Rules whose CEs the WME cannot satisfy are never
+//!   touched — the pre-sharing implementation tested the WME against
+//!   every CE of every rule on each add.
+//! * **Remove** — one network removal evicts the WME from every node it
+//!   was in; every conflict-set entry that positively matched it is
+//!   deleted (an O(conflict set) sweep, which is exactly TREAT's bet:
+//!   conflict sets are small). If it left a negative CE's node, the rule
+//!   is re-enumerated (some matches it was blocking may now exist).
 //!
 //! Compared to RETE, TREAT trades join *recomputation* on adds for zero
 //! beta-memory maintenance — historically a good trade for remove-heavy
 //! OPS5 programs. Figure 2 of the reproduction measures this trade.
 
+use crate::alpha::{AlphaNetwork, NodeId};
 use crate::enumerate::enumerate_rule;
 use crate::Matcher;
 use parulel_core::{
-    ConflictSet, CsEvent, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WmeId, WorkingMemory,
+    ConflictSet, CsEvent, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WorkingMemory,
 };
 use std::sync::Arc;
 
-/// Per-rule alpha memories.
-struct RuleAlphas {
+/// One rule's subscriptions into the shared network.
+struct RuleSubs {
     rule: RuleId,
-    /// One memory per CE, in join order.
-    mems: Vec<FxHashMap<WmeId, Wme>>,
+    /// One node handle per CE, in join order. Distinct rules (or distinct
+    /// CEs of one rule) with the same (class, constant-test) key hold the
+    /// same handle.
+    nodes: Vec<NodeId>,
 }
 
 /// The TREAT matcher.
 pub struct Treat {
     program: Arc<Program>,
-    rules: Vec<RuleAlphas>,
+    rules: Vec<RuleSubs>,
+    alpha: AlphaNetwork,
     cs: ConflictSet,
     /// Lifetime count of full per-rule re-enumerations (the remove-side
     /// cost TREAT pays when a negative blocker disappears).
@@ -44,30 +53,55 @@ pub struct Treat {
 }
 
 impl Treat {
-    /// A TREAT matcher over every rule of `program`.
+    /// A TREAT matcher over every rule of `program`, with alpha sharing.
     pub fn new(program: Arc<Program>) -> Self {
         let rules = (0..program.rules().len() as u32).map(RuleId).collect();
         Self::with_rules(program, rules)
     }
 
-    /// A TREAT matcher over a subset of rules.
+    /// A TREAT matcher over a subset of rules, with alpha sharing.
     pub fn with_rules(program: Arc<Program>, rules: Vec<RuleId>) -> Self {
-        let alphas = rules
+        Self::with_rules_sharing(program, rules, true)
+    }
+
+    /// Like [`with_rules`](Self::with_rules) but with alpha-memory
+    /// deduplication switchable — the per-rule baseline of the joinbench
+    /// ablation.
+    pub fn with_rules_sharing(program: Arc<Program>, rules: Vec<RuleId>, dedup: bool) -> Self {
+        let mut alpha = AlphaNetwork::new(program.classes.len(), dedup);
+        let subs = rules
             .into_iter()
-            .map(|rid| RuleAlphas {
+            .map(|rid| RuleSubs {
                 rule: rid,
-                mems: vec![FxHashMap::default(); program.rule(rid).ces.len()],
+                nodes: program
+                    .rule(rid)
+                    .ces
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, ce)| alpha.subscribe(ce, rid, ci))
+                    .collect(),
             })
             .collect();
         Treat {
             program,
-            rules: alphas,
+            rules: subs,
+            alpha,
             cs: ConflictSet::new(),
             reenumerations: 0,
         }
     }
 
-    /// Re-derives every instantiation of one rule from its alpha memories
+    /// The current members of one subscription, as owned WMEs (the shape
+    /// [`enumerate_rule`] wants its candidate sets in).
+    fn members_of(&self, node: NodeId) -> Vec<Wme> {
+        self.alpha
+            .members(node)
+            .values()
+            .map(|&r| self.alpha.wme(r).clone())
+            .collect()
+    }
+
+    /// Re-derives every instantiation of one rule from its alpha nodes
     /// (used after a negative blocker disappears).
     fn reenumerate_rule(&mut self, rule_idx: usize) {
         self.reenumerations += 1;
@@ -85,49 +119,75 @@ impl Treat {
         }
         // …and rebuild from scratch.
         let mut found = Vec::new();
-        enumerate_rule(
-            rule,
-            &|ce| ra.mems[ce].values().cloned().collect(),
-            None,
-            &mut found,
-        );
+        enumerate_rule(rule, &|ce| self.members_of(ra.nodes[ce]), None, &mut found);
         for inst in found {
             self.cs.insert(inst);
         }
     }
 }
 
-impl Matcher for Treat {
-    fn add_wme(&mut self, wme: &Wme) {
-        // Phase 1: alpha insertion (all rules see the WME before any
-        // enumeration, so intra-rule self-joins find it).
-        let mut entered: Vec<(usize, Vec<usize>, bool)> = Vec::new(); // (rule idx, pos CE idxs, hit neg)
-        for (ri, ra) in self.rules.iter_mut().enumerate() {
+impl Treat {
+    /// Verifies the shared layer and this matcher's subscriptions agree
+    /// (called from tests and the debug-build differential twins).
+    /// Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        self.alpha.check_invariants();
+        for ra in &self.rules {
             let rule = self.program.rule(ra.rule);
-            let mut pos_hits = Vec::new();
-            let mut neg_hit = false;
-            for (ci, ce) in rule.ces.iter().enumerate() {
-                if ce.passes_alpha(wme) {
-                    ra.mems[ci].insert(wme.id, wme.clone());
-                    match ce.polarity {
-                        Polarity::Positive => pos_hits.push(ci),
-                        Polarity::Negative => neg_hit = true,
-                    }
-                }
-            }
-            if !pos_hits.is_empty() || neg_hit {
-                entered.push((ri, pos_hits, neg_hit));
+            assert_eq!(
+                ra.nodes.len(),
+                rule.ces.len(),
+                "rule {}: one subscription per CE",
+                ra.rule.0
+            );
+            for (ci, &node) in ra.nodes.iter().enumerate() {
+                assert!(
+                    self.alpha
+                        .endpoints(node)
+                        .contains(&crate::alpha::Endpoint {
+                            rule: ra.rule,
+                            ce: ci as u32
+                        }),
+                    "rule {} CE {ci}: endpoint missing from its node",
+                    ra.rule.0
+                );
             }
         }
-        // Phase 2: seeded enumeration + negative sweeps.
-        for (ri, pos_hits, neg_hit) in entered {
+    }
+}
+
+impl Matcher for Treat {
+    fn add_wme(&mut self, wme: &Wme) {
+        // Phase 1: one pass through the shared network — each distinct
+        // constant-test list runs once, membership lands in every node the
+        // WME passes *before* any enumeration (so intra-rule self-joins
+        // find it).
+        let (_, entered) = self.alpha.add(wme);
+        // Route node entries to (rule, CE) endpoints.
+        let mut hits: FxHashMap<RuleId, (Vec<usize>, bool)> = FxHashMap::default();
+        for &nid in &entered {
+            for ep in self.alpha.endpoints(nid) {
+                let ce = &self.program.rule(ep.rule).ces[ep.ce as usize];
+                let entry = hits.entry(ep.rule).or_default();
+                match ce.polarity {
+                    Polarity::Positive => entry.0.push(ep.ce as usize),
+                    Polarity::Negative => entry.1 = true,
+                }
+            }
+        }
+        // Phase 2: seeded enumeration + negative sweeps, in rule order.
+        for ri in 0..self.rules.len() {
             let ra = &self.rules[ri];
+            let Some((mut pos_hits, neg_hit)) = hits.remove(&ra.rule) else {
+                continue;
+            };
+            pos_hits.sort_unstable();
             let rule = self.program.rule(ra.rule);
             let mut found = Vec::new();
             for &p in &pos_hits {
                 enumerate_rule(
                     rule,
-                    &|ce| ra.mems[ce].values().cloned().collect(),
+                    &|ce| self.members_of(ra.nodes[ce]),
                     Some((p, wme)),
                     &mut found,
                 );
@@ -162,15 +222,16 @@ impl Matcher for Treat {
     }
 
     fn remove_wme(&mut self, wme: &Wme) {
+        let Some((_, left)) = self.alpha.remove(wme.id) else {
+            return; // never added — no alpha or conflict-set state
+        };
+        // Rules whose negative CE lost a member may gain matches.
         let mut neg_rules: Vec<usize> = Vec::new();
-        for (ri, ra) in self.rules.iter_mut().enumerate() {
+        for (ri, ra) in self.rules.iter().enumerate() {
             let rule = self.program.rule(ra.rule);
-            let mut left_neg = false;
-            for (ci, ce) in rule.ces.iter().enumerate() {
-                if ra.mems[ci].remove(&wme.id).is_some() && ce.polarity == Polarity::Negative {
-                    left_neg = true;
-                }
-            }
+            let left_neg = ra.nodes.iter().enumerate().any(|(ci, node)| {
+                rule.ces[ci].polarity == Polarity::Negative && left.contains(node)
+            });
             if left_neg {
                 neg_rules.push(ri);
             }
@@ -194,11 +255,18 @@ impl Matcher for Treat {
         for inst in self.cs.iter() {
             *cs_by_rule.entry(inst.rule.0).or_default() += 1;
         }
+        // Alpha accounting stays per subscription (a shared node counts
+        // once per subscribing CE), so work/imbalance keep their
+        // pre-sharing values and auto-ccc decisions are unchanged.
         let mut per_rule_work: Vec<(u32, usize)> = self
             .rules
             .iter()
             .map(|ra| {
-                let alphas: usize = ra.mems.iter().map(|m| m.len()).sum();
+                let alphas: usize = ra
+                    .nodes
+                    .iter()
+                    .map(|&n| self.alpha.members(n).len())
+                    .sum();
                 (
                     ra.rule.0,
                     alphas + cs_by_rule.get(&ra.rule.0).copied().unwrap_or(0),
@@ -210,11 +278,13 @@ impl Matcher for Treat {
             kind: "treat",
             rules: self.rules.len(),
             conflict_set: self.cs.len(),
-            alpha_wmes: self
-                .rules
+            alpha_wmes: per_rule_work
                 .iter()
-                .map(|ra| ra.mems.iter().map(|m| m.len()).sum::<usize>())
+                .map(|&(rid, work)| work - cs_by_rule.get(&rid).copied().unwrap_or(0))
                 .sum(),
+            alpha_nodes: self.alpha.node_count(),
+            alpha_subscriptions: self.alpha.subscription_count(),
+            alpha_share_hits: self.alpha.share_hits(),
             reenumerations: self.reenumerations,
             per_rule_work,
             ..Default::default()
@@ -226,14 +296,26 @@ impl Matcher for Treat {
         program: &Arc<Program>,
         remove: &[RuleId],
         add: &[RuleId],
-        wm: &WorkingMemory,
+        _wm: &WorkingMemory,
     ) -> bool {
         // Rule ids are stable across the transform, so swapping the
         // program under the untouched rules is sound: their definitions
         // are identical in the new program.
         self.program = program.clone();
         for &rid in remove {
-            self.rules.retain(|ra| ra.rule != rid);
+            let mut i = 0;
+            while i < self.rules.len() {
+                if self.rules[i].rule != rid {
+                    i += 1;
+                    continue;
+                }
+                let ra = self.rules.remove(i);
+                // Nodes still subscribed by other rules (a split rule's
+                // unchanged CEs) survive with their membership intact.
+                for (ci, &node) in ra.nodes.iter().enumerate() {
+                    self.alpha.unsubscribe(node, ra.rule, ci);
+                }
+            }
             let stale: Vec<InstKey> = self
                 .cs
                 .iter()
@@ -246,19 +328,19 @@ impl Matcher for Treat {
         }
         for &rid in add {
             let rule = program.rule(rid);
-            let mut ra = RuleAlphas {
+            // subscribe() seeds fresh nodes from the shared store; shared
+            // nodes already hold their members — no WM replay either way.
+            let ra = RuleSubs {
                 rule: rid,
-                mems: vec![FxHashMap::default(); rule.ces.len()],
+                nodes: rule
+                    .ces
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, ce)| self.alpha.subscribe(ce, rid, ci))
+                    .collect(),
             };
-            for w in wm.iter() {
-                for (ci, ce) in rule.ces.iter().enumerate() {
-                    if ce.passes_alpha(w) {
-                        ra.mems[ci].insert(w.id, w.clone());
-                    }
-                }
-            }
             let mut found = Vec::new();
-            enumerate_rule(rule, &|ce| ra.mems[ce].values().cloned().collect(), None, &mut found);
+            enumerate_rule(rule, &|ce| self.members_of(ra.nodes[ce]), None, &mut found);
             for inst in found {
                 self.cs.insert(inst);
             }
@@ -353,5 +435,39 @@ mod tests {
         let cs = m.conflict_set();
         assert_eq!(cs.len(), 1);
         assert!(cs.iter().all(|i| i.wmes[0].id == t2.id));
+    }
+
+    #[test]
+    fn shared_nodes_route_adds_without_full_rule_scan() {
+        // Two rules sharing a constant test plus one rule that cannot
+        // match the added class at all: sharing dedups the node, and the
+        // conflict set agrees with the per-rule baseline.
+        let src = "(literalize n v w)
+             (literalize other x)
+             (p r1 (n ^v 1 ^w <x>) (n ^v 1 ^w <y>) --> (halt))
+             (p r2 (n ^v 1 ^w <x>) --> (halt))
+             (p r3 (other ^x <z>) --> (halt))";
+        let p = prog(src);
+        let n = p.classes.id_of(p.interner.intern("n")).unwrap();
+        let rules: Vec<RuleId> = (0..3).map(RuleId).collect();
+        let mut shared = Treat::with_rules_sharing(p.clone(), rules.clone(), true);
+        let mut solo = Treat::with_rules_sharing(p.clone(), rules, false);
+        let mut wm = WorkingMemory::new(&p.classes);
+        for v in [1, 1, 2] {
+            let w = wm.insert(n, vec![Value::Int(v), Value::Int(0)]);
+            shared.add_wme(&w);
+            solo.add_wme(&w);
+        }
+        assert_eq!(
+            shared.conflict_set().sorted_keys(),
+            solo.conflict_set().sorted_keys()
+        );
+        let ms = shared.metrics();
+        assert_eq!(ms.alpha_subscriptions, 4);
+        assert_eq!(ms.alpha_nodes, 2, "r1's CEs and r2's CE collapse into one");
+        assert!(ms.alpha_share_hits > 0);
+        assert_eq!(solo.metrics().alpha_nodes, 4);
+        shared.check_invariants();
+        solo.check_invariants();
     }
 }

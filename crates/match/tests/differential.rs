@@ -14,6 +14,17 @@
 //!    documents (removes first, then adds), so batch size can never
 //!    change match semantics.
 //! 3. `seed` is equivalent to adding every seeded WME incrementally.
+//! 4. `replace_rules` mid-stream (the auto-ccc path) leaves every
+//!    matcher agreeing with the oracle, before and after further
+//!    batches.
+//!
+//! The incremental matchers run with alpha sharing both on (default)
+//! and off, so the shared-network dedup layer is property-tested against
+//! the per-rule baseline as well as the oracle. In debug builds,
+//! invariant-checked RETE and TREAT twins ride along: subscription
+//! refcounts, arena live counts, and every index cross-reference are
+//! asserted after each batch (and after each `replace_rules`), so a
+//! desync surfaces at the op that caused it.
 //!
 //! Each property runs 256 generated cases; with the oracle comparison
 //! transitively covering every matcher pair, that is ≥256 cases per
@@ -22,10 +33,15 @@
 mod common;
 
 use common::{build_program, op, rule_spec, Op, RuleSpec};
-use parulel_core::{Value, Wme, WorkingMemory};
+use parulel_core::{RuleId, Value, Wme, WorkingMemory};
 use parulel_match::{Matcher, NaiveMatcher, Partitioned, Rete, Treat};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// All rule ids of `program`, the subset every matcher covers here.
+fn all_rules(program: &parulel_core::Program) -> Vec<RuleId> {
+    (0..program.rules().len() as u32).map(RuleId).collect()
+}
 
 /// 256 cases per property (the ISSUE's floor for each matcher pair).
 const CASES: u32 = 256;
@@ -73,10 +89,23 @@ fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers
     let mut wm = WorkingMemory::new(&program.classes);
     let mut live: Vec<Wme> = Vec::new();
 
+    let rules = all_rules(&program);
     let mut naive = NaiveMatcher::new(program.clone());
     let mut matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
         ("rete", Box::new(Rete::new(program.clone()))),
         ("treat", Box::new(Treat::new(program.clone()))),
+        (
+            "rete-solo-alpha",
+            Box::new(Rete::with_rules_sharing(
+                program.clone(),
+                rules.clone(),
+                false,
+            )),
+        ),
+        (
+            "treat-solo-alpha",
+            Box::new(Treat::with_rules_sharing(program.clone(), rules, false)),
+        ),
         (
             "partitioned-rete",
             Box::new(Partitioned::rete(program.clone(), workers)),
@@ -86,12 +115,15 @@ fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers
             Box::new(Partitioned::treat(program.clone(), workers)),
         ),
     ];
-    // A concrete RETE twin rides along so the debug-only structural
-    // invariants (index mirrors, token cross-references, left_index and
-    // neg_counts hygiene) are checked at the batch that violates them —
-    // the boxed instances only get compared by conflict set.
+    // Concrete RETE/TREAT twins ride along so the debug-only structural
+    // invariants (subscription refcounts, arena live counts, index
+    // mirrors, token cross-references, left_index and neg_counts
+    // hygiene) are checked at the batch that violates them — the boxed
+    // instances only get compared by conflict set.
     #[cfg(debug_assertions)]
     let mut rete_chk = Rete::new(program.clone());
+    #[cfg(debug_assertions)]
+    let mut treat_chk = Treat::new(program.clone());
 
     for (step, batch) in batches.into_iter().enumerate() {
         let (removed, added) = materialize(&mut wm, &mut live, batch);
@@ -112,6 +144,103 @@ fn run_batched_differential(specs: Vec<RuleSpec>, batches: Vec<Vec<Op>>, workers
         {
             rete_chk.apply(&removed, &added);
             rete_chk.check_invariants();
+            treat_chk.apply(&removed, &added);
+            treat_chk.check_invariants();
+        }
+    }
+}
+
+/// Property 4: swapping every rule out and back in via `replace_rules`
+/// mid-stream (the path `--auto-ccc` exercises) is a no-op for match
+/// semantics: each matcher still agrees with the untouched oracle right
+/// after the swap and across further batches. Debug twins assert the
+/// structural invariants — in particular that subscription refcounts
+/// and arena live counts survive the unsubscribe/resubscribe churn.
+fn run_replace_rules_churn(
+    specs: Vec<RuleSpec>,
+    before: Vec<Vec<Op>>,
+    after: Vec<Vec<Op>>,
+    workers: usize,
+) {
+    let program = Arc::new(build_program(&specs));
+    let rules = all_rules(&program);
+    let mut wm = WorkingMemory::new(&program.classes);
+    let mut live: Vec<Wme> = Vec::new();
+
+    let mut naive = NaiveMatcher::new(program.clone());
+    let mut matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+        ("rete", Box::new(Rete::new(program.clone()))),
+        ("treat", Box::new(Treat::new(program.clone()))),
+        (
+            "partitioned-rete",
+            Box::new(Partitioned::rete(program.clone(), workers)),
+        ),
+        (
+            "partitioned-treat",
+            Box::new(Partitioned::treat(program.clone(), workers)),
+        ),
+    ];
+    #[cfg(debug_assertions)]
+    let mut rete_chk = Rete::new(program.clone());
+    #[cfg(debug_assertions)]
+    let mut treat_chk = Treat::new(program.clone());
+
+    let step_all = |naive: &mut NaiveMatcher,
+                        matchers: &mut Vec<(&str, Box<dyn Matcher>)>,
+                        removed: &[Wme],
+                        added: &[Wme],
+                        when: &str| {
+        naive.apply(removed, added);
+        let want = naive.conflict_set().sorted_keys();
+        for (name, m) in matchers.iter_mut() {
+            m.apply(removed, added);
+            assert_eq!(
+                m.conflict_set().sorted_keys(),
+                want,
+                "{name} diverged from naive {when} replace_rules"
+            );
+        }
+    };
+
+    for batch in before {
+        let (removed, added) = materialize(&mut wm, &mut live, batch);
+        step_all(&mut naive, &mut matchers, &removed, &added, "before");
+        #[cfg(debug_assertions)]
+        {
+            rete_chk.apply(&removed, &added);
+            treat_chk.apply(&removed, &added);
+        }
+    }
+
+    // Swap every rule out and straight back in. The shared alpha network
+    // must release each CE's subscription and re-acquire it, rebuilding
+    // identical memories from the WME store.
+    let want = naive.conflict_set().sorted_keys();
+    for (name, m) in matchers.iter_mut() {
+        m.replace_rules(&program, &rules, &rules, &wm);
+        assert_eq!(
+            m.conflict_set().sorted_keys(),
+            want,
+            "{name}: replace_rules(all, all) changed the conflict set"
+        );
+    }
+    #[cfg(debug_assertions)]
+    {
+        rete_chk.replace_rules(&program, &rules, &rules, &wm);
+        rete_chk.check_invariants();
+        treat_chk.replace_rules(&program, &rules, &rules, &wm);
+        treat_chk.check_invariants();
+    }
+
+    for batch in after {
+        let (removed, added) = materialize(&mut wm, &mut live, batch);
+        step_all(&mut naive, &mut matchers, &removed, &added, "after");
+        #[cfg(debug_assertions)]
+        {
+            rete_chk.apply(&removed, &added);
+            rete_chk.check_invariants();
+            treat_chk.apply(&removed, &added);
+            treat_chk.check_invariants();
         }
     }
 }
@@ -248,6 +377,16 @@ proptest! {
         workers in 1usize..4,
     ) {
         run_apply_vs_per_op(specs, batches, workers);
+    }
+
+    #[test]
+    fn replace_rules_is_transparent_mid_stream(
+        specs in prop::collection::vec(rule_spec(), 1..4),
+        before in prop::collection::vec(batch(), 1..4),
+        after in prop::collection::vec(batch(), 1..4),
+        workers in 1usize..4,
+    ) {
+        run_replace_rules_churn(specs, before, after, workers);
     }
 
     #[test]

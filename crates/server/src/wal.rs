@@ -193,7 +193,8 @@ pub struct SnapshotRecord {
     /// The session's original `open` frame (program, policy, matcher,
     /// budgets), rendered.
     pub open_line: String,
-    /// Engine state via snapshot v2 ([`parulel_engine::Snapshot::to_bytes`]).
+    /// Engine state in the versioned snapshot wire format
+    /// ([`parulel_engine::Snapshot::to_bytes`]).
     pub snapshot: Vec<u8>,
     /// Lifetime WMEs asserted through `inject` at the capture point.
     pub injected_adds: u64,
