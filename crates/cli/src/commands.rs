@@ -90,6 +90,7 @@ pub fn run(opts: &RunOpts, out: &mut dyn Write) -> i32 {
     }
     let engine_opts = EngineOptions {
         matcher: opts.matcher,
+        eval: opts.eval,
         auto_ccc: opts.auto_ccc,
         max_cycles: opts.max_cycles,
         collect_log: !opts.no_log,

@@ -113,6 +113,14 @@ impl Interner {
         self.inner.read().strings[sym.index()].clone()
     }
 
+    /// True when `self` and `other` are clones of one interner (shared
+    /// underlying table), so symbol ids are interchangeable between them.
+    /// Hot reload uses this to insist the replacement program was compiled
+    /// into the running program's symbol space.
+    pub fn shares_table_with(&self, other: &Interner) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Number of distinct symbols interned so far (≥ 1 because of `nil`).
     pub fn len(&self) -> usize {
         self.inner.read().strings.len()

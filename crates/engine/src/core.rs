@@ -31,6 +31,7 @@ use crate::stats::{CycleStats, CycleTrace, Outcome, RunStats};
 use crate::EngineOptions;
 use parulel_core::{InstKey, Instantiation, Program, RuleId, Value, Wme, WmeId, WorkingMemory};
 use parulel_match::{Matcher, MatcherMetrics};
+use parulel_vm::{compile_program_reusing, EvalMode, Evaluator};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +39,10 @@ use std::time::{Duration, Instant};
 /// The unified cycle driver; see the [module docs](self).
 pub struct Engine {
     program: Arc<Program>,
+    /// The compiled program (bytecode + content hashes), shared with the
+    /// matcher's workers. Present in both modes: `reload` diffs by
+    /// content hash even when execution is tree-walking.
+    eval: Evaluator,
     wm: WorkingMemory,
     matcher: Box<dyn Matcher>,
     refraction: Refraction,
@@ -77,7 +82,8 @@ impl Engine {
         opts: EngineOptions,
     ) -> Self {
         let program = Arc::new(program.clone());
-        let mut matcher = opts.matcher.build(program.clone());
+        let eval = Evaluator::new(program.clone(), opts.eval);
+        let mut matcher = opts.matcher.build_with(program.clone(), eval.clone());
         matcher.seed(&wm);
         let metrics = EngineMetrics::new(opts.metrics, program.rules().len());
         let trace_buf = opts.trace_events.map(TraceBuffer::new);
@@ -87,6 +93,7 @@ impl Engine {
         }
         Engine {
             program,
+            eval,
             wm,
             matcher,
             refraction: Refraction::new(),
@@ -189,7 +196,8 @@ impl Engine {
                 wmes: sk.wmes.iter().map(|&id| WmeId(id)).collect(),
             });
         }
-        let mut matcher = opts.matcher.build(program.clone());
+        let eval = Evaluator::new(program.clone(), opts.eval);
+        let mut matcher = opts.matcher.build_with(program.clone(), eval.clone());
         matcher.seed(&wm);
         // Observability state is not part of the snapshot wire format:
         // a resumed engine starts fresh counters.
@@ -197,6 +205,7 @@ impl Engine {
         let trace_buf = opts.trace_events.map(TraceBuffer::new);
         Ok(Engine {
             program,
+            eval,
             wm,
             matcher,
             refraction: Refraction::from_keys(keys),
@@ -235,7 +244,10 @@ impl Engine {
     /// policy, and options are kept — the other session-serving entry
     /// point, for reusing a compiled program across runs.
     pub fn reset(&mut self, wm: WorkingMemory) {
-        let mut matcher = self.opts.matcher.build(self.program.clone());
+        let mut matcher = self
+            .opts
+            .matcher
+            .build_with(self.program.clone(), self.eval.clone());
         matcher.seed(&wm);
         self.wm = wm;
         self.matcher = matcher;
@@ -254,6 +266,154 @@ impl Engine {
         // `applied_splits` is deliberately kept: it describes the program
         // (which reset retains), not the run — a checkpoint of the fresh
         // run must still record how to rebuild the split rule set.
+    }
+
+    /// Hot-swaps the running program for `replacement` *without*
+    /// disturbing working memory or the run in progress.
+    ///
+    /// Rules are diffed by **content hash** (the content-addressed
+    /// bytecode store): a rule whose canonical code is byte-identical
+    /// keeps its hash, its compiled `RuleCode` allocation, and — on the
+    /// incremental path — its live match state (beta tokens, alpha
+    /// subscriptions, negative counts). Changed and added rules are
+    /// (re)built against the current working memory; removed rules are
+    /// torn down. Refraction keys are re-keyed by rule *name*, so
+    /// surviving rules do not re-fire on instantiations they already
+    /// fired.
+    ///
+    /// The incremental path ([`Matcher::replace_rules`]) requires every
+    /// unchanged rule to keep its [`RuleId`] and the class table to keep
+    /// its length; otherwise the matcher is rebuilt and reseeded (same
+    /// result, more work). On error the engine is untouched.
+    ///
+    /// `replacement` must be compiled into the running program's symbol
+    /// space ([`parulel_lang::compile_into`]-style) and may only *extend*
+    /// the class table — live WMEs are typed by the old declarations.
+    pub fn reload(&mut self, replacement: &Program) -> Result<ReloadReport, ReloadError> {
+        if !self.program.interner.shares_table_with(&replacement.interner) {
+            return Err(ReloadError::ForeignInterner);
+        }
+        let interner = self.program.interner.clone();
+        for (cid, old_decl) in self.program.classes.iter() {
+            let mismatch = || ReloadError::ClassMismatch(interner.resolve(old_decl.name).to_string());
+            if cid.index() >= replacement.classes.len() {
+                return Err(mismatch());
+            }
+            let new_decl = replacement.classes.decl(cid);
+            if new_decl.name != old_decl.name || new_decl.attrs != old_decl.attrs {
+                return Err(mismatch());
+            }
+        }
+
+        let new_program = Arc::new(replacement.clone());
+        let old_code = self.eval.code().clone();
+        let new_code = Arc::new(compile_program_reusing(&new_program, Some(&old_code)));
+
+        // Diff by (name, content hash).
+        let index = |code: &parulel_vm::ProgramCode| -> parulel_core::FxHashMap<String, (u32, u64)> {
+            code.rules()
+                .iter()
+                .enumerate()
+                .map(|(i, rc)| (rc.name.clone(), (i as u32, rc.hash)))
+                .collect()
+        };
+        let old_rules = index(&old_code);
+        let new_rules = index(&new_code);
+        let mut report = ReloadReport::default();
+        let mut ids_stable = true;
+        let mut remove_ids: Vec<RuleId> = Vec::new();
+        let mut add_ids: Vec<RuleId> = Vec::new();
+        for (name, &(old_id, old_hash)) in &old_rules {
+            match new_rules.get(name) {
+                None => {
+                    report.removed.push(name.clone());
+                    remove_ids.push(RuleId(old_id));
+                }
+                Some(&(new_id, new_hash)) if new_hash != old_hash => {
+                    report.changed.push(name.clone());
+                    remove_ids.push(RuleId(old_id));
+                    add_ids.push(RuleId(new_id));
+                }
+                Some(&(new_id, _)) => {
+                    report.unchanged += 1;
+                    ids_stable &= new_id == old_id;
+                }
+            }
+        }
+        for (name, &(new_id, _)) in &new_rules {
+            if !old_rules.contains_key(name) {
+                report.added.push(name.clone());
+                add_ids.push(RuleId(new_id));
+            }
+        }
+        report.added.sort();
+        report.removed.sort();
+        report.changed.sort();
+        remove_ids.sort();
+        add_ids.sort();
+
+        // Class-table growth: the WM's per-class storage must cover the
+        // appended classes before any new rule makes instances of them.
+        if replacement.classes.len() != self.program.classes.len() {
+            let wmes: Vec<Wme> = self.wm.iter().cloned().collect();
+            let next = self.wm.next_id();
+            self.wm = WorkingMemory::from_parts(&new_program.classes, wmes, next)
+                .expect("prefix-validated class table rejected live WMEs");
+        }
+
+        let eval = Evaluator::with_code(new_program.clone(), self.eval.mode(), new_code);
+        let touched = !(remove_ids.is_empty() && add_ids.is_empty());
+        // The alpha network is sized by the class table, so growth forces
+        // a rebuild; so does any unchanged rule changing id (live match
+        // state is keyed by RuleId).
+        report.incremental = !touched
+            || (ids_stable
+                && replacement.classes.len() == self.program.classes.len()
+                && self
+                    .matcher
+                    .replace_rules(&new_program, &remove_ids, &add_ids, &self.wm));
+        if !report.incremental {
+            let mut m = self.opts.matcher.build_with(new_program.clone(), eval.clone());
+            m.seed(&self.wm);
+            self.matcher = m;
+        }
+
+        // Refraction keys survive by name (a renamed rule is a remove +
+        // add and starts fresh); pruning then drops keys the new conflict
+        // set no longer produces.
+        let keys: Vec<InstKey> = self
+            .refraction
+            .keys()
+            .filter_map(|k| {
+                let name = &old_code.rules()[k.rule.0 as usize].name;
+                new_rules.get(name).map(|&(new_id, _)| InstKey {
+                    rule: RuleId(new_id),
+                    wmes: k.wmes.clone(),
+                })
+            })
+            .collect();
+        self.refraction = Refraction::from_keys(keys);
+        self.refraction.prune(self.matcher.conflict_set());
+
+        self.program = new_program;
+        self.eval = eval;
+        // The split history described the *old* program; the replacement
+        // arrives already in its final (possibly pre-split) form.
+        self.applied_splits.clear();
+        if self.opts.metrics.per_rule() {
+            self.metrics
+                .per_rule
+                .resize(self.program.rules().len(), RuleMetrics::default());
+        }
+        self.log.push(format!(
+            "reload: +{} -{} ~{} ={} ({})",
+            report.added.len(),
+            report.removed.len(),
+            report.changed.len(),
+            report.unchanged,
+            if report.incremental { "incremental" } else { "rebuilt" },
+        ));
+        Ok(report)
     }
 
     /// Captures the engine's state as a portable [`Snapshot`]. Valid at
@@ -302,6 +462,8 @@ impl Engine {
             log: self.log.clone(),
             traces: self.traces.clone(),
             splits: self.applied_splits.clone(),
+            eval: self.eval.mode().name().to_string(),
+            rule_hashes: self.eval.code().name_map(),
         }
     }
 
@@ -329,6 +491,13 @@ impl Engine {
     /// The policy this engine runs.
     pub fn policy(&self) -> FiringPolicy {
         self.policy
+    }
+
+    /// The compiled program (bytecode, content hashes, eval mode) this
+    /// engine executes. Present in both eval modes; `Tree` engines still
+    /// compile so [`reload`](Self::reload) can diff by content hash.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.eval
     }
 
     /// The current working memory.
@@ -459,6 +628,9 @@ impl Engine {
             Err(e) => self.log.push(format!("auto-ccc: skipped: {e}")),
             Ok((split, appended)) => {
                 let new_program = Arc::new(split);
+                // Recompile before touching match state: the engine's fire
+                // path and any rebuilt nets must run the split program.
+                self.eval = Evaluator::new(new_program.clone(), self.eval.mode());
                 let mut add = vec![old_id];
                 add.extend(appended.iter().copied());
                 // The split rule's id is in both lists: its definition
@@ -468,7 +640,10 @@ impl Engine {
                     .matcher
                     .replace_rules(&new_program, &[old_id], &add, &self.wm)
                 {
-                    let mut m = self.opts.matcher.build(new_program.clone());
+                    let mut m = self
+                        .opts
+                        .matcher
+                        .build_with(new_program.clone(), self.eval.clone());
                     m.seed(&self.wm);
                     self.matcher = m;
                 }
@@ -568,6 +743,7 @@ impl Engine {
 
         let t = Instant::now();
         let program = &self.program;
+        let eval = &self.eval;
         let collect_log = self.opts.collect_log;
         #[cfg(feature = "fault-inject")]
         let faults = &self.opts.faults;
@@ -580,7 +756,26 @@ impl Engine {
                 || {
                     #[cfg(feature = "fault-inject")]
                     faults.maybe_fail_rhs(cycle_no, &program.rule_name(inst.rule))?;
-                    fire::fire(program, inst, collect_log)
+                    match eval.mode() {
+                        EvalMode::Tree => fire::fire(program, inst, collect_log),
+                        EvalMode::Bytecode => match eval.fire(inst, collect_log) {
+                            Ok(out) => Ok(FireResult {
+                                delta: out.delta,
+                                log: out.log,
+                                halt: out.halt,
+                            }),
+                            // Write-argument failures keep the tree
+                            // walker's `<write>` attribution.
+                            Err(e) => Err(EngineError::RhsEval {
+                                rule: if e.in_write {
+                                    String::from("<write>")
+                                } else {
+                                    program.rule_name(inst.rule)
+                                },
+                                error: e.error,
+                            }),
+                        },
+                    }
                 },
             )
         };
@@ -795,3 +990,50 @@ impl Engine {
         })
     }
 }
+
+/// What one [`Engine::reload`] did, keyed by rule *name*. Rules are
+/// compared by the content hash of their canonical bytecode, so renames
+/// show up as remove + add and formatting-only edits as unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReloadReport {
+    /// Names present only in the replacement program (sorted).
+    pub added: Vec<String>,
+    /// Names present only in the old program (sorted).
+    pub removed: Vec<String>,
+    /// Names whose content hash moved (sorted).
+    pub changed: Vec<String>,
+    /// Rules whose compiled code survived byte-identically.
+    pub unchanged: usize,
+    /// Unchanged rules kept their live match state; `false` means the
+    /// matcher was rebuilt and reseeded (same end state, more work).
+    pub incremental: bool,
+}
+
+/// Why [`Engine::reload`] refused. The engine is untouched on error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The replacement was compiled in its own symbol space. Reload
+    /// requires compiling into the running program's interner
+    /// (`parulel_lang::compile_into`), so live WMEs keep meaning.
+    ForeignInterner,
+    /// The named class was removed or redeclared. Live WMEs are typed by
+    /// the running class table; a reload may only extend it.
+    ClassMismatch(String),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::ForeignInterner => write!(
+                f,
+                "replacement program was not compiled into the running program's symbol space"
+            ),
+            ReloadError::ClassMismatch(name) => write!(
+                f,
+                "class '{name}' was removed or redeclared; a reload may only extend the class table"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}

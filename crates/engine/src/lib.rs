@@ -73,8 +73,12 @@ pub use serial::SerialEngine;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{CycleStats, CycleTrace, Outcome, RunStats};
 
-use parulel_core::Program;
+pub use core::ReloadReport;
+
+use parulel_core::{Program, RuleId};
 use parulel_match::{Matcher, NaiveMatcher, Partitioned, Rete, Treat};
+pub use parulel_vm::EvalMode;
+use parulel_vm::Evaluator;
 use std::sync::Arc;
 
 /// Which match engine a run uses.
@@ -94,14 +98,32 @@ pub enum MatcherKind {
 }
 
 impl MatcherKind {
-    /// Instantiates the matcher.
+    /// Instantiates the matcher in the default evaluation mode.
     pub fn build(self, program: Arc<Program>) -> Box<dyn Matcher> {
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        self.build_with(program, eval)
+    }
+
+    /// Instantiates the matcher around a caller-built [`Evaluator`]: the
+    /// program is compiled to bytecode exactly once and every worker of a
+    /// partitioned matcher shares the same `Arc`'d code objects.
+    pub fn build_with(self, program: Arc<Program>, eval: Evaluator) -> Box<dyn Matcher> {
+        let all = || (0..program.rules().len() as u32).map(RuleId).collect();
         match self {
-            MatcherKind::Naive => Box::new(NaiveMatcher::new(program)),
-            MatcherKind::Rete => Box::new(Rete::new(program)),
-            MatcherKind::Treat => Box::new(Treat::new(program)),
-            MatcherKind::PartitionedRete(n) => Box::new(Partitioned::rete(program, n)),
-            MatcherKind::PartitionedTreat(n) => Box::new(Partitioned::treat(program, n)),
+            MatcherKind::Naive => {
+                let rules = all();
+                Box::new(NaiveMatcher::with_rules_eval(program, rules, eval))
+            }
+            MatcherKind::Rete => {
+                let rules = all();
+                Box::new(Rete::with_rules_eval(program, rules, true, eval))
+            }
+            MatcherKind::Treat => {
+                let rules = all();
+                Box::new(Treat::with_rules_eval(program, rules, true, eval))
+            }
+            MatcherKind::PartitionedRete(n) => Box::new(Partitioned::rete_eval(program, n, eval)),
+            MatcherKind::PartitionedTreat(n) => Box::new(Partitioned::treat_eval(program, n, eval)),
         }
     }
 }
@@ -155,6 +177,10 @@ impl Default for AutoCcc {
 pub struct EngineOptions {
     /// Match engine selection.
     pub matcher: MatcherKind,
+    /// LHS/RHS evaluation mode: compiled bytecode (default) or the
+    /// tree-walking reference interpreter. The differential suite at the
+    /// workspace root proves the two agree on every matcher and policy.
+    pub eval: EvalMode,
     /// Evaluate RHSs of a cycle's surviving instantiations in parallel.
     pub parallel_fire: bool,
     /// Stop (with `hit_cycle_limit`) after this many cycles; a safety net
@@ -195,6 +221,7 @@ impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
             matcher: MatcherKind::Rete,
+            eval: EvalMode::default(),
             parallel_fire: true,
             max_cycles: 1_000_000,
             collect_log: true,

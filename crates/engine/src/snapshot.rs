@@ -36,7 +36,14 @@ use std::time::Duration;
 ///   round-trips: resume re-applies the transform and the `name~k`
 ///   refraction keys bind. v1/v2 files decode with no splits (none
 ///   could have been recorded).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// * v4 — appends the evaluation-mode tag and the content-addressed
+///   rule store (rule name → canonical-bytecode content hash) at the
+///   very end. Informational on resume — the captured state is
+///   mode-agnostic, and resume recompiles the target program — but it
+///   lets tools detect which rules changed between a capture and the
+///   program resuming it. v1–v3 files decode as `"tree"` (the only
+///   evaluator that existed) with an empty store.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// The 4-byte magic prefix of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PLSN";
@@ -105,6 +112,16 @@ pub struct Snapshot {
     /// the `name~k` refraction keys above) exist again. Empty for runs
     /// that never split (and for v1/v2 files).
     pub splits: Vec<(String, u32)>,
+    /// Evaluation mode that produced the capture (`"tree"` or
+    /// `"bytecode"`). Informational: the captured state is identical in
+    /// both modes (the differential suite proves it), so a continuation
+    /// may run either. v1–v3 files migrate to `"tree"`.
+    pub eval: String,
+    /// The content-addressed rule store at capture time: `(rule name,
+    /// canonical-bytecode content hash)`, sorted by name. Lets tools
+    /// diff a capture against the program resuming it without either
+    /// source text. Empty for v1–v3 files.
+    pub rule_hashes: Vec<(String, u64)>,
 }
 
 /// Why a snapshot failed to decode or re-bind.
@@ -232,12 +249,18 @@ impl Snapshot {
                 e.u64(*count as u64);
             }
         }
-        // v3: applied splits, at the very end so older segments keep
-        // their offsets.
+        // v3: applied splits; v4: eval mode + rule store. Strictly
+        // appended so older segments keep their offsets.
         e.u64(self.splits.len() as u64);
         for (name, k) in &self.splits {
             e.str(name);
             e.u32(*k);
+        }
+        e.str(&self.eval);
+        e.u64(self.rule_hashes.len() as u64);
+        for (name, h) in &self.rule_hashes {
+            e.str(name);
+            e.u64(*h);
         }
         e.buf
     }
@@ -339,6 +362,17 @@ impl Snapshot {
                 splits.push((name, d.u32()?));
             }
         }
+        // v1–v3 predate the bytecode evaluator and the rule store.
+        let mut eval = String::from("tree");
+        let mut rule_hashes = Vec::new();
+        if version >= 4 {
+            eval = d.str()?;
+            let n = d.len()?;
+            for _ in 0..n {
+                let name = d.str()?;
+                rule_hashes.push((name, d.u64()?));
+            }
+        }
         if !d.done() {
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
@@ -353,6 +387,8 @@ impl Snapshot {
             log,
             traces,
             splits,
+            eval,
+            rule_hashes,
         })
     }
 }
@@ -490,12 +526,21 @@ mod tests {
                 removes: 2,
             }],
             splits: vec![("bump".into(), 2)],
+            eval: "bytecode".into(),
+            rule_hashes: vec![("bump".into(), 0x00c0_ffee_dead_beef)],
         }
     }
 
-    /// The byte length of `snap`'s trailing splits segment.
+    /// The byte length of `snap`'s trailing splits segment (v3).
     fn splits_tail_len(snap: &Snapshot) -> usize {
         8 + snap.splits.iter().map(|(n, _)| 4 + n.len() + 4).sum::<usize>()
+    }
+
+    /// The byte length of `snap`'s trailing eval + rule-store segment (v4).
+    fn eval_tail_len(snap: &Snapshot) -> usize {
+        4 + snap.eval.len()
+            + 8
+            + snap.rule_hashes.iter().map(|(n, _)| 4 + n.len() + 8).sum::<usize>()
     }
 
     #[test]
@@ -561,16 +606,19 @@ mod tests {
         // back to 1. v1 files predate policies, so decoding migrates to
         // "fire-all" (and no splits).
         let snap = sample();
-        let v3 = snap.to_bytes();
+        let v4 = snap.to_bytes();
+        let tail = splits_tail_len(&snap) + eval_tail_len(&snap);
         let mut v1 = Vec::new();
-        v1.extend_from_slice(&v3[..4]);
+        v1.extend_from_slice(&v4[..4]);
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&v3[8 + 4 + snap.policy.len()..v3.len() - splits_tail_len(&snap)]);
+        v1.extend_from_slice(&v4[8 + 4 + snap.policy.len()..v4.len() - tail]);
         let back = Snapshot::from_bytes(&v1).unwrap();
         assert_eq!(back.policy, "fire-all");
         let expect = Snapshot {
             policy: "fire-all".into(),
             splits: Vec::new(),
+            eval: "tree".into(),
+            rule_hashes: Vec::new(),
             ..snap
         };
         assert_eq!(back, expect);
@@ -583,16 +631,36 @@ mod tests {
 
     #[test]
     fn v2_snapshots_decode_with_no_splits() {
-        // A v2 stream is a v3 stream minus the splits tail, with the
-        // version field patched back. Decoding yields the same capture
-        // with an empty split list.
+        // A v2 stream is the current stream minus the v3 and v4 tails,
+        // with the version field patched back. Decoding yields the same
+        // capture with an empty split list and the migration defaults.
         let snap = sample();
-        let v3 = snap.to_bytes();
-        let mut v2 = v3[..v3.len() - splits_tail_len(&snap)].to_vec();
+        let v4 = snap.to_bytes();
+        let tail = splits_tail_len(&snap) + eval_tail_len(&snap);
+        let mut v2 = v4[..v4.len() - tail].to_vec();
         v2[4..8].copy_from_slice(&2u32.to_le_bytes());
         let back = Snapshot::from_bytes(&v2).unwrap();
         let expect = Snapshot {
             splits: Vec::new(),
+            eval: "tree".into(),
+            rule_hashes: Vec::new(),
+            ..snap
+        };
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn v3_snapshots_decode_with_tree_eval_and_no_rule_store() {
+        // A v3 stream is the current stream minus the v4 tail. Splits
+        // survive; the eval tag and rule store take migration defaults.
+        let snap = sample();
+        let v4 = snap.to_bytes();
+        let mut v3 = v4[..v4.len() - eval_tail_len(&snap)].to_vec();
+        v3[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let back = Snapshot::from_bytes(&v3).unwrap();
+        let expect = Snapshot {
+            eval: "tree".into(),
+            rule_hashes: Vec::new(),
             ..snap
         };
         assert_eq!(back, expect);

@@ -25,7 +25,17 @@ use parulel_core::{ClassRegistry, Expr, Interner, PredOp, Symbol, TestExpr, Valu
 
 /// Compiles a parsed program to executable IR.
 pub fn compile_ast(ast: &ast::SrcProgram) -> Result<Program, LangError> {
-    let interner = Interner::new();
+    compile_ast_in(ast, Interner::new())
+}
+
+/// Compiles a parsed program into an *existing* symbol space.
+///
+/// Hot reload compiles the replacement program with the running session's
+/// interner so that symbols already referenced by live WMEs (and by
+/// matcher-internal state) keep their ids; genuinely new symbols are
+/// appended. The interner is shared, not copied — compile errors may
+/// leave extra (harmless) symbols interned.
+pub fn compile_ast_in(ast: &ast::SrcProgram, interner: Interner) -> Result<Program, LangError> {
     let mut classes = ClassRegistry::new();
     for decl in &ast.decls {
         if let Decl::Literalize { name, attrs, span } = decl {

@@ -59,7 +59,7 @@ pub mod printer;
 pub mod token;
 
 pub use ast::SrcProgram;
-pub use compiler::compile_ast;
+pub use compiler::{compile_ast, compile_ast_in};
 pub use error::{LangError, Span};
 
 /// Parses PARULEL source into an AST.
@@ -72,6 +72,16 @@ pub fn parse(src: &str) -> Result<ast::SrcProgram, LangError> {
 /// [`compile_with_wm`] when the source carries its own initial facts.
 pub fn compile(src: &str) -> Result<parulel_core::Program, LangError> {
     compile_ast(&parse(src)?)
+}
+
+/// Compiles PARULEL source into an existing symbol space (see
+/// [`compile_ast_in`]) — the hot-reload entry point: symbols shared with
+/// the running program keep their interned ids.
+pub fn compile_into(
+    src: &str,
+    interner: &parulel_core::Interner,
+) -> Result<parulel_core::Program, LangError> {
+    compile_ast_in(&parse(src)?, interner.clone())
 }
 
 /// Compiles PARULEL source *and* materializes its `(wm …)` blocks into an

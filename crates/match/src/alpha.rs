@@ -34,6 +34,7 @@ use crate::arena::{Arena, WmeRef};
 use parulel_core::{
     ClassId, ConditionElement, FieldTest, FxHashMap, FxHashSet, RuleId, Value, Wme, WmeId,
 };
+use parulel_vm::{compile_field_tests, EvalMode, FieldTestCode};
 
 /// Join-key values, boxed (map key for index buckets).
 pub type KeyVals = Box<[Value]>;
@@ -74,6 +75,11 @@ struct AlphaNode {
     class: ClassId,
     /// Alpha-layer tests in slot order (the sharing key, with `class`).
     tests: Vec<FieldTest>,
+    /// The tests compiled to bytecode, when the owning network runs in
+    /// [`EvalMode::Bytecode`]. Compiled once at node creation — the node
+    /// is exactly the unit of alpha sharing, so each distinct test list
+    /// compiles once no matter how many rules subscribe.
+    code: Option<FieldTestCode>,
     /// Subscribed (rule, CE) endpoints; the length is the refcount.
     endpoints: Vec<Endpoint>,
     /// Membership: WME id → arena handle.
@@ -84,8 +90,13 @@ struct AlphaNode {
 
 impl AlphaNode {
     fn passes(&self, wme: &Wme) -> bool {
-        let mut empty: [Value; 0] = [];
-        self.tests.iter().all(|t| t.check_wme(wme, &mut empty))
+        match &self.code {
+            Some(code) => code.passes(wme),
+            None => {
+                let mut empty: [Value; 0] = [];
+                self.tests.iter().all(|t| t.check_wme(wme, &mut empty))
+            }
+        }
     }
 }
 
@@ -115,12 +126,20 @@ pub struct AlphaNetwork {
     /// subscriber (the per-rule layout would have re-run each of these).
     share_hits: u64,
     dedup: bool,
+    /// Whether nodes run their tests as compiled bytecode or via the IR.
+    mode: EvalMode,
 }
 
 impl AlphaNetwork {
-    /// An empty network over `num_classes` classes. `dedup = false` keeps
-    /// one node per subscription (the ablation baseline).
+    /// An empty network over `num_classes` classes, in the default
+    /// [`EvalMode`]. `dedup = false` keeps one node per subscription (the
+    /// ablation baseline).
     pub fn new(num_classes: usize, dedup: bool) -> Self {
+        Self::new_with_eval(num_classes, dedup, EvalMode::default())
+    }
+
+    /// Like [`new`](Self::new) with an explicit evaluation mode.
+    pub fn new_with_eval(num_classes: usize, dedup: bool, mode: EvalMode) -> Self {
         AlphaNetwork {
             store: Arena::new(),
             by_id: FxHashMap::default(),
@@ -130,6 +149,7 @@ impl AlphaNetwork {
             by_class: vec![Vec::new(); num_classes],
             share_hits: 0,
             dedup,
+            mode,
         }
     }
 
@@ -156,9 +176,14 @@ impl AlphaNetwork {
                 return nid;
             }
         }
+        let code = match self.mode {
+            EvalMode::Bytecode => Some(compile_field_tests(&tests)),
+            EvalMode::Tree => None,
+        };
         let mut node = AlphaNode {
             class: ce.class,
             tests,
+            code,
             endpoints: vec![ep],
             members: FxHashMap::default(),
             indexes: FxHashMap::default(),

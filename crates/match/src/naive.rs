@@ -3,6 +3,7 @@
 use crate::enumerate::enumerate_rule;
 use crate::Matcher;
 use parulel_core::{ClassId, ConflictSet, FxHashMap, Program, RuleId, Wme, WmeId};
+use parulel_vm::{EvalMode, Evaluator};
 use std::sync::Arc;
 
 /// Recomputes the full conflict set from a mirror of working memory every
@@ -10,6 +11,7 @@ use std::sync::Arc;
 /// baseline, or on small problems.
 pub struct NaiveMatcher {
     program: Arc<Program>,
+    eval: Evaluator,
     rules: Vec<RuleId>,
     by_class: Vec<FxHashMap<WmeId, Wme>>,
     cache: ConflictSet,
@@ -28,9 +30,18 @@ impl NaiveMatcher {
     /// A naive matcher over a subset of rules (used by the partitioned
     /// parallel matcher).
     pub fn with_rules(program: Arc<Program>, rules: Vec<RuleId>) -> Self {
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        Self::with_rules_eval(program, rules, eval)
+    }
+
+    /// Like [`with_rules`](Self::with_rules) with a caller-built
+    /// [`Evaluator`] (shared-compilation path: the engine compiles once
+    /// and hands out clones).
+    pub fn with_rules_eval(program: Arc<Program>, rules: Vec<RuleId>, eval: Evaluator) -> Self {
         let classes = program.classes.len();
         NaiveMatcher {
             program,
+            eval,
             rules,
             by_class: vec![FxHashMap::default(); classes],
             cache: ConflictSet::new(),
@@ -49,6 +60,7 @@ impl NaiveMatcher {
         for &rid in &self.rules {
             let rule = self.program.rule(rid);
             enumerate_rule(
+                &self.eval,
                 rule,
                 &|ce_idx| self.class_wmes(rule.ces[ce_idx].class),
                 None,

@@ -14,6 +14,7 @@
 
 use crate::{Matcher, Rete, Treat};
 use parulel_core::{ConflictSet, CsEvent, Program, RuleId, Wme, WorkingMemory};
+use parulel_vm::{EvalMode, Evaluator};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -133,14 +134,31 @@ impl<M: Matcher> Partitioned<M> {
 impl Partitioned<Rete> {
     /// `n` RETE workers over `program`.
     pub fn rete(program: Arc<Program>, n: usize) -> Self {
-        Self::new_with(program, n, Rete::with_rules)
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        Self::rete_eval(program, n, eval)
+    }
+
+    /// `n` RETE workers sharing one compiled [`Evaluator`] (each worker
+    /// gets a clone; the rule code objects themselves are `Arc`-shared).
+    pub fn rete_eval(program: Arc<Program>, n: usize, eval: Evaluator) -> Self {
+        Self::new_with(program, n, move |p, rules| {
+            Rete::with_rules_eval(p, rules, true, eval.clone())
+        })
     }
 }
 
 impl Partitioned<Treat> {
     /// `n` TREAT workers over `program`.
     pub fn treat(program: Arc<Program>, n: usize) -> Self {
-        Self::new_with(program, n, Treat::with_rules)
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        Self::treat_eval(program, n, eval)
+    }
+
+    /// `n` TREAT workers sharing one compiled [`Evaluator`].
+    pub fn treat_eval(program: Arc<Program>, n: usize, eval: Evaluator) -> Self {
+        Self::new_with(program, n, move |p, rules| {
+            Treat::with_rules_eval(p, rules, true, eval.clone())
+        })
     }
 }
 

@@ -43,8 +43,9 @@ use crate::arena::WmeRef;
 use crate::Matcher;
 use parulel_core::{
     ConditionElement, ConflictSet, CsEvent, FxHashMap, FxHashSet, InstKey, Instantiation, Polarity,
-    Program, RuleId, TestExpr, Value, VarId, Wme, WorkingMemory,
+    Program, RuleId, Value, VarId, Wme, WorkingMemory,
 };
+use parulel_vm::{EvalMode, Evaluator};
 use std::sync::Arc;
 
 type TokKey = Arc<[WmeId]>;
@@ -65,8 +66,6 @@ struct Token {
 /// One level of a rule net.
 struct Level {
     ce: ConditionElement,
-    /// Rule tests anchored at this level.
-    tests: Vec<TestExpr>,
     /// Equality join keys: `(slot, var)`.
     keys: Vec<(u16, VarId)>,
     /// The join-key field slots (the shared index this level probes).
@@ -120,10 +119,11 @@ impl Level {
     }
 
     /// Does `wme` extend/block `tok` at this level (beta tests only)?
-    /// Uses a scratch env; bindings are not kept.
-    fn beta_matches(&self, tok: &Token, wme: &Wme) -> bool {
+    /// Uses a scratch env; bindings are not kept. `rule`/`k` address this
+    /// level's compiled code in the evaluator.
+    fn beta_matches(&self, eval: &Evaluator, rule: RuleId, k: usize, tok: &Token, wme: &Wme) -> bool {
         let mut scratch = tok.env.clone();
-        self.ce.run_beta(wme, &mut scratch)
+        eval.run_beta(rule, k, wme, &mut scratch)
     }
 }
 
@@ -138,6 +138,7 @@ struct RuleNet {
 /// nets.
 pub struct Rete {
     alpha: AlphaNetwork,
+    eval: Evaluator,
     nets: Vec<RuleNet>,
     cs: ConflictSet,
 }
@@ -160,13 +161,31 @@ impl Rete {
     /// (rule, CE), the per-rule baseline the joinbench ablation measures
     /// against.
     pub fn with_rules_sharing(program: Arc<Program>, rules: Vec<RuleId>, dedup: bool) -> Self {
-        let mut alpha = AlphaNetwork::new(program.classes.len(), dedup);
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        Self::with_rules_eval(program, rules, dedup, eval)
+    }
+
+    /// Like [`with_rules_sharing`](Self::with_rules_sharing) with a
+    /// caller-built [`Evaluator`] (the engine compiles once and hands out
+    /// clones; the alpha network inherits the evaluator's mode).
+    pub fn with_rules_eval(
+        program: Arc<Program>,
+        rules: Vec<RuleId>,
+        dedup: bool,
+        eval: Evaluator,
+    ) -> Self {
+        let mut alpha = AlphaNetwork::new_with_eval(program.classes.len(), dedup, eval.mode());
         let mut nets = Vec::with_capacity(rules.len());
         let mut cs = ConflictSet::new();
         for rid in rules {
-            nets.push(build_net(&program, rid, &mut alpha, &mut cs));
+            nets.push(build_net(&program, rid, &mut alpha, &mut cs, &eval));
         }
-        Rete { alpha, nets, cs }
+        Rete {
+            alpha,
+            eval,
+            nets,
+            cs,
+        }
     }
 }
 
@@ -320,6 +339,7 @@ fn build_net(
     rid: RuleId,
     alpha: &mut AlphaNetwork,
     cs: &mut ConflictSet,
+    eval: &Evaluator,
 ) -> RuleNet {
     let rule = program.rule(rid);
     let mut levels: Vec<Level> = rule
@@ -333,12 +353,6 @@ fn build_net(
             alpha.subscribe_index(node, &slots);
             Level {
                 ce: ce.clone(),
-                tests: rule
-                    .tests
-                    .iter()
-                    .filter(|t| t.anchor == k)
-                    .map(|t| t.test.clone())
-                    .collect(),
                 keys,
                 slots,
                 node,
@@ -381,7 +395,7 @@ fn build_net(
         levels,
         root,
     };
-    net.activate_root(alpha, cs);
+    net.activate_root(alpha, cs, eval);
     net
 }
 
@@ -393,13 +407,13 @@ impl RuleNet {
 
     /// Drives the root token into level 0, computing counts/joins from
     /// full node membership — the batch half of net construction.
-    fn activate_root(&mut self, alpha: &AlphaNetwork, cs: &mut ConflictSet) {
+    fn activate_root(&mut self, alpha: &AlphaNetwork, cs: &mut ConflictSet, eval: &Evaluator) {
         let root = self.root.clone();
         if self.levels[0].is_negative() {
-            let count = self.blocker_count(0, &root, alpha);
+            let count = self.blocker_count(0, &root, alpha, eval);
             self.levels[0].neg_counts.insert(root.key.clone(), count);
-            if count == 0 && self.neg_pass_tests(0, &root) {
-                self.insert_token(0, root, alpha, cs);
+            if count == 0 && self.neg_pass_tests(0, &root, eval) {
+                self.insert_token(0, root, alpha, cs, eval);
             }
         } else {
             let kv = self.levels[0].token_keyvals(&root);
@@ -409,8 +423,8 @@ impl RuleNet {
                     None => Vec::new(),
                 };
             for r in candidates {
-                if let Some(t2) = self.extend(0, &root, r, alpha) {
-                    self.insert_token(0, t2, alpha, cs);
+                if let Some(t2) = self.extend(0, &root, r, alpha, eval) {
+                    self.insert_token(0, t2, alpha, cs, eval);
                 }
             }
         }
@@ -418,13 +432,13 @@ impl RuleNet {
 
     /// How many members of negative level `k`'s alpha node are consistent
     /// with `tok` (the level's count table value for a fresh input).
-    fn blocker_count(&self, k: usize, tok: &Token, alpha: &AlphaNetwork) -> u32 {
+    fn blocker_count(&self, k: usize, tok: &Token, alpha: &AlphaNetwork, eval: &Evaluator) -> u32 {
         let level = &self.levels[k];
         let kv = level.token_keyvals(tok);
         match alpha.index_bucket(level.node, &level.slots, &kv) {
             Some(bucket) => bucket
                 .iter()
-                .filter(|&&r| level.beta_matches(tok, alpha.wme(r)))
+                .filter(|&&r| level.beta_matches(eval, self.rule, k, tok, alpha.wme(r)))
                 .count() as u32,
             None => 0,
         }
@@ -432,14 +446,20 @@ impl RuleNet {
 
     /// Extends `tok` with the WME behind `wref` at positive level `k`, if
     /// consistent. Copies the 8-byte handle, never the payload.
-    fn extend(&self, k: usize, tok: &Token, wref: WmeRef, alpha: &AlphaNetwork) -> Option<Token> {
-        let level = &self.levels[k];
+    fn extend(
+        &self,
+        k: usize,
+        tok: &Token,
+        wref: WmeRef,
+        alpha: &AlphaNetwork,
+        eval: &Evaluator,
+    ) -> Option<Token> {
         let wme = alpha.wme(wref);
         let mut env = tok.env.clone();
-        if !level.ce.run_beta(wme, &mut env) {
+        if !eval.run_beta(self.rule, k, wme, &mut env) {
             return None;
         }
-        if !level.tests.iter().all(|t| t.check(&env)) {
+        if !eval.tests_pass_at(self.rule, k, &env) {
             return None;
         }
         let mut key: Vec<WmeId> = tok.key.to_vec();
@@ -455,12 +475,19 @@ impl RuleNet {
 
     /// For a token passing *through* negative level `k`: anchored tests
     /// must still hold (env is unchanged).
-    fn neg_pass_tests(&self, k: usize, tok: &Token) -> bool {
-        self.levels[k].tests.iter().all(|t| t.check(&tok.env))
+    fn neg_pass_tests(&self, k: usize, tok: &Token, eval: &Evaluator) -> bool {
+        eval.tests_pass_at(self.rule, k, &tok.env)
     }
 
     /// Inserts `tok` as an output of level `k` and propagates downstream.
-    fn insert_token(&mut self, k: usize, tok: Token, alpha: &AlphaNetwork, cs: &mut ConflictSet) {
+    fn insert_token(
+        &mut self,
+        k: usize,
+        tok: Token,
+        alpha: &AlphaNetwork,
+        cs: &mut ConflictSet,
+        eval: &Evaluator,
+    ) {
         if self.levels[k]
             .tokens
             .insert(tok.key.clone(), tok.clone())
@@ -496,10 +523,10 @@ impl RuleNet {
             .or_default()
             .insert(tok.key.clone());
         if self.levels[next].is_negative() {
-            let count = self.blocker_count(next, &tok, alpha);
+            let count = self.blocker_count(next, &tok, alpha, eval);
             self.levels[next].neg_counts.insert(tok.key.clone(), count);
-            if count == 0 && self.neg_pass_tests(next, &tok) {
-                self.insert_token(next, tok, alpha, cs);
+            if count == 0 && self.neg_pass_tests(next, &tok, eval) {
+                self.insert_token(next, tok, alpha, cs, eval);
             }
         } else {
             // Handle copies only — candidate payloads stay in the shared
@@ -511,8 +538,8 @@ impl RuleNet {
                     None => Vec::new(),
                 };
             for r in candidates {
-                if let Some(t2) = self.extend(next, &tok, r, alpha) {
-                    self.insert_token(next, t2, alpha, cs);
+                if let Some(t2) = self.extend(next, &tok, r, alpha, eval) {
+                    self.insert_token(next, t2, alpha, cs, eval);
                 }
             }
         }
@@ -589,6 +616,7 @@ impl RuleNet {
 
     /// Beta delivery for one added WME, at the levels (`hits`, ascending)
     /// whose shared alpha nodes it entered.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_add(
         &mut self,
         hits: &[usize],
@@ -596,6 +624,7 @@ impl RuleNet {
         wme: &Wme,
         alpha: &AlphaNetwork,
         cs: &mut ConflictSet,
+        eval: &Evaluator,
     ) {
         // Node membership was updated before delivery, so any token
         // created from here on computes counts that already include the
@@ -620,7 +649,7 @@ impl RuleNet {
                     let Some(tok) = self.input_token(k, &tkey) else {
                         continue;
                     };
-                    if self.levels[k].beta_matches(&tok, wme) {
+                    if self.levels[k].beta_matches(eval, self.rule, k, &tok, wme) {
                         let count = self.levels[k]
                             .neg_counts
                             .get_mut(&tkey)
@@ -636,8 +665,8 @@ impl RuleNet {
                     let Some(tok) = self.input_token(k, &tkey) else {
                         continue;
                     };
-                    if let Some(t2) = self.extend(k, &tok, wref, alpha) {
-                        self.insert_token(k, t2, alpha, cs);
+                    if let Some(t2) = self.extend(k, &tok, wref, alpha, eval) {
+                        self.insert_token(k, t2, alpha, cs, eval);
                     }
                 }
             }
@@ -652,6 +681,7 @@ impl RuleNet {
         wme: &Wme,
         alpha: &AlphaNetwork,
         cs: &mut ConflictSet,
+        eval: &Evaluator,
     ) {
         // 1. Retract every token that positively matched the WME, straight
         //    from the per-WME index; scanning shallow-to-deep lets the
@@ -692,14 +722,14 @@ impl RuleNet {
                 let Some(tok) = self.input_token(k, &tkey) else {
                     continue;
                 };
-                if self.levels[k].beta_matches(&tok, wme) {
+                if self.levels[k].beta_matches(eval, self.rule, k, &tok, wme) {
                     let count = self.levels[k]
                         .neg_counts
                         .get_mut(&tkey)
                         .expect("input token without a negative count");
                     *count -= 1;
-                    if *count == 0 && self.neg_pass_tests(k, &tok) {
-                        self.insert_token(k, tok, alpha, cs);
+                    if *count == 0 && self.neg_pass_tests(k, &tok, eval) {
+                        self.insert_token(k, tok, alpha, cs, eval);
                     }
                 }
             }
@@ -731,7 +761,7 @@ impl Matcher for Rete {
         let mut by_rule = hits_by_rule(&self.alpha, &entered);
         for net in &mut self.nets {
             if let Some(hits) = by_rule.remove(&net.rule) {
-                net.deliver_add(&hits, wref, wme, &self.alpha, &mut self.cs);
+                net.deliver_add(&hits, wref, wme, &self.alpha, &mut self.cs, &self.eval);
             }
         }
     }
@@ -743,7 +773,7 @@ impl Matcher for Rete {
         let mut by_rule = hits_by_rule(&self.alpha, &left);
         for net in &mut self.nets {
             if let Some(hits) = by_rule.remove(&net.rule) {
-                net.deliver_remove(&hits, &payload, &self.alpha, &mut self.cs);
+                net.deliver_remove(&hits, &payload, &self.alpha, &mut self.cs, &self.eval);
             }
         }
     }
@@ -822,10 +852,14 @@ impl Matcher for Rete {
                 self.cs.remove(&k);
             }
         }
+        // Recompile the evaluator against the new program before any net is
+        // built (unchanged rules compile to identical code; surviving
+        // alpha nodes keep their compiled test code untouched).
+        self.eval = Evaluator::new(program.clone(), self.eval.mode());
         for &rid in add {
             // build_net batch-derives the new net's tokens from the shared
             // store — no per-WME replay of working memory.
-            let net = build_net(program, rid, &mut self.alpha, &mut self.cs);
+            let net = build_net(program, rid, &mut self.alpha, &mut self.cs, &self.eval);
             self.nets.push(net);
         }
         // Net order is not semantically observable (the conflict set is a

@@ -30,6 +30,7 @@ use crate::Matcher;
 use parulel_core::{
     ConflictSet, CsEvent, FxHashMap, InstKey, Polarity, Program, RuleId, Wme, WorkingMemory,
 };
+use parulel_vm::{EvalMode, Evaluator};
 use std::sync::Arc;
 
 /// One rule's subscriptions into the shared network.
@@ -44,6 +45,7 @@ struct RuleSubs {
 /// The TREAT matcher.
 pub struct Treat {
     program: Arc<Program>,
+    eval: Evaluator,
     rules: Vec<RuleSubs>,
     alpha: AlphaNetwork,
     cs: ConflictSet,
@@ -68,7 +70,20 @@ impl Treat {
     /// deduplication switchable — the per-rule baseline of the joinbench
     /// ablation.
     pub fn with_rules_sharing(program: Arc<Program>, rules: Vec<RuleId>, dedup: bool) -> Self {
-        let mut alpha = AlphaNetwork::new(program.classes.len(), dedup);
+        let eval = Evaluator::new(program.clone(), EvalMode::default());
+        Self::with_rules_eval(program, rules, dedup, eval)
+    }
+
+    /// Like [`with_rules_sharing`](Self::with_rules_sharing) with a
+    /// caller-built [`Evaluator`] (the engine compiles once and hands out
+    /// clones; the alpha network inherits the evaluator's mode).
+    pub fn with_rules_eval(
+        program: Arc<Program>,
+        rules: Vec<RuleId>,
+        dedup: bool,
+        eval: Evaluator,
+    ) -> Self {
+        let mut alpha = AlphaNetwork::new_with_eval(program.classes.len(), dedup, eval.mode());
         let subs = rules
             .into_iter()
             .map(|rid| RuleSubs {
@@ -84,6 +99,7 @@ impl Treat {
             .collect();
         Treat {
             program,
+            eval,
             rules: subs,
             alpha,
             cs: ConflictSet::new(),
@@ -119,7 +135,13 @@ impl Treat {
         }
         // …and rebuild from scratch.
         let mut found = Vec::new();
-        enumerate_rule(rule, &|ce| self.members_of(ra.nodes[ce]), None, &mut found);
+        enumerate_rule(
+            &self.eval,
+            rule,
+            &|ce| self.members_of(ra.nodes[ce]),
+            None,
+            &mut found,
+        );
         for inst in found {
             self.cs.insert(inst);
         }
@@ -186,6 +208,7 @@ impl Matcher for Treat {
             let mut found = Vec::new();
             for &p in &pos_hits {
                 enumerate_rule(
+                    &self.eval,
                     rule,
                     &|ce| self.members_of(ra.nodes[ce]),
                     Some((p, wme)),
@@ -206,10 +229,14 @@ impl Matcher for Treat {
                     .filter(|inst| {
                         rule.ces
                             .iter()
-                            .filter(|ce| ce.polarity == Polarity::Negative && ce.passes_alpha(wme))
-                            .any(|ce| {
+                            .enumerate()
+                            .filter(|(ci, ce)| {
+                                ce.polarity == Polarity::Negative
+                                    && self.eval.passes_alpha(ra.rule, *ci, wme)
+                            })
+                            .any(|(ci, _)| {
                                 let mut scratch = inst.env.to_vec();
-                                ce.run_beta(wme, &mut scratch)
+                                self.eval.run_beta(ra.rule, ci, wme, &mut scratch)
                             })
                     })
                     .map(|inst| inst.key())
@@ -300,8 +327,11 @@ impl Matcher for Treat {
     ) -> bool {
         // Rule ids are stable across the transform, so swapping the
         // program under the untouched rules is sound: their definitions
-        // are identical in the new program.
+        // are identical in the new program. The evaluator is recompiled
+        // wholesale (cheap, and unchanged rules produce identical code);
+        // surviving alpha nodes keep their already-compiled test code.
         self.program = program.clone();
+        self.eval = Evaluator::new(program.clone(), self.eval.mode());
         for &rid in remove {
             let mut i = 0;
             while i < self.rules.len() {
@@ -340,7 +370,13 @@ impl Matcher for Treat {
                     .collect(),
             };
             let mut found = Vec::new();
-            enumerate_rule(rule, &|ce| self.members_of(ra.nodes[ce]), None, &mut found);
+            enumerate_rule(
+                &self.eval,
+                rule,
+                &|ce| self.members_of(ra.nodes[ce]),
+                None,
+                &mut found,
+            );
             for inst in found {
                 self.cs.insert(inst);
             }

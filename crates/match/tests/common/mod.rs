@@ -5,7 +5,7 @@
 #![allow(dead_code)] // each test crate uses a subset
 
 use parulel_core::ir::{
-    ConditionElement, FieldCheck, FieldTest, Polarity, Rule, RuleId, RuleTest, VarId,
+    Action, ConditionElement, FieldCheck, FieldTest, Polarity, Rule, RuleId, RuleTest, VarId,
 };
 use parulel_core::{ClassRegistry, Expr, Interner, PredOp, Program, TestExpr, Value};
 use proptest::prelude::*;
@@ -26,10 +26,33 @@ pub struct CeSpec {
     pub tests: Vec<(u8, CheckSpec)>, // (slot hint, check)
 }
 
+/// Raw material for one RHS expression; the builder clamps variable
+/// references to the rule's exported bindings (falling back to a
+/// constant when none exist). Only overflow-free integer arithmetic is
+/// generated, so an expression can never fail at runtime and both
+/// evaluation backends must produce a value.
+#[derive(Clone, Debug)]
+pub enum ExprSpec {
+    Const(i64),
+    Var(u16),              // index into the exported vars (mod count)
+    Bin(u8, i64, u16),     // op code, const lhs, exported-var rhs
+}
+
+/// Raw material for one RHS action (engine-level suites only; the
+/// matcher suites generate LHS-only rules).
+#[derive(Clone, Debug)]
+pub enum ActionSpec {
+    Make { class: u8, exprs: Vec<ExprSpec> },
+    RemoveCe(u8),                       // positive-CE ordinal (mod count)
+    ModifyCe(u8, u8, ExprSpec),         // ce, slot, new value
+    WriteLine(Vec<ExprSpec>),
+}
+
 #[derive(Clone, Debug)]
 pub struct RuleSpec {
     pub ces: Vec<CeSpec>,
     pub cross_test: bool, // add a (test (< v0 v1)) if ≥2 vars end up bound
+    pub actions: Vec<ActionSpec>,
 }
 
 #[derive(Clone, Debug)]
@@ -54,7 +77,14 @@ pub const ARITY: usize = 2;
 /// Builds a valid program from random specs. Classes: c0 and c1, both of
 /// arity 2 (small domain ⇒ plenty of joins and collisions).
 pub fn build_program(specs: &[RuleSpec]) -> Program {
-    let interner = Interner::new();
+    build_program_in(&Interner::new(), specs)
+}
+
+/// [`build_program`] into an existing symbol space — the reload suites
+/// need the replacement program's symbol ids interchangeable with the
+/// running engine's.
+pub fn build_program_in(interner: &Interner, specs: &[RuleSpec]) -> Program {
+    let interner = interner.clone();
     let mut classes = ClassRegistry::new();
     for c in 0..2 {
         classes
@@ -151,13 +181,63 @@ pub fn build_program(specs: &[RuleSpec]) -> Program {
                 },
             });
         }
+        // RHS: clamp every reference so the action always validates.
+        let expr = |spec: &ExprSpec| -> Expr {
+            let var = |i: u16| {
+                if exported_ids.is_empty() {
+                    Expr::Const(Value::Int(1))
+                } else {
+                    Expr::Var(exported_ids[i as usize % exported_ids.len()])
+                }
+            };
+            match spec {
+                ExprSpec::Const(v) => Expr::Const(Value::Int(v % 4)),
+                ExprSpec::Var(i) => var(*i),
+                // Add/Sub/Mul only: never divides, never errors.
+                ExprSpec::Bin(op, lhs, rhs) => Expr::Bin(
+                    match op % 3 {
+                        0 => parulel_core::BinOp::Add,
+                        1 => parulel_core::BinOp::Sub,
+                        _ => parulel_core::BinOp::Mul,
+                    },
+                    Box::new(Expr::Const(Value::Int(lhs % 4))),
+                    Box::new(var(*rhs)),
+                ),
+            }
+        };
+        let num_pos = ces.iter().filter(|ce| ce.polarity == Polarity::Positive).count();
+        let actions = spec
+            .actions
+            .iter()
+            .map(|a| match a {
+                ActionSpec::Make { class, exprs } => Action::Make {
+                    class: parulel_core::ClassId((class % 2) as u32),
+                    fields: (0..ARITY)
+                        .map(|f| {
+                            exprs
+                                .get(f)
+                                .map(&expr)
+                                .unwrap_or(Expr::Const(Value::Int(0)))
+                        })
+                        .collect(),
+                },
+                ActionSpec::RemoveCe(ce) => Action::Remove {
+                    ce: ce % num_pos.max(1) as u8,
+                },
+                ActionSpec::ModifyCe(ce, slot, e) => Action::Modify {
+                    ce: ce % num_pos.max(1) as u8,
+                    sets: vec![((*slot as usize % ARITY) as u16, expr(e))],
+                },
+                ActionSpec::WriteLine(exprs) => Action::Write(exprs.iter().map(&expr).collect()),
+            })
+            .collect();
         let rule = Rule {
             id: RuleId(0),
             name: interner.intern(&format!("r{ri}")),
             ces,
             tests,
             binds: vec![],
-            actions: vec![],
+            actions,
             num_vars: next_var,
         };
         program.add_rule(rule).unwrap();
@@ -187,8 +267,42 @@ pub fn ce_spec() -> impl Strategy<Value = CeSpec> {
 }
 
 pub fn rule_spec() -> impl Strategy<Value = RuleSpec> {
-    (prop::collection::vec(ce_spec(), 1..4), any::<bool>())
-        .prop_map(|(ces, cross_test)| RuleSpec { ces, cross_test })
+    (prop::collection::vec(ce_spec(), 1..4), any::<bool>()).prop_map(|(ces, cross_test)| RuleSpec {
+        ces,
+        cross_test,
+        actions: vec![],
+    })
+}
+
+pub fn expr_spec() -> impl Strategy<Value = ExprSpec> {
+    prop_oneof![
+        (0i64..4).prop_map(ExprSpec::Const),
+        any::<u16>().prop_map(ExprSpec::Var),
+        (any::<u8>(), 0i64..4, any::<u16>()).prop_map(|(op, l, r)| ExprSpec::Bin(op, l, r)),
+    ]
+}
+
+pub fn action_spec() -> impl Strategy<Value = ActionSpec> {
+    prop_oneof![
+        3 => (any::<u8>(), prop::collection::vec(expr_spec(), 0..3))
+            .prop_map(|(class, exprs)| ActionSpec::Make {
+                class: class % 2,
+                exprs,
+            }),
+        2 => any::<u8>().prop_map(ActionSpec::RemoveCe),
+        2 => (any::<u8>(), any::<u8>(), expr_spec())
+            .prop_map(|(ce, slot, e)| ActionSpec::ModifyCe(ce, slot, e)),
+        1 => prop::collection::vec(expr_spec(), 0..3).prop_map(ActionSpec::WriteLine),
+    ]
+}
+
+/// [`rule_spec`] plus a random RHS — the engine-level differential
+/// suites exercise the fire path, not just matching.
+pub fn rule_spec_with_actions() -> impl Strategy<Value = RuleSpec> {
+    (rule_spec(), prop::collection::vec(action_spec(), 0..3)).prop_map(|(mut spec, actions)| {
+        spec.actions = actions;
+        spec
+    })
 }
 
 pub fn op() -> impl Strategy<Value = Op> {

@@ -420,6 +420,7 @@ fn remove_and_readd_in_one_batch() {
             },
         ],
         cross_test: false,
+        actions: vec![],
     }];
     let mut batches = vec![vec![
         Op::Add {

@@ -95,6 +95,7 @@ fn negation_churn_regression() {
             },
         ],
         cross_test: false,
+        actions: vec![],
     }];
     let mut ops = Vec::new();
     for i in 0..12 {

@@ -38,6 +38,8 @@ use parulel_engine::Json;
 ///   kernel; the frame also carries `engine_kind`/`cycle` and
 ///   `closed:true` (the session is gone, the daemon is not).
 /// * `snapshot` — bad snapshot bytes on `restore`.
+/// * `reload` — a `reload` replacement program was refused (class table
+///   mismatch); the session keeps running its previous program.
 /// * `wal` — the durability layer could not append or fsync a session's
 ///   write-ahead log; the frame was NOT applied (log-before-apply).
 pub mod kind {
@@ -59,6 +61,8 @@ pub mod kind {
     pub const ENGINE: &str = "engine";
     /// See the module docs.
     pub const SNAPSHOT: &str = "snapshot";
+    /// See the module docs.
+    pub const RELOAD: &str = "reload";
     /// See the module docs.
     pub const WAL: &str = "wal";
 }

@@ -16,9 +16,11 @@
 //! 2. **Scan** the log, stopping at the first torn or corrupt record.
 //!    A torn tail — the partial record a `kill -9` mid-append leaves —
 //!    is physically truncated away, never replayed.
-//! 3. **Replay**: a snapshot record re-opens the session and restores
-//!    engine state via snapshot v2; frame records run through
-//!    `handle_frame` with WAL I/O suppressed.
+//! 3. **Replay**: a snapshot record re-opens the session, replays any
+//!    logged `reload` frames (the program swap is not part of the engine
+//!    snapshot), and restores engine state via the versioned snapshot
+//!    format; frame records run through `handle_frame` with WAL I/O
+//!    suppressed.
 //! 4. **Reattach**: a session that survived replay gets a resumed log
 //!    handle (appends continue where the log left off); a session whose
 //!    replay closed or killed it has nothing to recover, so its file is
@@ -244,6 +246,23 @@ fn replay_records(
                 let response = server.handle_frame(&frame);
                 if response.get("ok") != Some(&Json::Bool(true)) {
                     return Err(format!("open refused on replay: {}", response.render()));
+                }
+                // Program swaps precede the state restore: the engine
+                // snapshot carries no program, and `restore` resumes
+                // against whatever program the session runs *now*.
+                // Replaying every reload in order also re-interns the
+                // exact symbol sequence the original session saw.
+                for reload in &snap.reloads {
+                    let frame = Json::parse(reload)
+                        .map_err(|e| format!("unparseable logged reload: {e}"))?;
+                    let response = server.handle_frame(&frame);
+                    if response.get("ok") != Some(&Json::Bool(true)) {
+                        return Err(format!(
+                            "reload refused on replay: {}",
+                            response.render()
+                        ));
+                    }
+                    report.frames_replayed += 1;
                 }
                 let snapshot = Snapshot::from_bytes(&snap.snapshot)
                     .map_err(|e| format!("bad engine snapshot in record: {e}"))?;

@@ -25,8 +25,8 @@ use crate::session::{engine_failure, Session};
 use crate::wal::{SessionWal, SnapshotRecord, WalConfig};
 use parulel_core::Delta;
 use parulel_engine::{
-    Budgets, Engine, EngineOptions, FiringPolicy, GuardMode, Json, MatcherKind, MetricsLevel,
-    Snapshot, Strategy,
+    Budgets, Engine, EngineOptions, EvalMode, FiringPolicy, GuardMode, Json, MatcherKind,
+    MetricsLevel, Snapshot, Strategy,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,7 +69,15 @@ impl Default for ServerConfig {
 /// Verbs that mutate session state and therefore hit the WAL
 /// (log-before-apply). `open` is handled separately: its log file does
 /// not exist until the open is accepted.
-const MUTATING_VERBS: [&str; 6] = ["inject", "step", "run", "run-to-fixpoint", "restore", "close"];
+const MUTATING_VERBS: [&str; 7] = [
+    "inject",
+    "step",
+    "run",
+    "run-to-fixpoint",
+    "restore",
+    "reload",
+    "close",
+];
 
 /// Bookkeeping for a parked cooperative run: a `run`/`run-to-fixpoint`
 /// frame executing in step-quantum slices via
@@ -456,7 +464,7 @@ impl Server {
             "metrics" if session.is_none() => Ok(self.server_metrics()),
             "open" => self.open(frame, session.as_deref()),
             "inject" | "step" | "run" | "run-to-fixpoint" | "query" | "snapshot" | "restore"
-            | "metrics" | "trace" | "close" => {
+            | "reload" | "metrics" | "trace" | "close" => {
                 let name = match session.as_deref() {
                     Some(name) => name,
                     None => {
@@ -537,6 +545,7 @@ impl Server {
             injected_adds: session.injected_adds,
             injected_removes: session.injected_removes,
             pending: session.pending_lines().to_vec(),
+            reloads: session.reload_lines().to_vec(),
         };
         wal.compact(&record)?;
         self.wal_snapshots += 1;
@@ -733,6 +742,15 @@ impl Server {
             None => MatcherKind::Rete,
             Some(s) => parse_matcher(s)?,
         };
+        let eval = match frame.get("eval").and_then(|v| v.as_str()) {
+            None => EvalMode::default(),
+            Some(s) => EvalMode::parse(s).ok_or_else(|| {
+                Failure::new(
+                    kind::PROTOCOL,
+                    format!("unknown eval mode {s:?} (want bytecode|tree)"),
+                )
+            })?,
+        };
         let metrics = match frame.get("metrics").and_then(|v| v.as_str()) {
             None => self.config.metrics,
             Some("off") => MetricsLevel::Off,
@@ -747,6 +765,7 @@ impl Server {
         };
         Ok(EngineOptions {
             matcher,
+            eval,
             metrics,
             budgets,
             max_cycles: protocol::opt_u64(frame, "max_cycles")?.unwrap_or(self.config.max_cycles),
@@ -878,6 +897,40 @@ impl Server {
                     .set("session", name)
                     .set("cycle", session.engine.stats().cycles)
                     .set("wm", session.engine.wm().len()))
+            }
+            "reload" => {
+                let source = protocol::req_str(frame, "program")?;
+                // Compile into the running session's symbol space so the
+                // replacement's symbol ids are interchangeable with live
+                // WMEs. A compile error (or an engine refusal below)
+                // leaves the session exactly as it was.
+                let replacement =
+                    parulel_lang::compile_into(source, &session.engine.program().interner)
+                        .map_err(|e| Failure::new(kind::COMPILE, e.to_string()))?;
+                let report = session
+                    .engine
+                    .reload(&replacement)
+                    .map_err(|e| Failure::new(kind::RELOAD, e.to_string()))?;
+                if self.wal.is_some() {
+                    // Compaction records replay the session as
+                    // open → reloads → restore: the engine snapshot only
+                    // captures state, so the program swap itself must
+                    // survive log truncation.
+                    session.note_reload(frame.render());
+                }
+                let names = |v: &[String]| {
+                    v.iter().map(|n| Json::from(n.as_str())).collect::<Vec<Json>>()
+                };
+                Ok(ok_frame("reload")
+                    .set("session", name)
+                    .set("added", names(&report.added))
+                    .set("removed", names(&report.removed))
+                    .set("changed", names(&report.changed))
+                    .set("unchanged", report.unchanged)
+                    .set("incremental", report.incremental)
+                    .set("rules", session.engine.program().rules().len())
+                    .set("wm", session.engine.wm().len())
+                    .set("fingerprint", session.fingerprint()))
             }
             "metrics" => {
                 let stats = session.engine.stats();

@@ -35,6 +35,13 @@ pub struct Session {
     /// carries them so queued-but-undrained injects survive log
     /// truncation.
     pending_lines: Vec<String>,
+    /// Rendered `reload` frames accepted over the session's lifetime, in
+    /// order. Only maintained when durability is on: an engine snapshot
+    /// captures *state* but not the program, so a compaction record
+    /// replays `open`, then these, then the snapshot restore — keeping
+    /// the interning order (and thus every symbol id live WMEs refer to)
+    /// identical to the original run.
+    reload_lines: Vec<String>,
 }
 
 impl Session {
@@ -49,6 +56,7 @@ impl Session {
             injected_adds: 0,
             injected_removes: 0,
             pending_lines: Vec::new(),
+            reload_lines: Vec::new(),
         }
     }
 
@@ -86,6 +94,18 @@ impl Session {
     /// records).
     pub fn pending_lines(&self) -> &[String] {
         &self.pending_lines
+    }
+
+    /// Records an accepted `reload` frame (durability bookkeeping; see
+    /// [`Session::reload_lines`]).
+    pub fn note_reload(&mut self, line: String) {
+        self.reload_lines.push(line);
+    }
+
+    /// Every accepted `reload` frame, in order (for WAL compaction
+    /// records).
+    pub fn reload_lines(&self) -> &[String] {
+        &self.reload_lines
     }
 
     /// Applies every queued delta through the kernel's incremental

@@ -203,6 +203,13 @@ pub struct SnapshotRecord {
     /// Inject frames accepted but not yet drained at the capture point,
     /// rendered; replayed through the normal inject path.
     pub pending: Vec<String>,
+    /// Every accepted `reload` frame since `open`, rendered, in order.
+    /// Replayed between the open and the snapshot restore: the engine
+    /// snapshot captures state but not the program, and replaying the
+    /// full reload sequence keeps symbol-interning order identical to
+    /// the original run. Encoded as an optional tail so logs written
+    /// before the verb existed still decode (as zero reloads).
+    pub reloads: Vec<String>,
 }
 
 impl SnapshotRecord {
@@ -216,6 +223,10 @@ impl SnapshotRecord {
         for line in &self.pending {
             put_bytes(&mut out, line.as_bytes());
         }
+        out.extend_from_slice(&(self.reloads.len() as u32).to_le_bytes());
+        for line in &self.reloads {
+            put_bytes(&mut out, line.as_bytes());
+        }
         out
     }
 
@@ -225,14 +236,25 @@ impl SnapshotRecord {
         let snapshot = take_bytes(bytes, &mut pos)?.to_vec();
         let injected_adds = take_u64(bytes, &mut pos)?;
         let injected_removes = take_u64(bytes, &mut pos)?;
-        let n = take_u32(bytes, &mut pos)? as usize;
-        if n > bytes.len() {
-            return None; // corrupt count cannot demand a huge allocation
-        }
-        let mut pending = Vec::with_capacity(n);
-        for _ in 0..n {
-            pending.push(String::from_utf8(take_bytes(bytes, &mut pos)?.to_vec()).ok()?);
-        }
+        let take_lines = |pos: &mut usize| -> Option<Vec<String>> {
+            let n = take_u32(bytes, pos)? as usize;
+            if n > bytes.len() {
+                return None; // corrupt count cannot demand a huge allocation
+            }
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                lines.push(String::from_utf8(take_bytes(bytes, pos)?.to_vec()).ok()?);
+            }
+            Some(lines)
+        };
+        let pending = take_lines(&mut pos)?;
+        // Optional tail: records written before `reload` existed end
+        // right after the pendings.
+        let reloads = if pos == bytes.len() {
+            Vec::new()
+        } else {
+            take_lines(&mut pos)?
+        };
         if pos != bytes.len() {
             return None;
         }
@@ -242,6 +264,7 @@ impl SnapshotRecord {
             injected_adds,
             injected_removes,
             pending,
+            reloads,
         })
     }
 }
@@ -700,7 +723,7 @@ mod tests {
         let cfg = config(&dir);
         let mut wal = SessionWal::create(&cfg, "s1", "openline").unwrap();
         for i in 0..5 {
-            wal.append_frame(&format!("frame-{i}")).unwrap();
+            wal.append_frame(&format!("frame-{i} with a realistically sized payload")).unwrap();
         }
         let fat = wal.bytes;
         let snap = SnapshotRecord {
@@ -709,6 +732,7 @@ mod tests {
             injected_adds: 40,
             injected_removes: 2,
             pending: vec!["pending-inject".into()],
+            reloads: vec!["reload-frame".into()],
         };
         wal.compact(&snap).unwrap();
         assert!(wal.bytes < fat);
@@ -721,6 +745,32 @@ mod tests {
         assert_eq!(scan.records[0], Record::Snapshot(snap));
         assert_eq!(scan.records[1], Record::Frame("tail-frame".into()));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_reload_snapshot_records_decode_with_no_reloads() {
+        // A record encoded before the `reload` verb existed ends right
+        // after the pending lines; it must still decode.
+        let mut old = Vec::new();
+        put_bytes(&mut old, b"openline");
+        put_bytes(&mut old, &[9, 9, 9]);
+        old.extend_from_slice(&7u64.to_le_bytes());
+        old.extend_from_slice(&1u64.to_le_bytes());
+        old.extend_from_slice(&1u32.to_le_bytes());
+        put_bytes(&mut old, b"pending-inject");
+        let decoded = SnapshotRecord::decode(&old).unwrap();
+        assert_eq!(decoded.open_line, "openline");
+        assert_eq!(decoded.pending, vec!["pending-inject".to_string()]);
+        assert!(decoded.reloads.is_empty());
+        // Trailing garbage after a well-formed reload tail still refuses.
+        let mut current = SnapshotRecord {
+            reloads: vec!["reload-frame".into()],
+            ..decoded
+        }
+        .encode();
+        assert!(SnapshotRecord::decode(&current).is_some());
+        current.push(0);
+        assert!(SnapshotRecord::decode(&current).is_none());
     }
 
     #[test]

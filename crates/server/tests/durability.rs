@@ -254,6 +254,80 @@ fn compaction_bounds_the_log_and_recovery_stays_exact() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A logged `reload` must be part of the durable truth — both as a raw
+/// frame record (snapshot_every = 0) and riding a compacted snapshot
+/// record's reload list (snapshot_every = 1, where the frame itself is
+/// compacted away). The replacement program adds a rule that *changes
+/// the WM* (self-loops), so recovery replaying the wrong program would
+/// produce the wrong fingerprint, not just the wrong log.
+#[test]
+fn logged_reloads_survive_recovery_and_compaction() {
+    let scenario = Closure::new(12, 18, 7);
+    let v1 = scenario.source().to_string();
+    let v2 = format!(
+        "{v1}\n(p selfloop (reach ^from <a> ^to <b>) -(reach ^from <a> ^to <a>) --> (make reach ^from <a> ^to <a>))"
+    );
+    let mut frames = vec![format!(
+        r#"{{"op":"open","session":"r1","program":"{}"}}"#,
+        escape(&v1)
+    )];
+    for (i, batch) in scenario.edges().chunks(6).enumerate() {
+        let adds: Vec<String> = batch
+            .iter()
+            .map(|(a, b)| format!(r#"{{"class":"edge","fields":[{a},{b}]}}"#))
+            .collect();
+        frames.push(format!(r#"{{"op":"inject","session":"r1","adds":[{}]}}"#, adds.join(",")));
+        if i == 0 {
+            // Hot-swap mid-stream, with queued injects in flight.
+            frames.push(r#"{"op":"run","session":"r1"}"#.to_string());
+            frames.push(format!(r#"{{"op":"reload","session":"r1","program":"{}"}}"#, escape(&v2)));
+        }
+    }
+    let expected = reference_fingerprint(&frames, "r1");
+
+    for snapshot_every in [0u64, 1] {
+        let dir = tmp_dir(&format!("reload{snapshot_every}"));
+        let mut cfg = wal_config(&dir);
+        cfg.snapshot_every = snapshot_every;
+        let mut server = Server::with_wal(ServerConfig::default(), cfg.clone());
+        for frame in &frames {
+            ok(&mut server, frame);
+        }
+        let live = fingerprint(&mut server, "r1");
+        drop(server); // kill -9: no shutdown, no close
+
+        if snapshot_every == 1 {
+            // The reload frame was compacted away: it must ride in the
+            // snapshot record's reload list instead.
+            let path = cfg.dir.join(wal::wal_file_name("r1"));
+            let scan = wal::scan(&path, &WalFaults::none()).unwrap();
+            let Some(Record::Snapshot(snap)) = scan.records.last() else {
+                panic!("expected a compacted log, got {:?}", scan.records);
+            };
+            assert_eq!(snap.reloads.len(), 1, "reload missing from snapshot record");
+        }
+
+        let mut restored = Server::with_wal(ServerConfig::default(), cfg.clone());
+        let report = recover(&mut restored, &cfg);
+        assert_eq!(report.sessions_recovered, 1, "{:?}", report.notes);
+        assert_eq!(fingerprint(&mut restored, "r1"), live, "snapshot_every={snapshot_every}");
+
+        // The recovered session runs the *reloaded* program: an identity
+        // reload of v2 reports nothing added or changed…
+        let r = ok(
+            &mut restored,
+            &format!(r#"{{"op":"reload","session":"r1","program":"{}"}}"#, escape(&v2)),
+        );
+        assert_eq!(r.get("added"), Some(&Json::Arr(vec![])), "{r:?}");
+        assert_eq!(r.get("changed"), Some(&Json::Arr(vec![])), "{r:?}");
+        // …and the drained tail reaches the uninterrupted run's state,
+        // self-loops included.
+        let run = ok(&mut restored, r#"{"op":"run","session":"r1"}"#);
+        assert_eq!(run.get("fingerprint").and_then(|f| f.as_str()), Some(expected.as_str()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn queued_injects_survive_compaction() {
     let dir = tmp_dir("pending");
@@ -423,6 +497,7 @@ fn snapshot_with_no_tail_and_tail_with_no_snapshot_both_recover() {
                 .rfind(|f| f.contains(r#""op":"inject""#))
                 .map(|f| vec![f.replace("\"t1\"", "\"t2\"")])
                 .unwrap_or_default(),
+            reloads: Vec::new(),
         })
         .unwrap();
     manual.sync().unwrap();

@@ -158,3 +158,84 @@ fn eight_concurrent_closure_sessions_survive_a_neighbors_budget_trip() {
     }
     accept_thread.join().expect("accept thread");
 }
+
+/// Live hot-swap under concurrency: eight TCP sessions run the closure
+/// workload while one of them is `reload`ed twice mid-stream — once to
+/// the identical program (must report all-unchanged) and once to a
+/// program with an extra log-only `audit` rule (must report it added).
+/// Neither swap may disturb that session's final working memory, and
+/// the seven untouched neighbors must land on the solo fingerprint.
+#[test]
+fn reloading_one_session_leaves_seven_neighbors_undisturbed() {
+    let scenario = Closure::new(24, 40, 7);
+    let source = scenario.source().to_string();
+    let edges: Vec<(i64, i64)> = scenario.edges().to_vec();
+    let expected = solo_fingerprint(&source, &edges);
+    // Same class table, one extra rule that only writes to the log —
+    // the reachability fixpoint (and thus the fingerprint) is identical.
+    let source_v2 = format!("{source}\n(p audit (reach ^from <a> ^to <b>) --> (write audit <a> <b>))");
+
+    let server = Arc::new(Mutex::new(Server::new(ServerConfig {
+        max_sessions: SESSIONS,
+        ..ServerConfig::default()
+    })));
+    let (addr, accept_thread) =
+        parulel_server::spawn_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+
+    let mut clients = Vec::new();
+    for i in 0..SESSIONS {
+        let (source, source_v2, edges) = (source.clone(), source_v2.clone(), edges.clone());
+        clients.push(std::thread::spawn(move || -> (String, Option<String>) {
+            let name = format!("closure-{i}");
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut send = |frame: &str| -> String {
+                writer.write_all(frame.as_bytes()).unwrap();
+                writer.write_all(b"\n").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                response
+            };
+            let mut fingerprint = None;
+            let frames = session_frames(&name, &source, &edges, "");
+            let midpoint = frames.len() / 2;
+            for (k, frame) in frames.iter().enumerate() {
+                // Session 0 gets hot-swapped between inject batches:
+                // identity first, then the audit variant.
+                if i == 0 && k == midpoint {
+                    for (swap, want) in
+                        [(&source, r#""changed":[]"#), (&source_v2, r#""added":["audit"]"#)]
+                    {
+                        let r = send(&format!(
+                            r#"{{"op":"reload","session":"{name}","program":"{}"}}"#,
+                            escape(swap)
+                        ));
+                        assert!(r.starts_with(r#"{"ok":true"#), "{name}: {r}");
+                        assert!(r.contains(want), "{name}: {r}");
+                    }
+                }
+                let response = send(frame);
+                assert!(response.starts_with(r#"{"ok":true"#), "{name}: {response}");
+                if response.contains(r#""op":"run""#) {
+                    fingerprint = parulel_engine::Json::parse(&response)
+                        .unwrap()
+                        .get("fingerprint")
+                        .and_then(|f| f.as_str())
+                        .map(str::to_string);
+                }
+            }
+            (name, fingerprint)
+        }));
+    }
+    for client in clients {
+        let (name, fingerprint) = client.join().expect("client thread");
+        assert_eq!(
+            fingerprint.as_deref(),
+            Some(expected.as_str()),
+            "{name}: final WM diverged from the solo run"
+        );
+    }
+    server.lock().unwrap().handle_line(r#"{"op":"shutdown"}"#).unwrap();
+    accept_thread.join().expect("accept thread");
+}

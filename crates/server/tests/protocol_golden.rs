@@ -69,6 +69,63 @@ fn golden_session_transcript() {
     assert!(server.shutting_down());
 }
 
+/// `PROGRAM` with one rule body changed (`close` gains a `write`) and
+/// one rule added (`audit`) — same class table, so a live `reload`
+/// must accept it.
+const PROGRAM_V2: &str = "(literalize edge from to)\
+(literalize reach from to)\
+(p seed (edge ^from <a> ^to <b>) -(reach ^from <a> ^to <b>) --> (make reach ^from <a> ^to <b>))\
+(p close (reach ^from <a> ^to <b>) (edge ^from <b> ^to <c>) -(reach ^from <a> ^to <c>) --> (make reach ^from <a> ^to <c>) (write closed <a> <c>))\
+(p audit (reach ^from <a> ^to <c>) --> (write audit <a> <c>))";
+
+fn reload_frame(session: &str, program: &str) -> String {
+    format!(
+        r#"{{"op":"reload","session":"{session}","program":"{}"}}"#,
+        program.replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
+/// The hot-swap transcript, byte-for-byte: an identity reload is
+/// reported as all-unchanged and perturbs nothing (same fingerprint,
+/// and the follow-up run matches [`golden_session_transcript`]'s
+/// numbers); a real swap reports the added/changed rule names, keeps
+/// the WM and fingerprint, and the next run fires the new `audit` rule
+/// against existing facts without re-firing refracted ones.
+#[test]
+fn golden_reload_transcript() {
+    let mut server = Server::new(ServerConfig::default());
+    let transcript: Vec<(String, &str)> = vec![
+        (
+            open_frame("s1"),
+            r#"{"ok":true,"op":"open","session":"s1","policy":"fire-all","rules":2,"wm":2}"#,
+        ),
+        (
+            reload_frame("s1", PROGRAM),
+            r#"{"ok":true,"op":"reload","session":"s1","added":[],"removed":[],"changed":[],"unchanged":2,"incremental":true,"rules":2,"wm":2,"fingerprint":"d0b654ecefdc6547"}"#,
+        ),
+        (
+            r#"{"op":"run","session":"s1"}"#.to_string(),
+            r#"{"ok":true,"op":"run","session":"s1","drained":0,"status":"quiescent","cycles":2,"firings":3,"wm":5,"fingerprint":"e03e8458d2e5a23f"}"#,
+        ),
+        (
+            reload_frame("s1", PROGRAM_V2),
+            r#"{"ok":true,"op":"reload","session":"s1","added":["audit"],"removed":[],"changed":["close"],"unchanged":1,"incremental":true,"rules":3,"wm":5,"fingerprint":"e03e8458d2e5a23f"}"#,
+        ),
+        (
+            r#"{"op":"run","session":"s1"}"#.to_string(),
+            r#"{"ok":true,"op":"run","session":"s1","drained":0,"status":"quiescent","cycles":1,"firings":3,"wm":5,"fingerprint":"e03e8458d2e5a23f"}"#,
+        ),
+        (
+            r#"{"op":"close","session":"s1"}"#.to_string(),
+            r#"{"ok":true,"op":"close","session":"s1","cycles":3,"firings":6,"fingerprint":"e03e8458d2e5a23f"}"#,
+        ),
+    ];
+    for (request, expected) in transcript {
+        let response = server.handle_line(&request).expect("non-blank line");
+        assert_eq!(response, expected, "request: {request}");
+    }
+}
+
 #[test]
 fn blank_lines_are_skipped_not_answered() {
     let mut server = Server::new(ServerConfig::default());
@@ -333,4 +390,64 @@ fn budget_trip_kills_one_session_with_an_engine_frame() {
         .handle_line(r#"{"op":"run","session":"bystander"}"#)
         .unwrap();
     assert!(r.contains(r#""status":"quiescent""#), "{r}");
+}
+
+/// A gallery of reload payloads that must be *refused*, each leaving
+/// the session exactly as it was: missing/mistyped program field,
+/// source that does not compile, and replacement programs whose class
+/// table is incompatible with the live working memory (dropped class,
+/// reordered classes, changed arity). A compile error is kind
+/// `compile`; an incompatible-but-valid program is kind `reload`.
+#[test]
+fn malformed_reload_payloads_leave_prior_state_intact() {
+    let mut server = Server::new(ServerConfig::default());
+    server.handle_line(&open_frame("s1")).unwrap();
+    let run = server.handle_line(r#"{"op":"run","session":"s1"}"#).unwrap();
+    let fingerprint = parulel_engine::Json::parse(&run)
+        .unwrap()
+        .get("fingerprint")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let cases: Vec<(String, &str)> = vec![
+        (r#"{"op":"reload","session":"s1"}"#.to_string(), "protocol"),
+        (r#"{"op":"reload","session":"s1","program":17}"#.to_string(), "protocol"),
+        (reload_frame("s1", "(p broken"), "compile"),
+        // Drops the `reach` class the live WM depends on.
+        (
+            reload_frame("s1", "(literalize edge from to)(p noop (edge ^from <a>) --> (write <a>))"),
+            "reload",
+        ),
+        // Same classes, swapped declaration order: class ids shift.
+        (
+            reload_frame(
+                "s1",
+                "(literalize reach from to)(literalize edge from to)(p noop (edge ^from <a>) --> (write <a>))",
+            ),
+            "reload",
+        ),
+        // `edge` narrowed to arity 1.
+        (
+            reload_frame(
+                "s1",
+                "(literalize edge from)(literalize reach from to)(p noop (edge ^from <a>) --> (write <a>))",
+            ),
+            "reload",
+        ),
+    ];
+    for (frame, want_kind) in cases {
+        let r = server.handle_line(&frame).unwrap();
+        assert_eq!(error_kind(&r), want_kind, "frame: {frame}");
+        let m = server.handle_line(r#"{"op":"metrics","session":"s1"}"#).unwrap();
+        assert!(m.contains(&fingerprint), "state lost after {frame}: {m}");
+    }
+    // The session still accepts a valid reload and keeps running.
+    let r = server.handle_line(&reload_frame("s1", PROGRAM_V2)).unwrap();
+    assert!(r.contains(r#""added":["audit"]"#), "{r}");
+    let r = server.handle_line(r#"{"op":"run","session":"s1"}"#).unwrap();
+    assert!(r.contains(r#""status":"quiescent""#), "{r}");
+    // Reload to a session that does not exist.
+    let r = server.handle_line(&reload_frame("ghost", PROGRAM)).unwrap();
+    assert_eq!(error_kind(&r), "unknown-session");
 }

@@ -1,0 +1,358 @@
+//! The VM: a register-free stack interpreter for compiled code, plus the
+//! [`Evaluator`] facade the matchers and engine call through.
+//!
+//! The interpreter keeps one thread-local scratch stack (taken and
+//! returned around each code object), so the hot path never allocates.
+//! Every opcode bottoms out in the same core primitives the tree-walker
+//! uses — [`PredOp::apply`](parulel_core::PredOp::apply),
+//! [`Value::matches_eq`], [`ccc_hash`], [`BinOp::apply`] — which is what
+//! makes bit-exact equivalence provable rather than hoped-for.
+
+use crate::code::{Op, ProgramCode, RuleCode};
+use crate::compile::compile_program;
+use crate::EvalMode;
+use parulel_core::expr::EvalError;
+use parulel_core::ir::ccc_hash;
+use parulel_core::{Delta, Instantiation, Program, RuleId, Value, Wme};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+std::thread_local! {
+    /// Per-thread scratch value stack, reused across evaluations. A
+    /// `Cell<Vec<_>>` (take/put) instead of `RefCell` so a reentrant
+    /// evaluation — one never happens today, but a panic hook or trace
+    /// callback could — gets a fresh empty stack instead of a borrow
+    /// panic.
+    static STACK: Cell<Vec<Value>> = const { Cell::new(Vec::new()) };
+}
+
+fn with_stack<R>(f: impl FnOnce(&mut Vec<Value>) -> R) -> R {
+    STACK.with(|cell| {
+        let mut stack = cell.take();
+        stack.clear();
+        let r = f(&mut stack);
+        cell.set(stack);
+        r
+    })
+}
+
+/// Runs LHS/test code: `true` iff every test op passes. An arithmetic
+/// error in a `Bin` makes the code object false, mirroring the
+/// tree-walker's rule-test semantics (a test that divides by zero simply
+/// does not match). `wme` is required iff the code contains `Field` ops;
+/// `env` is read by `Var` and written by `Store` (binds).
+pub(crate) fn run_tests(ops: &[Op], consts: &[Value], wme: Option<&Wme>, env: &mut [Value]) -> bool {
+    with_stack(|stack| {
+        for &op in ops {
+            match op {
+                Op::Const(i) => stack.push(consts[i as usize]),
+                Op::Var(v) => stack.push(env[v as usize]),
+                Op::Field(s) => {
+                    let w = wme.expect("Field op in code run without a WME");
+                    stack.push(w.field(s as usize));
+                }
+                Op::Bin(b) => {
+                    let r = stack.pop().expect("stack underflow");
+                    let l = stack.pop().expect("stack underflow");
+                    match b.apply(l, r) {
+                        Ok(v) => stack.push(v),
+                        Err(_) => return false,
+                    }
+                }
+                Op::Test(p) => {
+                    let r = stack.pop().expect("stack underflow");
+                    let l = stack.pop().expect("stack underflow");
+                    if !p.apply(l, r) {
+                        return false;
+                    }
+                }
+                Op::OneOf { start, len } => {
+                    let v = stack.pop().expect("stack underflow");
+                    let alts = &consts[start as usize..(start + len) as usize];
+                    if !alts.iter().any(|&c| v.matches_eq(c)) {
+                        return false;
+                    }
+                }
+                Op::HashMod { divisor, residue } => {
+                    let v = stack.pop().expect("stack underflow");
+                    if ccc_hash(v) % u64::from(divisor) != u64::from(residue) {
+                        return false;
+                    }
+                }
+                Op::Store(v) => {
+                    let x = stack.pop().expect("stack underflow");
+                    env[v as usize] = x;
+                }
+                Op::Make { .. }
+                | Op::Remove { .. }
+                | Op::Modify { .. }
+                | Op::Write { .. }
+                | Op::SkipUnlessLog { .. }
+                | Op::Halt => unreachable!("RHS op in LHS/test code"),
+            }
+        }
+        true
+    })
+}
+
+/// Runs anchored rule-test code (`Const`/`Var`/`Bin`/`Test` only — no
+/// field reads, no binds), so the environment can stay shared. Arithmetic
+/// errors make the test false, matching
+/// [`TestExpr::check`](parulel_core::TestExpr::check).
+pub(crate) fn run_expr_tests(ops: &[Op], consts: &[Value], env: &[Value]) -> bool {
+    with_stack(|stack| {
+        for &op in ops {
+            match op {
+                Op::Const(i) => stack.push(consts[i as usize]),
+                Op::Var(v) => stack.push(env[v as usize]),
+                Op::Bin(b) => {
+                    let r = stack.pop().expect("stack underflow");
+                    let l = stack.pop().expect("stack underflow");
+                    match b.apply(l, r) {
+                        Ok(v) => stack.push(v),
+                        Err(_) => return false,
+                    }
+                }
+                Op::Test(p) => {
+                    let r = stack.pop().expect("stack underflow");
+                    let l = stack.pop().expect("stack underflow");
+                    if !p.apply(l, r) {
+                        return false;
+                    }
+                }
+                _ => unreachable!("non-expression op in anchored test code"),
+            }
+        }
+        true
+    })
+}
+
+/// A structured RHS failure from the VM.
+///
+/// The engine maps this to its `RhsEval` error: `in_write` failures are
+/// attributed to the pseudo-rule `<write>` (exactly like the
+/// tree-walker's `render_write`), everything else to the firing rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RhsError {
+    /// The failing expression was a `write` argument.
+    pub in_write: bool,
+    /// The underlying arithmetic error.
+    pub error: EvalError,
+}
+
+/// The isolated effect of one bytecode RHS execution — the VM's analogue
+/// of the engine's `FireResult`.
+#[derive(Clone, Debug, Default)]
+pub struct FireOutput {
+    /// The delta fragment (removes reference matched WME ids; adds carry
+    /// evaluated field tuples).
+    pub delta: Delta,
+    /// Rendered `write` output lines.
+    pub log: Vec<String>,
+    /// The RHS executed a `halt`.
+    pub halt: bool,
+}
+
+/// The evaluation facade: one object holding the program, its compiled
+/// [`ProgramCode`], and the active [`EvalMode`].
+///
+/// Matchers and the engine route every LHS test and RHS execution through
+/// this, so flipping the mode swaps the whole evaluation path in one
+/// place. The store is always compiled (even in `Tree` mode) — content
+/// hashes must exist for reload diffing regardless of which path runs.
+#[derive(Clone)]
+pub struct Evaluator {
+    mode: EvalMode,
+    program: Arc<Program>,
+    code: Arc<ProgramCode>,
+}
+
+impl fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("mode", &self.mode)
+            .field("rules", &self.code.rules().len())
+            .finish()
+    }
+}
+
+impl Evaluator {
+    /// Compiles `program` and wraps it with the given mode.
+    pub fn new(program: Arc<Program>, mode: EvalMode) -> Evaluator {
+        let code = Arc::new(compile_program(&program));
+        Evaluator {
+            mode,
+            program,
+            code,
+        }
+    }
+
+    /// Wraps an already-compiled store (the reload path, which reuses
+    /// unchanged rules' code objects).
+    pub fn with_code(program: Arc<Program>, mode: EvalMode, code: Arc<ProgramCode>) -> Evaluator {
+        Evaluator {
+            mode,
+            program,
+            code,
+        }
+    }
+
+    /// The active evaluation mode.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// The compiled content-addressed store.
+    pub fn code(&self) -> &Arc<ProgramCode> {
+        &self.code
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    #[inline]
+    fn rc(&self, rule: RuleId) -> &RuleCode {
+        self.code.rule(rule.0)
+    }
+
+    /// Class check + constant (alpha) tests of CE `ce` of `rule`.
+    #[inline]
+    pub fn passes_alpha(&self, rule: RuleId, ce: usize, wme: &Wme) -> bool {
+        match self.mode {
+            EvalMode::Tree => self.program.rule(rule).ces[ce].passes_alpha(wme),
+            EvalMode::Bytecode => {
+                let rc = self.rc(rule);
+                let cc = &rc.ces[ce];
+                wme.class == cc.class && run_tests(&cc.alpha.ops, &rc.consts, Some(wme), &mut [])
+            }
+        }
+    }
+
+    /// Binds and join (beta) tests of CE `ce` of `rule`, under `env`.
+    /// Like the tree path, a failing run may leave partial bindings —
+    /// callers pass a scratch copy when that matters.
+    #[inline]
+    pub fn run_beta(&self, rule: RuleId, ce: usize, wme: &Wme, env: &mut [Value]) -> bool {
+        match self.mode {
+            EvalMode::Tree => self.program.rule(rule).ces[ce].run_beta(wme, env),
+            EvalMode::Bytecode => {
+                let rc = self.rc(rule);
+                run_tests(&rc.ces[ce].beta.ops, &rc.consts, Some(wme), env)
+            }
+        }
+    }
+
+    /// Full CE check (class + alpha + beta) — the single-pass `matches`
+    /// used by enumeration-based matchers.
+    #[inline]
+    pub fn matches(&self, rule: RuleId, ce: usize, wme: &Wme, env: &mut [Value]) -> bool {
+        match self.mode {
+            EvalMode::Tree => self.program.rule(rule).ces[ce].matches(wme, env),
+            EvalMode::Bytecode => {
+                let rc = self.rc(rule);
+                let cc = &rc.ces[ce];
+                wme.class == cc.class && run_tests(&cc.all.ops, &rc.consts, Some(wme), env)
+            }
+        }
+    }
+
+    /// Every rule test anchored at CE position `anchor`, under `env`.
+    /// Evaluation errors make a test false, exactly like
+    /// [`TestExpr::check`](parulel_core::TestExpr::check); the env is
+    /// never written (anchored tests cannot bind).
+    #[inline]
+    pub fn tests_pass_at(&self, rule: RuleId, anchor: usize, env: &[Value]) -> bool {
+        match self.mode {
+            EvalMode::Tree => self
+                .program
+                .rule(rule)
+                .tests
+                .iter()
+                .filter(|t| t.anchor == anchor)
+                .all(|t| t.test.check(env)),
+            EvalMode::Bytecode => {
+                let rc = self.rc(rule);
+                rc.tests_at(anchor)
+                    .all(|t| run_expr_tests(&t.code.ops, &rc.consts, env))
+            }
+        }
+    }
+
+    /// Executes the compiled RHS of `inst`'s rule against its matched
+    /// snapshot. Semantics replicate the tree-walker action for action:
+    /// `bind`s run first, `make` fields evaluate left to right, `modify`
+    /// starts from the matched WME's fields, `write` renders only when
+    /// `collect_log` (the guard jump skips argument evaluation entirely —
+    /// so write-argument errors cannot fire with logging off).
+    pub fn fire(&self, inst: &Instantiation, collect_log: bool) -> Result<FireOutput, RhsError> {
+        let rc = self.rc(inst.rule);
+        let mut env: Vec<Value> = inst.env.to_vec();
+        let mut out = FireOutput::default();
+        let interner = &self.program.interner;
+        with_stack(|stack| {
+            let ops = &rc.rhs.ops;
+            let mut pc = 0usize;
+            let mut in_write = false;
+            while pc < ops.len() {
+                match ops[pc] {
+                    Op::Const(i) => stack.push(rc.consts[i as usize]),
+                    Op::Var(v) => stack.push(env[v as usize]),
+                    Op::Bin(b) => {
+                        let r = stack.pop().expect("stack underflow");
+                        let l = stack.pop().expect("stack underflow");
+                        match b.apply(l, r) {
+                            Ok(v) => stack.push(v),
+                            Err(error) => return Err(RhsError { in_write, error }),
+                        }
+                    }
+                    Op::Store(v) => {
+                        let x = stack.pop().expect("stack underflow");
+                        env[v as usize] = x;
+                    }
+                    Op::Make { class, arity } => {
+                        let vals = stack.split_off(stack.len() - arity as usize);
+                        out.delta.adds.push((class, Arc::from(vals)));
+                    }
+                    Op::Remove { ce } => {
+                        out.delta.removes.push(inst.wmes[ce as usize].id);
+                    }
+                    Op::Modify { ce, start, len } => {
+                        let vals = stack.split_off(stack.len() - len as usize);
+                        let wme = &inst.wmes[ce as usize];
+                        out.delta.removes.push(wme.id);
+                        let mut fields: Vec<Value> = wme.fields.to_vec();
+                        for (i, v) in vals.into_iter().enumerate() {
+                            fields[rc.slots[start as usize + i] as usize] = v;
+                        }
+                        out.delta.adds.push((wme.class, Arc::from(fields)));
+                    }
+                    Op::Write { n } => {
+                        let vals = stack.split_off(stack.len() - n as usize);
+                        let parts: Vec<String> =
+                            vals.into_iter().map(|v| v.display(interner)).collect();
+                        out.log.push(parts.join(" "));
+                        in_write = false;
+                    }
+                    Op::SkipUnlessLog { target } => {
+                        if collect_log {
+                            in_write = true;
+                        } else {
+                            pc = target as usize;
+                            continue;
+                        }
+                    }
+                    Op::Halt => out.halt = true,
+                    Op::Field(_) | Op::Test(_) | Op::OneOf { .. } | Op::HashMod { .. } => {
+                        unreachable!("LHS op in RHS code")
+                    }
+                }
+                pc += 1;
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+}

@@ -69,8 +69,9 @@ pub mod prelude {
         ClassId, ConflictSet, Delta, Instantiation, Program, RuleId, Symbol, Value, WorkingMemory,
     };
     pub use parulel_engine::{
-        AutoCcc, Budgets, Engine, EngineError, EngineOptions, FiringPolicy, MatcherKind,
-        MetricsLevel, Outcome, ParallelEngine, SerialEngine, Snapshot, SnapshotError, Strategy,
+        AutoCcc, Budgets, Engine, EngineError, EngineOptions, EvalMode, FiringPolicy, MatcherKind,
+        MetricsLevel, Outcome, ParallelEngine, ReloadReport, SerialEngine, Snapshot, SnapshotError,
+        Strategy,
     };
     pub use parulel_lang::compile;
     pub use parulel_match::{Matcher, NaiveMatcher, Rete, Treat};

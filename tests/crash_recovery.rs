@@ -253,6 +253,70 @@ fn kill_dash_nine_with_four_workers_recovers_every_shard() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The hot-swap leg of the headline proof: a `reload` acknowledged
+/// before SIGKILL is part of the durable truth. The replacement
+/// program's extra rule asserts self-loop `reach` facts, so if the
+/// restarted daemon replayed the original program the fingerprint
+/// would differ.
+#[test]
+fn kill_dash_nine_preserves_an_acknowledged_reload() {
+    let program_v2 = format!(
+        "{PROGRAM}\
+         (p selfloop (reach ^from <a> ^to <b>) -(reach ^from <a> ^to <a>) --> (make reach ^from <a> ^to <a>))"
+    );
+    let reload_frame = format!(
+        r#"{{"op":"reload","session":"victim","program":"{}"}}"#,
+        program_v2.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    let (wave1, wave2) = edge_waves();
+
+    // Reference: open → wave1 → run → reload v2 → wave2 → run, no crash.
+    let expected = {
+        let dir = tmp_dir("reload-reference");
+        let mut daemon = start_daemon(&dir);
+        let mut client = Client::connect(&daemon.addr);
+        client.send_ok(&open_frame("victim"));
+        client.send_ok(&inject_frame("victim", &wave1));
+        client.send_ok(r#"{"op":"run","session":"victim"}"#);
+        client.send_ok(&reload_frame);
+        client.send_ok(&inject_frame("victim", &wave2));
+        let run = client.send_ok(r#"{"op":"run","session":"victim"}"#);
+        let fingerprint = field(&run, "fingerprint").to_string();
+        client.send_ok(r#"{"op":"shutdown"}"#);
+        wait_for_exit(&mut daemon.child);
+        let _ = std::fs::remove_dir_all(&dir);
+        fingerprint
+    };
+
+    // Same frames, but SIGKILL right after the second wave is queued —
+    // the reload and the undrained injects both live only in the WAL.
+    let dir = tmp_dir("reload-sigkill");
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    client.send_ok(&open_frame("victim"));
+    client.send_ok(&inject_frame("victim", &wave1));
+    client.send_ok(r#"{"op":"run","session":"victim"}"#);
+    let r = client.send_ok(&reload_frame);
+    assert!(r.contains(r#""added":["selfloop"]"#), "{r}");
+    client.send_ok(&inject_frame("victim", &wave2));
+    daemon.child.kill().expect("SIGKILL");
+    wait_for_exit(&mut daemon.child);
+
+    let mut daemon = start_daemon(&dir);
+    let mut client = Client::connect(&daemon.addr);
+    let ping = client.send_ok(r#"{"op":"ping"}"#);
+    assert!(ping.contains(r#""recovered_sessions":1"#), "{ping}");
+    let run = client.send_ok(r#"{"op":"run","session":"victim"}"#);
+    assert_eq!(
+        field(&run, "fingerprint"),
+        expected,
+        "recovered session is not running the reloaded program"
+    );
+    client.send_ok(r#"{"op":"shutdown"}"#);
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn sigterm_persists_sessions_and_restart_recovers_them() {
     let expected = reference_fingerprint();

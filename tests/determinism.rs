@@ -334,6 +334,34 @@ fn golden_lock_in_both_engines_and_all_strategies() {
     }
 }
 
+/// The goldens above were locked in by the tree-walking interpreter;
+/// the compiled-bytecode evaluator (today's default) must land on the
+/// exact same numbers, and so must an explicit `EvalMode::Tree` run —
+/// the `--eval` flag changes the execution strategy, never the answer.
+#[test]
+fn goldens_hold_under_both_eval_modes() {
+    for (name, arm, want) in goldens() {
+        let policy = FiringPolicy::from_tag(match arm {
+            "lex" => "select-one-lex",
+            "mea" => "select-one-mea",
+            _ => "fire-all",
+        })
+        .unwrap();
+        for eval in [EvalMode::Tree, EvalMode::Bytecode] {
+            let s = golden_scenario(name);
+            let mut e = Engine::with_policy(
+                s.program(),
+                s.initial_wm(),
+                policy,
+                EngineOptions { eval, ..EngineOptions::default() },
+            );
+            let out = e.run().unwrap();
+            let got = observe(&out, e.stats(), e.wm());
+            assert_eq!(got, want, "{name}/{arm} drifted under {} eval", eval.name());
+        }
+    }
+}
+
 /// Auto copy-and-constrain lock-in, both directions:
 ///
 /// * **Off by default**: `EngineOptions::default().auto_ccc` is `None`,

@@ -1,0 +1,241 @@
+//! Compiler differential suite: the compiled-bytecode evaluator must be
+//! observationally identical to the tree-walking reference interpreter
+//! across every matcher and firing policy, and a live `reload` must be
+//! semantically invisible (identity reload) or exactly equivalent to a
+//! fresh engine on the replacement program (changed-rule reload).
+//!
+//! The generator is shared with the matcher equivalence suites
+//! (`crates/match/tests/common`), extended with random RHS actions so
+//! the fire path — not just matching — is exercised.
+
+#[path = "../crates/match/tests/common/mod.rs"]
+mod common;
+
+use common::{build_program, build_program_in, rule_spec_with_actions, RuleSpec};
+use parulel::prelude::*;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+const MATCHERS: [MatcherKind; 5] = [
+    MatcherKind::Naive,
+    MatcherKind::Rete,
+    MatcherKind::Treat,
+    MatcherKind::PartitionedRete(3),
+    MatcherKind::PartitionedTreat(2),
+];
+const POLICIES: [&str; 3] = ["fire-all", "select-one-lex", "select-one-mea"];
+
+/// Budgeted options: random programs with `make` actions can grow WM
+/// combinatorially, so the budgets abort runaway cases early — the
+/// point is that both evaluators abort *identically*.
+fn opts(matcher: MatcherKind, eval: EvalMode) -> EngineOptions {
+    EngineOptions {
+        matcher,
+        eval,
+        max_cycles: 6,
+        budgets: Budgets {
+            timeout: None,
+            max_wm: Some(64),
+            max_conflict_set: Some(5_000),
+            max_delta: Some(200),
+        },
+        ..EngineOptions::default()
+    }
+}
+
+fn seed_wm(program: &Program, adds: &[(u8, Vec<i64>)]) -> WorkingMemory {
+    let mut wm = WorkingMemory::new(&program.classes);
+    for (class, fields) in adds {
+        wm.insert(
+            ClassId((class % 2) as u32),
+            fields.iter().copied().map(Value::Int).collect::<Vec<_>>(),
+        );
+    }
+    wm
+}
+
+/// Runs one engine to completion and renders everything observable
+/// about the run — terminal status, counters, the write log, and the
+/// full canonical WM — into one comparable string. Errors (budget
+/// trips) are observations too: both backends must trip the same
+/// budget at the same point.
+fn observe(program: &Program, adds: &[(u8, Vec<i64>)], policy: &str, o: EngineOptions) -> String {
+    let policy = FiringPolicy::from_tag(policy).unwrap();
+    let mut engine = ParallelEngine::with_policy(program, seed_wm(program, adds), policy, o);
+    let mut out = String::new();
+    match engine.run() {
+        Ok(outcome) => {
+            let s = engine.stats();
+            writeln!(
+                out,
+                "status={} cycles={} firings={} redacted={}+{} meta_rounds={} \
+                 eligible={}/{} adds={} removes={}",
+                outcome.status(),
+                s.cycles,
+                s.firings,
+                s.redacted_meta,
+                s.redacted_guard,
+                s.meta_rounds,
+                s.peak_eligible,
+                s.total_eligible,
+                s.adds,
+                s.removes,
+            )
+            .unwrap();
+        }
+        Err(e) => writeln!(out, "error={e}").unwrap(),
+    }
+    for line in engine.log() {
+        writeln!(out, "log {line}").unwrap();
+    }
+    writeln!(out, "wm {:?}", engine.wm().canonical_facts()).unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Tentpole property: for random rule programs *with actions* and
+    /// random seed facts, [`EvalMode::Bytecode`] and [`EvalMode::Tree`]
+    /// produce identical observations under all four incremental
+    /// matchers plus the naive oracle, and under both firing
+    /// disciplines (parallel fire-all, serial select-one lex/mea).
+    #[test]
+    fn bytecode_equals_tree_on_every_matcher_and_policy(
+        specs in prop::collection::vec(rule_spec_with_actions(), 1..3),
+        adds in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(0i64..4, common::ARITY)), 0..8),
+    ) {
+        let program = build_program(&specs);
+        for matcher in MATCHERS {
+            for policy in POLICIES {
+                let tree = observe(&program, &adds, policy, opts(matcher, EvalMode::Tree));
+                let bytecode =
+                    observe(&program, &adds, policy, opts(matcher, EvalMode::Bytecode));
+                prop_assert_eq!(
+                    &tree, &bytecode,
+                    "diverged under {:?} / {}", matcher, policy
+                );
+            }
+        }
+    }
+
+    /// Reloading the *identical* program mid-stream is a semantic no-op:
+    /// an engine that steps once, reloads a structurally equal program,
+    /// and runs on, finishes with exactly the WM and firing count of an
+    /// engine that never reloaded. (The run log is excluded — reload
+    /// announces itself with one log line by design.)
+    #[test]
+    fn identity_reload_mid_stream_is_transparent(
+        specs in prop::collection::vec(rule_spec_with_actions(), 1..3),
+        adds in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(0i64..4, common::ARITY)), 0..8),
+        which in (0usize..MATCHERS.len(), 0usize..POLICIES.len()),
+    ) {
+        let (matcher, policy) = (MATCHERS[which.0], POLICIES[which.1]);
+        let program = build_program(&specs);
+        let run = |reload: bool| {
+            let mut e = ParallelEngine::with_policy(
+                &program,
+                seed_wm(&program, &adds),
+                FiringPolicy::from_tag(policy).unwrap(),
+                opts(matcher, EvalMode::Bytecode),
+            );
+            let first = e.step();
+            if reload {
+                let twin = build_program_in(&program.interner, &specs);
+                e.reload(&twin).expect("identity reload must be accepted");
+            }
+            let rest = if first.is_ok() { e.run().map(|_| ()) } else { Ok(()) };
+            (
+                first.map_err(|err| err.to_string()),
+                rest.map_err(|err| err.to_string()),
+                e.stats().firings,
+                e.wm().canonical_facts(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Swapping to a *different* program is equivalent to starting a
+    /// fresh engine on that program with the same facts: `reload`
+    /// carries no residue of the old rules. (Both engines are pre-fire,
+    /// so empty refraction memories agree.)
+    #[test]
+    fn changed_rule_reload_equals_fresh_engine(
+        before in prop::collection::vec(rule_spec_with_actions(), 1..3),
+        after in prop::collection::vec(rule_spec_with_actions(), 1..3),
+        adds in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(0i64..4, common::ARITY)), 0..8),
+        which in (0usize..MATCHERS.len(), 0usize..POLICIES.len()),
+    ) {
+        let (matcher, policy) = (MATCHERS[which.0], POLICIES[which.1]);
+        let old = build_program(&before);
+        // Same symbol space, so WME class/field symbols line up.
+        let new = build_program_in(&old.interner, &after);
+
+        let observe_run = |e: &mut ParallelEngine| {
+            let res = e.run().map(|o| o.status()).map_err(|err| err.to_string());
+            let log: Vec<&String> = e
+                .log()
+                .iter()
+                .filter(|l| !l.starts_with("reload:"))
+                .collect();
+            (
+                res,
+                e.stats().firings,
+                format!("{log:?}"),
+                e.wm().canonical_facts(),
+            )
+        };
+
+        let mut swapped = ParallelEngine::with_policy(
+            &old,
+            seed_wm(&old, &adds),
+            FiringPolicy::from_tag(policy).unwrap(),
+            opts(matcher, EvalMode::Bytecode),
+        );
+        swapped.reload(&new).expect("same class table: reload must be accepted");
+
+        let mut fresh = ParallelEngine::with_policy(
+            &new,
+            seed_wm(&new, &adds),
+            FiringPolicy::from_tag(policy).unwrap(),
+            opts(matcher, EvalMode::Bytecode),
+        );
+
+        prop_assert_eq!(observe_run(&mut swapped), observe_run(&mut fresh));
+    }
+}
+
+/// Deterministic spot-check kept cheap enough for `--release`-less CI:
+/// a rule whose RHS uses arithmetic, modify, and remove, run under
+/// both evaluators on every matcher.
+#[test]
+fn arithmetic_rhs_regression() {
+    use common::{ActionSpec, CeSpec, CheckSpec, ExprSpec};
+    let specs = vec![RuleSpec {
+        ces: vec![
+            CeSpec { class: 0, negated: false, tests: vec![(0, CheckSpec::Var(0, 0))] },
+            CeSpec { class: 1, negated: false, tests: vec![(1, CheckSpec::Var(0, 1))] },
+        ],
+        cross_test: true,
+        actions: vec![
+            ActionSpec::Make { class: 1, exprs: vec![ExprSpec::Bin(0, 2, 0), ExprSpec::Var(1)] },
+            ActionSpec::ModifyCe(0, 1, ExprSpec::Bin(2, 3, 0)),
+            ActionSpec::RemoveCe(1),
+            ActionSpec::WriteLine(vec![ExprSpec::Var(0), ExprSpec::Const(7)]),
+        ],
+    }];
+    let program = build_program(&specs);
+    let adds = vec![(0u8, vec![1, 0]), (0, vec![2, 3]), (1, vec![0, 2]), (1, vec![3, 1])];
+    for matcher in MATCHERS {
+        for policy in POLICIES {
+            assert_eq!(
+                observe(&program, &adds, policy, opts(matcher, EvalMode::Tree)),
+                observe(&program, &adds, policy, opts(matcher, EvalMode::Bytecode)),
+                "diverged under {matcher:?} / {policy}"
+            );
+        }
+    }
+}
